@@ -1,0 +1,89 @@
+// Command gentensor writes synthetic sparse tensors in .tns format:
+// either one of the paper-modeled presets (netflix, nell, delicious,
+// flickr, random) or a custom shape.
+//
+// Examples:
+//
+//	gentensor -preset flickr -scale 0.5 -out flickr.tns
+//	gentensor -dims 1000,800,600 -nnz 50000 -skew 0.8 -out x.tns
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hypertensor/internal/gen"
+	"hypertensor/internal/tensor"
+)
+
+func main() {
+	var (
+		preset = flag.String("preset", "", "dataset preset: netflix | nell | delicious | flickr | random")
+		scale  = flag.Float64("scale", 1.0, "preset scale factor")
+		dims   = flag.String("dims", "", "comma-separated mode sizes (custom tensor)")
+		nnz    = flag.Int("nnz", 0, "nonzero count (custom tensor)")
+		skew   = flag.Float64("skew", 0.7, "Zipf skew exponent; 0 = uniform (custom tensor)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		out    = flag.String("out", "", "output path (required; '-' for stdout)")
+	)
+	flag.Parse()
+	if *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var cfg gen.Config
+	switch {
+	case *preset != "":
+		c, err := gen.Preset(*preset, *scale)
+		if err != nil {
+			fail(err)
+		}
+		c.Seed = *seed
+		cfg = c
+	case *dims != "":
+		ds, err := parseDims(*dims)
+		if err != nil {
+			fail(err)
+		}
+		if *nnz <= 0 {
+			fail(fmt.Errorf("custom tensors need -nnz > 0"))
+		}
+		cfg = gen.Config{Name: "custom", Dims: ds, NNZ: *nnz, Skew: *skew, Seed: *seed}
+	default:
+		fail(fmt.Errorf("pass -preset or -dims"))
+	}
+
+	x := gen.Random(cfg)
+	fmt.Fprintf(os.Stderr, "generated %s: dims=%v nnz=%d\n", cfg.Name, x.Dims, x.NNZ())
+	if *out == "-" {
+		if err := tensor.WriteTNS(os.Stdout, x); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if err := tensor.WriteTNSFile(*out, x); err != nil {
+		fail(err)
+	}
+}
+
+func parseDims(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	dims := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad dimension %q", p)
+		}
+		dims[i] = v
+	}
+	return dims, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "gentensor:", err)
+	os.Exit(1)
+}

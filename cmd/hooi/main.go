@@ -1,0 +1,197 @@
+// Command hooi computes the Tucker decomposition of a sparse tensor in
+// .tns format with the HOOI algorithm, in shared-memory mode or on
+// simulated distributed ranks.
+//
+// Examples:
+//
+//	hooi -input x.tns -ranks 10,10,10 -iters 20 -tol 1e-5
+//	hooi -input x.tns -ranks 5,5,5,5 -dist 16 -grain fine -method hp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hypertensor"
+	"hypertensor/internal/dist"
+)
+
+func main() {
+	var (
+		input   = flag.String("input", "", "input tensor in .tns format (required)")
+		ranksIn = flag.String("ranks", "", "comma-separated decomposition ranks, one per mode (required)")
+		iters   = flag.Int("iters", 20, "maximum ALS sweeps")
+		tol     = flag.Float64("tol", 1e-5, "fit-change stopping tolerance (negative disables)")
+		threads = flag.Int("threads", 0, "shared-memory threads (0 = GOMAXPROCS)")
+		algo    = flag.String("algo", "hooi", "algorithm: hooi | sthosvd | sthosvd+hooi")
+		initM   = flag.String("init", "random", "factor initialization: random | hosvd")
+		svd     = flag.String("svd", "lanczos", "TRSVD solver: lanczos | subspace | gram")
+		seed    = flag.Int64("seed", 1, "random seed")
+		distP   = flag.Int("dist", 0, "run distributed with this many simulated ranks (0 = shared memory)")
+		grain   = flag.String("grain", "fine", "distributed task grain: fine | coarse")
+		method  = flag.String("method", "hp", "distributed placement: hp | rd | bl")
+		quiet   = flag.Bool("q", false, "print only the final fit")
+	)
+	flag.Parse()
+	if *input == "" || *ranksIn == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	ranks, err := parseRanks(*ranksIn)
+	if err != nil {
+		fail(err)
+	}
+	x, err := hypertensor.ReadTensorFile(*input)
+	if err != nil {
+		fail(err)
+	}
+	if !*quiet {
+		fmt.Printf("tensor: dims=%v nnz=%d\n", x.Dims, x.NNZ())
+	}
+
+	if *distP > 0 {
+		runDistributed(x, ranks, *distP, *grain, *method, *iters, *tol, *seed, *quiet)
+		return
+	}
+
+	var warmStart []*hypertensor.Matrix
+	switch *algo {
+	case "hooi":
+	case "sthosvd", "sthosvd+hooi":
+		st, err := hypertensor.DecomposeSTHOSVD(x, hypertensor.STHOSVDOptions{
+			Ranks: ranks, Seed: *seed, Threads: *threads,
+		})
+		if err != nil {
+			fail(err)
+		}
+		if *algo == "sthosvd" {
+			if *quiet {
+				fmt.Printf("%.8f\n", st.Fit)
+			} else {
+				fmt.Println("ST-HOSVD:", hypertensor.Summary(st))
+			}
+			return
+		}
+		warmStart = st.Factors
+		if !*quiet {
+			fmt.Printf("ST-HOSVD warm start: fit %.6f\n", st.Fit)
+		}
+	default:
+		fail(fmt.Errorf("unknown algo %q", *algo))
+	}
+
+	opts := hypertensor.Options{
+		Ranks:    ranks,
+		MaxIters: *iters,
+		Tol:      *tol,
+		Threads:  *threads,
+		Seed:     *seed,
+		Initial:  warmStart,
+	}
+	switch *initM {
+	case "random":
+		opts.Init = hypertensor.InitRandom
+	case "hosvd":
+		opts.Init = hypertensor.InitHOSVD
+	default:
+		fail(fmt.Errorf("unknown init %q", *initM))
+	}
+	switch *svd {
+	case "lanczos":
+		opts.SVD = hypertensor.SVDLanczos
+	case "subspace":
+		opts.SVD = hypertensor.SVDSubspace
+	case "gram":
+		opts.SVD = hypertensor.SVDGram
+	default:
+		fail(fmt.Errorf("unknown svd %q", *svd))
+	}
+	dec, err := hypertensor.Decompose(x, opts)
+	if err != nil {
+		fail(err)
+	}
+	if *quiet {
+		fmt.Printf("%.8f\n", dec.Fit)
+		return
+	}
+	fmt.Println(hypertensor.Summary(dec))
+	fmt.Printf("timings: symbolic=%v ttmc=%v trsvd=%v core=%v\n",
+		dec.Timings.Symbolic, dec.Timings.TTMc, dec.Timings.TRSVD, dec.Timings.Core)
+	for i, f := range dec.FitHistory {
+		fmt.Printf("  sweep %2d: fit %.8f\n", i+1, f)
+	}
+}
+
+func runDistributed(x *hypertensor.SparseTensor, ranks []int, p int, grain, method string, iters int, tol float64, seed int64, quiet bool) {
+	var g hypertensor.Grain
+	switch grain {
+	case "fine":
+		g = hypertensor.FineGrain
+	case "coarse":
+		g = hypertensor.CoarseGrain
+	default:
+		fail(fmt.Errorf("unknown grain %q", grain))
+	}
+	var m hypertensor.PartitionMethod
+	switch method {
+	case "hp":
+		m = hypertensor.PartitionHypergraph
+	case "rd":
+		m = hypertensor.PartitionRandom
+	case "bl":
+		m = hypertensor.PartitionBlock
+	default:
+		fail(fmt.Errorf("unknown method %q", method))
+	}
+	part, err := hypertensor.NewPartition(x, p, g, m, seed)
+	if err != nil {
+		fail(err)
+	}
+	res, err := hypertensor.DecomposeDistributed(x, part, hypertensor.DistConfig{
+		Ranks: ranks, MaxIters: iters, Tol: tol, Seed: seed,
+	})
+	if err != nil {
+		fail(err)
+	}
+	if quiet {
+		fmt.Printf("%.8f\n", res.Fit)
+		return
+	}
+	st := res.Stats
+	fmt.Printf("distributed %s on %d ranks: fit %.6f after %d sweeps (%.3fs/iter wall)\n",
+		part.Name(), p, res.Fit, res.Iters, st.WallPerIter.Seconds())
+	fmt.Printf("max phase times: ttmc=%v trsvd=%v core=%v symbolic=%v\n",
+		dist.MaxDuration(st.TTMcTime), dist.MaxDuration(st.TRSVDTime),
+		dist.MaxDuration(st.CoreTime), dist.MaxDuration(st.SymbolicTime))
+	for n := range st.Mode {
+		var maxC, sumC int64
+		for _, ms := range st.Mode[n] {
+			sumC += ms.CommBytes
+			if ms.CommBytes > maxC {
+				maxC = ms.CommBytes
+			}
+		}
+		fmt.Printf("  mode %d comm: max %d B, avg %.0f B per rank\n", n+1, maxC, float64(sumC)/float64(p))
+	}
+}
+
+func parseRanks(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	ranks := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad rank %q: %v", p, err)
+		}
+		ranks[i] = v
+	}
+	return ranks, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hooi:", err)
+	os.Exit(1)
+}

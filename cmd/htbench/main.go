@@ -1,0 +1,106 @@
+// Command htbench regenerates the paper's evaluation: Tables I–V and
+// the in-text MET comparison, at a configurable scale.
+//
+// Examples:
+//
+//	htbench -all -scale 1 -iters 5
+//	htbench -table 2 -ps 1,2,4,8,16,32
+//	htbench -met
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hypertensor/internal/bench"
+)
+
+func main() {
+	var (
+		table = flag.Int("table", 0, "regenerate one table (1-5)")
+		met   = flag.Bool("met", false, "run the MET single-core comparison")
+		all   = flag.Bool("all", false, "run every experiment")
+		scale = flag.Float64("scale", 1.0, "dataset scale (1.0 ~ 1/500 of the paper's nonzeros)")
+		iters = flag.Int("iters", 5, "HOOI sweeps per measurement (paper: 5)")
+		p     = flag.Int("p", 16, "simulated ranks for Tables III-IV (paper: 256)")
+		psIn  = flag.String("ps", "1,2,4,8,16", "rank sweep for Table II")
+		thrIn = flag.String("threads", "1,2,4,8,16,32", "thread sweep for Table V")
+		seed  = flag.Int64("seed", 1, "seed for datasets and partitioners")
+	)
+	flag.Parse()
+	if !*all && *table == 0 && !*met {
+		flag.Usage()
+		os.Exit(2)
+	}
+	ps, err := parseInts(*psIn)
+	if err != nil {
+		fail(err)
+	}
+	threads, err := parseInts(*thrIn)
+	if err != nil {
+		fail(err)
+	}
+	o := bench.Options{Scale: *scale, Ps: ps, P: *p, Iters: *iters, Threads: threads, Seed: *seed}
+	out := os.Stdout
+
+	run := func(n int) {
+		var err error
+		switch n {
+		case 1:
+			_, err = bench.TableI(o, out)
+		case 2:
+			_, err = bench.TableII(o, out)
+		case 3:
+			_, err = bench.TableIII(o, out)
+		case 4:
+			_, err = bench.TableIV(o, out)
+		case 5:
+			_, err = bench.TableV(o, out)
+		}
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(out)
+	}
+
+	if *all {
+		for n := 1; n <= 5; n++ {
+			run(n)
+		}
+		if _, err := bench.MET(o, out); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *table != 0 {
+		if *table < 1 || *table > 5 {
+			fail(fmt.Errorf("table must be 1-5"))
+		}
+		run(*table)
+	}
+	if *met {
+		if _, err := bench.MET(o, out); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad integer %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "htbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+// Command htpart builds the paper's hypergraph models from a sparse
+// tensor, partitions them, and reports the quality metrics (cutsize =
+// communication volume, load imbalance) that drive the fine-hp vs
+// fine-rd vs coarse comparisons of the paper's evaluation.
+//
+// Example:
+//
+//	htpart -input x.tns -parts 16 -grain fine -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hypertensor/internal/hypergraph"
+	"hypertensor/internal/tensor"
+)
+
+func main() {
+	var (
+		input   = flag.String("input", "", "input tensor in .tns format (required)")
+		parts   = flag.Int("parts", 16, "number of parts K")
+		grain   = flag.String("grain", "fine", "hypergraph model: fine | coarse")
+		mode    = flag.Int("mode", 0, "tensor mode for the coarse model")
+		seed    = flag.Int64("seed", 1, "partitioner seed")
+		compare = flag.Bool("compare", false, "also report random/block baselines")
+	)
+	flag.Parse()
+	if *input == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	x, err := tensor.ReadTNSFile(*input)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("tensor: dims=%v nnz=%d\n", x.Dims, x.NNZ())
+
+	var h *hypergraph.Hypergraph
+	switch *grain {
+	case "fine":
+		h = hypergraph.FineGrainModel(x)
+	case "coarse":
+		if *mode < 0 || *mode >= x.Order() {
+			fail(fmt.Errorf("mode %d out of range", *mode))
+		}
+		h = hypergraph.CoarseGrainModel(x, *mode)
+	default:
+		fail(fmt.Errorf("unknown grain %q", *grain))
+	}
+	fmt.Printf("hypergraph: %d vertices, %d nets, %d pins\n", h.NumV, h.NumN, h.NumPins())
+
+	report := func(name string, p []int32) {
+		cut := h.CutsizeConn(p, *parts)
+		imb := hypergraph.Imbalance(h.VWeights, p, *parts)
+		fmt.Printf("  %-12s cutsize=%-10d imbalance=%.3f\n", name, cut, imb)
+	}
+	report("multilevel", hypergraph.Partition(h, hypergraph.Options{Parts: *parts, Seed: *seed}))
+	if *compare {
+		report("random", hypergraph.PartitionRandom(h.NumV, *parts, *seed))
+		report("block", hypergraph.PartitionBlock(h.VWeights, *parts))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "htpart:", err)
+	os.Exit(1)
+}

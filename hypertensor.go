@@ -1,0 +1,179 @@
+// Package hypertensor computes low-rank Tucker decompositions of large
+// sparse tensors with the HOOI (Tucker-ALS) algorithm, reproducing the
+// parallel algorithms of Kaya & Uçar, "High Performance Parallel
+// Algorithms for the Tucker Decomposition of Sparse Tensors" (ICPP
+// 2016) — the HyperTensor library.
+//
+// Two execution models are provided:
+//
+//   - Decompose runs the shared-memory parallel HOOI (paper
+//     Algorithm 3): a one-time symbolic TTMc preprocessing step builds
+//     per-mode update lists, numeric TTMc updates rows of the matricized
+//     product in parallel without locks, and a matrix-free Lanczos
+//     truncated SVD extracts each factor's leading singular vectors.
+//
+//   - DecomposeDistributed runs the distributed-memory HOOI (paper
+//     Algorithm 4) over simulated MPI ranks, with coarse-grain (slice)
+//     or fine-grain (nonzero) task partitions, hypergraph-partitioned
+//     task placement, the row-exchange and y-fold communication schemes
+//     of the paper, and per-rank work/communication statistics.
+//
+// A minimal session:
+//
+//	x, _ := hypertensor.ReadTensorFile("data.tns")
+//	dec, _ := hypertensor.Decompose(x, hypertensor.Options{Ranks: []int{10, 10, 10}})
+//	fmt.Println(dec.Fit, dec.Core.Dims)
+//
+// Everything is implemented on the Go standard library alone: dense
+// kernels, truncated SVD solvers, a multilevel hypergraph partitioner,
+// and a message-passing runtime live in the internal packages and are
+// re-exported here through type aliases where a downstream user needs
+// to name them.
+package hypertensor
+
+import (
+	"fmt"
+
+	"hypertensor/internal/core"
+	"hypertensor/internal/cp"
+	"hypertensor/internal/dense"
+	"hypertensor/internal/dist"
+	"hypertensor/internal/gen"
+	"hypertensor/internal/tensor"
+)
+
+// Core data types (aliases keep the internal implementations usable
+// under public names).
+type (
+	// SparseTensor is an N-mode sparse tensor in coordinate format.
+	SparseTensor = tensor.COO
+	// DenseTensor is a dense N-mode tensor (e.g. the Tucker core).
+	DenseTensor = tensor.Dense
+	// Matrix is a row-major dense matrix (factor matrices).
+	Matrix = dense.Matrix
+	// Options configure Decompose; see the field docs in internal/core.
+	Options = core.Options
+	// Decomposition is a computed Tucker model [[G; U_1..U_N]] with fit,
+	// per-phase timings, and reconstruction helpers.
+	Decomposition = core.Result
+	// InitMethod selects factor initialization (InitRandom, InitHOSVD).
+	InitMethod = core.InitMethod
+	// SVDMethod selects the TRSVD solver (SVDLanczos, SVDSubspace,
+	// SVDGram).
+	SVDMethod = core.SVDMethod
+	// Partition is a distributed task assignment (rows and, for fine
+	// grain, nonzeros) for P ranks.
+	Partition = dist.Partition
+	// Grain selects coarse- or fine-grain distributed tasks.
+	Grain = dist.Grain
+	// PartitionMethod selects hypergraph, random, or block placement.
+	PartitionMethod = dist.Method
+	// DistConfig configures DecomposeDistributed.
+	DistConfig = dist.Config
+	// DistDecomposition is the distributed result with per-rank Stats.
+	DistDecomposition = dist.Result
+	// DistStats carries per-rank work and communication measurements.
+	DistStats = dist.Stats
+	// STHOSVDOptions configure DecomposeSTHOSVD.
+	STHOSVDOptions = core.STHOSVDOptions
+	// CPOptions configure DecomposeCP.
+	CPOptions = cp.Options
+	// CPDecomposition is a computed CANDECOMP/PARAFAC model.
+	CPDecomposition = cp.Result
+)
+
+// Re-exported enum values.
+const (
+	InitRandom = core.InitRandom
+	InitHOSVD  = core.InitHOSVD
+
+	SVDLanczos  = core.SVDLanczos
+	SVDSubspace = core.SVDSubspace
+	SVDGram     = core.SVDGram
+
+	CoarseGrain = dist.Coarse
+	FineGrain   = dist.Fine
+
+	PartitionHypergraph = dist.MethodHypergraph
+	PartitionRandom     = dist.MethodRandom
+	PartitionBlock      = dist.MethodBlock
+)
+
+// NewSparseTensor returns an empty sparse tensor with the given mode
+// sizes; use Append (or AppendChecked) to add nonzeros and SortDedup to
+// canonicalize.
+func NewSparseTensor(dims []int, capacity int) *SparseTensor {
+	return tensor.NewCOO(dims, capacity)
+}
+
+// ReadTensorFile loads a tensor in .tns text format (1-based
+// coordinates, optional "# dims:" header).
+func ReadTensorFile(path string) (*SparseTensor, error) { return tensor.ReadTNSFile(path) }
+
+// WriteTensorFile saves a tensor in .tns text format.
+func WriteTensorFile(path string, x *SparseTensor) error { return tensor.WriteTNSFile(path, x) }
+
+// Decompose computes a Tucker decomposition with the shared-memory
+// parallel HOOI algorithm.
+func Decompose(x *SparseTensor, opts Options) (*Decomposition, error) {
+	return core.Decompose(x, opts)
+}
+
+// DecomposeSTHOSVD computes a Tucker decomposition with one pass of the
+// sequentially truncated HOSVD: cheaper than HOOI (no ALS iteration)
+// and the standard warm start for it — pass the returned Factors as
+// Options.Initial to Decompose to chain the two.
+func DecomposeSTHOSVD(x *SparseTensor, opts STHOSVDOptions) (*Decomposition, error) {
+	return core.STHOSVD(x, opts)
+}
+
+// DecomposeCP computes a CANDECOMP/PARAFAC decomposition with CP-ALS.
+// The paper's parallel framework originates from the authors' CP-ALS
+// system (SC'15) and its released library computes both models; the
+// MTTKRP kernel shares the symbolic substrate with TTMc.
+func DecomposeCP(x *SparseTensor, opts CPOptions) (*CPDecomposition, error) {
+	return cp.Decompose(x, opts)
+}
+
+// NewPartition builds a task partition of the tensor for p simulated
+// ranks: grain picks the task shape (CoarseGrain slices or FineGrain
+// nonzeros), method the placement (PartitionHypergraph,
+// PartitionRandom, PartitionBlock).
+func NewPartition(x *SparseTensor, p int, grain Grain, method PartitionMethod, seed int64) (*Partition, error) {
+	return dist.MakePartition(x, p, grain, method, seed)
+}
+
+// DecomposeDistributed runs the distributed-memory HOOI over the given
+// partition on simulated MPI ranks and returns the assembled
+// decomposition with per-rank statistics.
+func DecomposeDistributed(x *SparseTensor, part *Partition, cfg DistConfig) (*DistDecomposition, error) {
+	return dist.Decompose(x, part, cfg)
+}
+
+// GeneratePreset synthesizes one of the benchmark datasets modeled on
+// the paper's Table I ("netflix", "nell", "delicious", "flickr") or the
+// MET-comparison tensor ("random"), at the given scale (1.0 ≈ 1/500 of
+// the paper's nonzero count; see internal/gen for the shapes).
+func GeneratePreset(name string, scale float64) (*SparseTensor, error) {
+	cfg, err := gen.Preset(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	return gen.Random(cfg), nil
+}
+
+// PaperRanks returns the decomposition ranks the paper uses for a
+// tensor of the given order (10 per mode for 3-mode tensors, 5 for
+// 4-mode), clamped to the tensor's dimensions by Decompose's validation.
+func PaperRanks(order int) []int { return gen.PaperRanks(order) }
+
+// Version identifies the library release.
+const Version = "1.0.0"
+
+// String renders a short human-readable summary of a decomposition.
+func Summary(d *Decomposition) string {
+	if d == nil {
+		return "<nil decomposition>"
+	}
+	return fmt.Sprintf("Tucker core %v, fit %.4f after %d sweeps", d.Core.Dims, d.Fit, d.Iters)
+}

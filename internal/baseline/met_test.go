@@ -1,0 +1,69 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"hypertensor/internal/core"
+	"hypertensor/internal/dist"
+	"hypertensor/internal/gen"
+)
+
+func TestBaselineMatchesCorePerSweep(t *testing.T) {
+	x := gen.Random(gen.Config{Dims: []int{25, 20, 15}, NNZ: 600, Skew: 0.5, Seed: 7})
+	ranks := []int{3, 4, 2}
+	initial := dist.DefaultInitial(x.Dims, ranks, 11)
+	opts := core.Options{Ranks: ranks, MaxIters: 3, Tol: -1, Seed: 11, Initial: initial}
+	ref, err := core.Decompose(x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompose(x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.FitHistory) != len(ref.FitHistory) {
+		t.Fatalf("sweep counts differ: %d vs %d", len(got.FitHistory), len(ref.FitHistory))
+	}
+	for i := range ref.FitHistory {
+		if math.Abs(got.FitHistory[i]-ref.FitHistory[i]) > 1e-6 {
+			t.Fatalf("sweep %d: baseline fit %v, core fit %v", i, got.FitHistory[i], ref.FitHistory[i])
+		}
+	}
+}
+
+func TestBaseline4Mode(t *testing.T) {
+	x := gen.Random(gen.Config{Dims: []int{12, 10, 14, 8}, NNZ: 400, Skew: 0.4, Seed: 13})
+	ranks := []int{2, 2, 2, 2}
+	initial := dist.DefaultInitial(x.Dims, ranks, 17)
+	opts := core.Options{Ranks: ranks, MaxIters: 2, Tol: -1, Seed: 17, Initial: initial}
+	ref, err := core.Decompose(x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompose(x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Fit-ref.Fit) > 1e-6 {
+		t.Fatalf("fit %v, want %v", got.Fit, ref.Fit)
+	}
+}
+
+func TestBaselineValidation(t *testing.T) {
+	x := gen.Random(gen.Config{Dims: []int{5, 5, 5}, NNZ: 20, Seed: 1})
+	if _, err := Decompose(x, core.Options{Ranks: []int{9, 2, 2}}); err == nil {
+		t.Fatal("invalid rank accepted")
+	}
+}
+
+func TestBaselineTolStops(t *testing.T) {
+	x := gen.Random(gen.Config{Dims: []int{15, 15, 15}, NNZ: 300, Skew: 0, Seed: 3})
+	res, err := Decompose(x, core.Options{Ranks: []int{2, 2, 2}, MaxIters: 40, Tol: 1e-3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters >= 40 {
+		t.Fatal("tolerance did not stop baseline")
+	}
+}

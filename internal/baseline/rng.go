@@ -1,0 +1,7 @@
+package baseline
+
+import "math/rand"
+
+// newSeededRNG centralizes the RNG construction so the baseline's
+// random initialization matches core.InitRandom for equal seeds.
+func newSeededRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,88 @@
+// Package bench drives the paper's experiments (Tables I–V and the §V
+// MET comparison) at configurable scale and renders the same rows the
+// paper reports. Absolute seconds depend on the host; the shapes —
+// which partition wins, how work and communication volumes divide, how
+// time splits across TTMc/TRSVD/core — are the reproduction targets
+// (see EXPERIMENTS.md for paper-vs-measured values).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Headers)
+	total := 2
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintf(w, "  %s\n", strings.Repeat("-", total-2))
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// humanCount renders large counts the way the paper does (543K, 20M).
+func humanCount(v int64) string {
+	switch {
+	case v >= 10_000_000:
+		return fmt.Sprintf("%dM", (v+500_000)/1_000_000)
+	case v >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(v)/1e6)
+	case v >= 10_000:
+		return fmt.Sprintf("%dK", (v+500)/1000)
+	case v >= 1_000:
+		return fmt.Sprintf("%.1fK", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}
+
+func secs(s float64) string {
+	switch {
+	case s >= 100:
+		return fmt.Sprintf("%.0f", s)
+	case s >= 1:
+		return fmt.Sprintf("%.2f", s)
+	default:
+		return fmt.Sprintf("%.4f", s)
+	}
+}

@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"hypertensor/internal/dist"
+	"hypertensor/internal/gen"
+	"hypertensor/internal/tensor"
+)
+
+// configs are the four partitioning configurations of Tables II-III, in
+// the paper's column order.
+var configs = []struct {
+	Grain  dist.Grain
+	Method dist.Method
+}{
+	{dist.Fine, dist.MethodHypergraph},
+	{dist.Fine, dist.MethodRandom},
+	{dist.Coarse, dist.MethodHypergraph},
+	{dist.Coarse, dist.MethodBlock},
+}
+
+func configNames() []string {
+	out := make([]string, len(configs))
+	for i, c := range configs {
+		out[i] = fmt.Sprintf("%s-%s", c.Grain, c.Method)
+	}
+	return out
+}
+
+// Machine constants of the work/communication model: a 1 Gmadd/s
+// effective per-rank rate on sparse irregular kernels and a 1.25 GB/s
+// injection bandwidth are in the BlueGene/Q ballpark. The model makes
+// the strong-scaling *shape* visible independently of how many physical
+// cores the simulation host has (the simulated ranks time-share the
+// host; wall-clock saturates at the host's core count).
+const (
+	cFlop = 1.0e-9
+	cByte = 0.8e-9
+)
+
+// modelSeconds estimates one HOOI iteration's critical-path time from
+// the per-rank work and communication statistics: per mode, the maximum
+// TTMc work, the TRSVD sweep work (≈3·R_n operator passes), and the
+// maximum per-rank communication volume.
+func modelSeconds(st *dist.Stats, ranks []int) float64 {
+	var total float64
+	for n := range st.Mode {
+		var maxT, maxS, maxC int64
+		for _, ms := range st.Mode[n] {
+			if ms.WTTMc > maxT {
+				maxT = ms.WTTMc
+			}
+			if ms.WTRSVD > maxS {
+				maxS = ms.WTRSVD
+			}
+			if ms.CommBytes > maxC {
+				maxC = ms.CommBytes
+			}
+		}
+		total += float64(maxT)*cFlop + 3*float64(ranks[n])*float64(maxS)*cFlop + float64(maxC)*cByte
+	}
+	return total
+}
+
+// Table2Cell is one measurement: wall seconds per iteration (host
+// dependent) and modeled seconds per iteration (host independent).
+type Table2Cell struct {
+	Wall  float64
+	Model float64
+}
+
+// Table2Result holds the full sweep, indexed [dataset][P][config].
+type Table2Result struct {
+	Datasets []string
+	Ps       []int
+	Configs  []string
+	Cells    map[string]map[int]map[string]Table2Cell
+}
+
+// TableII runs the strong-scaling experiment: for every dataset, rank
+// count, and partitioning configuration it measures the time per HOOI
+// iteration, the paper's Table II.
+func TableII(o Options, w io.Writer) (*Table2Result, error) {
+	o = o.withDefaults()
+	res := &Table2Result{Ps: o.Ps, Configs: configNames(), Cells: map[string]map[int]map[string]Table2Cell{}}
+	for _, name := range gen.PresetNames() {
+		x, err := dataset(name, o.Scale)
+		if err != nil {
+			return nil, err
+		}
+		res.Datasets = append(res.Datasets, name)
+		res.Cells[name] = map[int]map[string]Table2Cell{}
+		ranks := ranksFor(x)
+		t := &Table{
+			Title:   fmt.Sprintf("Table II (%s): seconds per HOOI iteration (wall | model)", name),
+			Headers: append([]string{"P"}, res.Configs...),
+		}
+		for _, p := range o.Ps {
+			res.Cells[name][p] = map[string]Table2Cell{}
+			cells := []string{fmt.Sprintf("%d", p)}
+			for ci, cfg := range configs {
+				cell, err := runScalingCell(x, ranks, p, cfg.Grain, cfg.Method, o)
+				if err != nil {
+					return nil, fmt.Errorf("%s P=%d %s: %w", name, p, res.Configs[ci], err)
+				}
+				res.Cells[name][p][res.Configs[ci]] = cell
+				cells = append(cells, fmt.Sprintf("%s|%s", secs(cell.Wall), secs(cell.Model)))
+			}
+			t.AddRow(cells...)
+		}
+		t.Render(w)
+		fmt.Fprintln(w)
+	}
+	return res, nil
+}
+
+func runScalingCell(x *tensor.COO, ranks []int, p int, g dist.Grain, m dist.Method, o Options) (Table2Cell, error) {
+	part, err := dist.MakePartition(x, p, g, m, o.Seed+1)
+	if err != nil {
+		return Table2Cell{}, err
+	}
+	res, err := dist.Decompose(x, part, dist.Config{
+		Ranks:    ranks,
+		MaxIters: o.Iters,
+		Tol:      -1,
+		Seed:     o.Seed + 2,
+	})
+	if err != nil {
+		return Table2Cell{}, err
+	}
+	return Table2Cell{
+		Wall:  res.Stats.WallPerIter.Seconds(),
+		Model: modelSeconds(res.Stats, ranks),
+	}, nil
+}

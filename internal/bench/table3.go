@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"hypertensor/internal/dist"
+)
+
+// Table3Row reports one mode's load statistics under one partitioning:
+// maximum and average per-rank TTMc work, TRSVD work (multiply-add
+// units) and communication volume (bytes sent in the TRSVD+exchange
+// phase of one iteration) — the columns of the paper's Table III.
+type Table3Row struct {
+	Mode      int
+	WTTMcMax  int64
+	WTTMcAvg  float64
+	WTRSVDMax int64
+	WTRSVDAvg float64
+	CommMax   int64
+	CommAvg   float64
+}
+
+// TableIII reproduces the computation/communication statistics table:
+// per-mode max/avg W_TTMc, W_TRSVD and communication volume for all
+// four partitionings of the Flickr-like tensor.
+func TableIII(o Options, w io.Writer) (map[string][]Table3Row, error) {
+	o = o.withDefaults()
+	x, err := dataset("flickr", o.Scale)
+	if err != nil {
+		return nil, err
+	}
+	ranks := ranksFor(x)
+	out := map[string][]Table3Row{}
+	for ci, cfg := range configs {
+		name := configNames()[ci]
+		part, err := dist.MakePartition(x, o.P, cfg.Grain, cfg.Method, o.Seed+3)
+		if err != nil {
+			return nil, err
+		}
+		res, err := dist.Decompose(x, part, dist.Config{
+			Ranks: ranks, MaxIters: 1, Tol: -1, Seed: o.Seed + 4,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		st := res.Stats
+		t := &Table{
+			Title:   fmt.Sprintf("Table III (%s, flickr, P=%d): per-mode load and communication", name, o.P),
+			Headers: []string{"Mode", "W_TTMc max", "W_TTMc avg", "W_TRSVD max", "W_TRSVD avg", "Comm max (B)", "Comm avg (B)"},
+		}
+		var rows []Table3Row
+		for n := range st.Mode {
+			var row Table3Row
+			row.Mode = n + 1
+			var sumT, sumS, sumC int64
+			for _, ms := range st.Mode[n] {
+				sumT += ms.WTTMc
+				sumS += ms.WTRSVD
+				sumC += ms.CommBytes
+				if ms.WTTMc > row.WTTMcMax {
+					row.WTTMcMax = ms.WTTMc
+				}
+				if ms.WTRSVD > row.WTRSVDMax {
+					row.WTRSVDMax = ms.WTRSVD
+				}
+				if ms.CommBytes > row.CommMax {
+					row.CommMax = ms.CommBytes
+				}
+			}
+			p := float64(st.P)
+			row.WTTMcAvg = float64(sumT) / p
+			row.WTRSVDAvg = float64(sumS) / p
+			row.CommAvg = float64(sumC) / p
+			rows = append(rows, row)
+			t.AddRow(
+				fmt.Sprintf("%d", row.Mode),
+				humanCount(row.WTTMcMax), humanCount(int64(row.WTTMcAvg)),
+				humanCount(row.WTRSVDMax), humanCount(int64(row.WTRSVDAvg)),
+				humanCount(row.CommMax), humanCount(int64(row.CommAvg)),
+			)
+		}
+		out[name] = rows
+		t.Render(w)
+		fmt.Fprintln(w)
+	}
+	return out, nil
+}

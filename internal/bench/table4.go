@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"hypertensor/internal/dist"
+)
+
+// Table4Row is one dataset's relative phase timings inside a HOOI
+// iteration under the fine-hp partition, plus the share of total
+// execution the one-time symbolic preprocessing took (the paper's
+// in-text 14/12/19/5 % claim).
+type Table4Row struct {
+	Dataset     string
+	TTMcPct     float64
+	TRSVDPct    float64
+	CorePct     float64
+	SymbolicPct float64 // of total execution (setup + all sweeps)
+}
+
+// TableIV reproduces the step-breakdown table: the percentage of an
+// iteration spent in TTMc, TRSVD (+ its communication) and core-tensor
+// formation (+ AllReduce) with the fine-hp partition.
+func TableIV(o Options, w io.Writer) ([]Table4Row, error) {
+	o = o.withDefaults()
+	t := &Table{
+		Title:   fmt.Sprintf("Table IV: relative phase timings, fine-hp, P=%d (%%)", o.P),
+		Headers: []string{"Step", "Delicious", "Flickr", "NELL", "Netflix"},
+	}
+	order := []string{"delicious", "flickr", "nell", "netflix"}
+	var rows []Table4Row
+	cells := map[string][3]float64{}
+	symb := map[string]float64{}
+	for _, name := range order {
+		x, err := dataset(name, o.Scale)
+		if err != nil {
+			return nil, err
+		}
+		ranks := ranksFor(x)
+		part, err := dist.MakePartition(x, o.P, dist.Fine, dist.MethodHypergraph, o.Seed+5)
+		if err != nil {
+			return nil, err
+		}
+		res, err := dist.Decompose(x, part, dist.Config{
+			Ranks: ranks, MaxIters: o.Iters, Tol: -1, Seed: o.Seed + 6,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		st := res.Stats
+		ttmc := dist.MaxDuration(st.TTMcTime)
+		trsvd := dist.MaxDuration(st.TRSVDTime)
+		coreT := dist.MaxDuration(st.CoreTime)
+		sym := dist.MaxDuration(st.SymbolicTime)
+		iterTotal := ttmc + trsvd + coreT
+		pct := func(d time.Duration) float64 {
+			if iterTotal == 0 {
+				return 0
+			}
+			return 100 * float64(d) / float64(iterTotal)
+		}
+		row := Table4Row{
+			Dataset:  name,
+			TTMcPct:  pct(ttmc),
+			TRSVDPct: pct(trsvd),
+			CorePct:  pct(coreT),
+		}
+		if total := sym + iterTotal; total > 0 {
+			row.SymbolicPct = 100 * float64(sym) / float64(total)
+		}
+		rows = append(rows, row)
+		cells[name] = [3]float64{row.TTMcPct, row.TRSVDPct, row.CorePct}
+		symb[name] = row.SymbolicPct
+	}
+	labels := []string{"TTMc", "TRSVD+comm", "core+comm"}
+	for i, lbl := range labels {
+		r := []string{lbl}
+		for _, name := range order {
+			r = append(r, fmt.Sprintf("%.1f", cells[name][i]))
+		}
+		t.AddRow(r...)
+	}
+	symRow := []string{"symbolic (of total)"}
+	for _, name := range order {
+		symRow = append(symRow, fmt.Sprintf("%.1f", symb[name]))
+	}
+	t.AddRow(symRow...)
+	t.Render(w)
+	return rows, nil
+}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"hypertensor/internal/core"
+)
+
+// Table5Cell is one shared-memory measurement.
+type Table5Cell struct {
+	Threads  int
+	SecPerIt float64
+	Speedup  float64
+}
+
+// TableV reproduces the shared-memory scaling experiment: time per HOOI
+// iteration of the shared-memory algorithm as the thread count grows.
+// On hosts with fewer cores than the sweep's top end the curve saturates
+// at GOMAXPROCS — the paper's BlueGene/Q node has 16 cores × 2 hardware
+// threads, which is where its superlinear Netflix speedup comes from
+// (§V.B); that effect cannot reproduce on a host without spare hardware
+// threads, and EXPERIMENTS.md discusses it.
+func TableV(o Options, w io.Writer) (map[string][]Table5Cell, error) {
+	o = o.withDefaults()
+	out := map[string][]Table5Cell{}
+	t := &Table{
+		Title:   fmt.Sprintf("Table V: shared-memory seconds/iteration (host GOMAXPROCS=%d)", runtime.GOMAXPROCS(0)),
+		Headers: append([]string{"#threads"}, "Delicious", "Flickr", "NELL", "Netflix"),
+	}
+	order := []string{"delicious", "flickr", "nell", "netflix"}
+	cells := map[string]map[int]float64{}
+	for _, name := range order {
+		x, err := dataset(name, o.Scale)
+		if err != nil {
+			return nil, err
+		}
+		ranks := ranksFor(x)
+		cells[name] = map[int]float64{}
+		var base float64
+		for _, th := range o.Threads {
+			res, err := core.Decompose(x, core.Options{
+				Ranks:    ranks,
+				MaxIters: o.Iters,
+				Tol:      -1,
+				Threads:  th,
+				Seed:     o.Seed + 7,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s threads=%d: %w", name, th, err)
+			}
+			sec := res.Timings.Total().Seconds() / float64(res.Iters)
+			cells[name][th] = sec
+			if th == o.Threads[0] {
+				base = sec
+			}
+			sp := 0.0
+			if sec > 0 {
+				sp = base / sec
+			}
+			out[name] = append(out[name], Table5Cell{Threads: th, SecPerIt: sec, Speedup: sp})
+		}
+	}
+	for _, th := range o.Threads {
+		row := []string{fmt.Sprintf("%d", th)}
+		for _, name := range order {
+			row = append(row, secs(cells[name][th]))
+		}
+		t.AddRow(row...)
+	}
+	t.Render(w)
+	return out, nil
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hypertensor/internal/dense"
+	"hypertensor/internal/symbolic"
+	"hypertensor/internal/tensor"
+	"hypertensor/internal/trsvd"
+	"hypertensor/internal/ttm"
+)
+
+// Timings accumulates wall-clock time per HOOI phase across all
+// iterations; it backs the Table IV / Table V breakdowns.
+type Timings struct {
+	Symbolic time.Duration // one-time symbolic TTMc preprocessing
+	TTMc     time.Duration
+	TRSVD    time.Duration
+	Core     time.Duration
+}
+
+// Total returns the summed iteration time (excluding Symbolic).
+func (t Timings) Total() time.Duration { return t.TTMc + t.TRSVD + t.Core }
+
+// Result is a computed Tucker decomposition [[G; U_1, ..., U_N]].
+type Result struct {
+	// Factors are the orthonormal factor matrices U_n (I_n x R_n). Rows
+	// whose slices are empty in X are zero.
+	Factors []*dense.Matrix
+	// Core is the dense core tensor G of shape Ranks.
+	Core *tensor.Dense
+	// Fit is 1 - ||X - X̂||_F / ||X||_F of the final decomposition.
+	Fit float64
+	// FitHistory records the fit after every ALS sweep.
+	FitHistory []float64
+	// Iters is the number of completed ALS sweeps.
+	Iters int
+	// Timings is the phase breakdown.
+	Timings Timings
+}
+
+// Decompose runs the shared-memory parallel HOOI algorithm
+// (Algorithm 3) on a sparse tensor. It is deterministic for fixed
+// Options regardless of thread count: each Y row is accumulated in
+// symbolic order by a single worker, and the TRSVD start vectors are
+// seeded.
+func Decompose(x *tensor.COO, optsIn Options) (*Result, error) {
+	if err := optsIn.Validate(x); err != nil {
+		return nil, err
+	}
+	opts := optsIn.withDefaults()
+	order := x.Order()
+	res := &Result{}
+
+	normX := x.Norm(opts.Threads)
+
+	start := time.Now()
+	sym := symbolic.Build(x, opts.Threads)
+	res.Timings.Symbolic = time.Since(start)
+
+	factors := initFactors(x, opts)
+	ys := make([]*dense.Matrix, order)
+	for n := 0; n < order; n++ {
+		ys[n] = dense.NewMatrix(sym.Modes[n].NumRows(), ttm.RowSize(factors, n))
+	}
+
+	prevFit := math.Inf(-1)
+	for iter := 0; iter < opts.MaxIters; iter++ {
+		for n := 0; n < order; n++ {
+			sm := &sym.Modes[n]
+
+			t0 := time.Now()
+			ttm.TTMc(ys[n], x, sm, factors, opts.Threads)
+			res.Timings.TTMc += time.Since(t0)
+
+			t0 = time.Now()
+			uc, err := truncatedSVD(ys[n], opts.Ranks[n], opts, int64(iter)*int64(order)+int64(n))
+			if err != nil {
+				return nil, fmt.Errorf("core: TRSVD failed in mode %d: %w", n, err)
+			}
+			scatterRows(factors[n], uc, sm)
+			res.Timings.TRSVD += time.Since(t0)
+		}
+
+		t0 := time.Now()
+		last := order - 1
+		g := ttm.Core(ys[last], &sym.Modes[last], factors[last], opts.Ranks, opts.Threads)
+		res.Core = g
+		res.Timings.Core += time.Since(t0)
+
+		fit := fitFromNorms(normX, g.Norm())
+		res.FitHistory = append(res.FitHistory, fit)
+		res.Fit = fit
+		res.Iters = iter + 1
+		if opts.Tol > 0 && math.Abs(fit-prevFit) < opts.Tol {
+			break
+		}
+		prevFit = fit
+	}
+	res.Factors = factors
+	return res, nil
+}
+
+// truncatedSVD dispatches to the selected TRSVD solver on the compacted
+// matricized tensor, returning its |J_n| x R_n left singular vector
+// block.
+func truncatedSVD(y *dense.Matrix, k int, opts Options, step int64) (*dense.Matrix, error) {
+	sopts := trsvd.Options{Seed: opts.Seed + 7919*step}
+	switch opts.SVD {
+	case SVDSubspace:
+		r, err := trsvd.SubspaceIteration(&trsvd.DenseOperator{A: y, Threads: opts.Threads}, k, sopts)
+		if err != nil {
+			return nil, err
+		}
+		return r.U, nil
+	case SVDGram:
+		r, err := trsvd.GramSVD(y, k, opts.Threads)
+		if err != nil {
+			return nil, err
+		}
+		return r.U, nil
+	default:
+		r, err := trsvd.Lanczos(&trsvd.DenseOperator{A: y, Threads: opts.Threads}, k, sopts)
+		if err != nil {
+			return nil, err
+		}
+		return r.U, nil
+	}
+}
+
+// scatterRows writes the compact TRSVD result (one row per nonempty
+// slice) into the full factor matrix, zeroing rows of empty slices.
+func scatterRows(full, compact *dense.Matrix, sm *symbolic.Mode) {
+	full.Zero()
+	for r, row := range sm.Rows {
+		copy(full.Row(int(row)), compact.Row(r))
+	}
+}
+
+// fitFromNorms computes 1 - ||X - X̂||/||X|| using the orthonormality
+// identity ||X - X̂||² = ||X||² - ||G||² (the paper's convergence
+// measure, Algorithm 1 line 7).
+func fitFromNorms(normX, normG float64) float64 {
+	diff := normX*normX - normG*normG
+	if diff < 0 {
+		diff = 0 // rounding: G cannot exceed X in norm
+	}
+	if normX == 0 {
+		return 1
+	}
+	return 1 - math.Sqrt(diff)/normX
+}

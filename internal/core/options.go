@@ -1,0 +1,121 @@
+// Package core implements the shared-memory HOOI algorithm of the paper
+// (Algorithm 1 / Algorithm 3): the alternating least squares sweep that,
+// for each mode, computes the TTMc product with all other factor
+// matrices, extracts the leading left singular vectors of the matricized
+// result (TRSVD), and finally forms the core tensor and the fit measure.
+// A symbolic TTMc preprocessing step (internal/symbolic) is performed
+// once so the numeric iterations are free of index computation and write
+// conflicts.
+package core
+
+import (
+	"fmt"
+
+	"hypertensor/internal/dense"
+	"hypertensor/internal/tensor"
+)
+
+// InitMethod selects how the factor matrices are initialized (HOOI
+// Algorithm 1, line 1).
+type InitMethod int
+
+const (
+	// InitRandom draws Gaussian matrices and orthonormalizes them.
+	InitRandom InitMethod = iota
+	// InitHOSVD uses a single-pass randomized range finder on each
+	// sparse matricization X_(n): U_n = orth(X_(n)·Ω). This is the
+	// practical sparse stand-in for the higher-order SVD start the
+	// paper mentions; the exact HOSVD would require singular vectors of
+	// matrices with ∏_{t≠n} I_t columns, which is exactly what
+	// §III.A.2 rules out.
+	InitHOSVD
+)
+
+// SVDMethod selects the truncated SVD solver used for the TRSVD step.
+type SVDMethod int
+
+const (
+	// SVDLanczos is Golub–Kahan–Lanczos bidiagonalization, the paper's
+	// (SLEPc) method and the default.
+	SVDLanczos SVDMethod = iota
+	// SVDSubspace is randomized block subspace iteration (ablation).
+	SVDSubspace
+	// SVDGram forms the small column-side Gram matrix explicitly
+	// (ablation; feasible because Y_(n) has only ∏_{t≠n} R_t columns).
+	SVDGram
+)
+
+// Options configure a Tucker/HOOI decomposition.
+type Options struct {
+	// Ranks holds the target rank R_n per mode. Required.
+	Ranks []int
+	// MaxIters caps the number of ALS sweeps. 0 selects 50.
+	MaxIters int
+	// Tol stops the iteration when the fit improves by less than this
+	// between sweeps. 0 selects 1e-5. Negative disables the test (run
+	// exactly MaxIters sweeps), which the paper's benchmarks use.
+	Tol float64
+	// Threads bounds shared-memory parallelism; 0 uses GOMAXPROCS.
+	Threads int
+	// Init selects the factor initialization.
+	Init InitMethod
+	// SVD selects the TRSVD solver.
+	SVD SVDMethod
+	// Seed makes the whole decomposition deterministic.
+	Seed int64
+	// Initial optionally supplies explicit initial factor matrices
+	// (I_n x R_n), overriding Init — used for warm starts and for
+	// equivalence testing against the distributed algorithm. The
+	// matrices are copied, not mutated.
+	Initial []*dense.Matrix
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.MaxIters == 0 {
+		out.MaxIters = 50
+	}
+	if out.Tol == 0 {
+		out.Tol = 1e-5
+	}
+	return out
+}
+
+// Validate checks the options against a tensor's shape.
+func (o *Options) Validate(x *tensor.COO) error {
+	if x.NNZ() == 0 {
+		return fmt.Errorf("core: cannot decompose an empty tensor")
+	}
+	if len(o.Ranks) != x.Order() {
+		return fmt.Errorf("core: %d ranks for an order-%d tensor", len(o.Ranks), x.Order())
+	}
+	for n, r := range o.Ranks {
+		if r < 1 {
+			return fmt.Errorf("core: rank %d in mode %d must be positive", r, n)
+		}
+		if r > x.Dims[n] {
+			return fmt.Errorf("core: rank %d exceeds mode-%d size %d", r, n, x.Dims[n])
+		}
+		other := 1
+		for t, rt := range o.Ranks {
+			if t != n {
+				other *= rt
+			}
+		}
+		if r > other {
+			return fmt.Errorf("core: rank %d in mode %d exceeds the product of the other ranks (%d); Y_(%d) cannot have that many singular vectors", r, n, other, n)
+		}
+	}
+	if o.Initial != nil {
+		if len(o.Initial) != x.Order() {
+			return fmt.Errorf("core: %d initial factors for an order-%d tensor", len(o.Initial), x.Order())
+		}
+		for n, u := range o.Initial {
+			if u.Rows != x.Dims[n] || u.Cols != o.Ranks[n] {
+				return fmt.Errorf("core: initial factor %d has shape %dx%d, want %dx%d",
+					n, u.Rows, u.Cols, x.Dims[n], o.Ranks[n])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math"
+
+	"hypertensor/internal/dense"
+	"hypertensor/internal/tensor"
+)
+
+// ReconstructAt evaluates the Tucker model at one coordinate:
+//
+//	X̂(i_1..i_N) = Σ_r G(r_1..r_N) · Π_n U_n(i_n, r_n)
+//
+// computed by contracting G with one factor row per mode (cost ∏R_n).
+// This is the prediction primitive for the recommender-style examples.
+func (r *Result) ReconstructAt(coord []int) float64 {
+	cur := r.Core.Data
+	dims := append([]int(nil), r.Core.Dims...)
+	buf := make([]float64, len(cur))
+	for n := 0; n < len(dims); n++ {
+		// Contract the leading mode with U_n(i_n, :). cur has shape
+		// dims[n] x rest (row-major), so the contraction is a
+		// vector-matrix product collapsing the first axis.
+		rest := 1
+		for _, d := range dims[n+1:] {
+			rest *= d
+		}
+		urow := r.Factors[n].Row(coord[n])
+		out := buf[:rest]
+		for i := range out {
+			out[i] = 0
+		}
+		for q := 0; q < dims[n]; q++ {
+			dense.Axpy(urow[q], cur[q*rest:(q+1)*rest], out)
+		}
+		next := make([]float64, rest)
+		copy(next, out)
+		cur = next
+	}
+	return cur[0]
+}
+
+// ReconstructDense materializes the full dense reconstruction
+// X̂ = G ×_1 U_1 ×_2 ... ×_N U_N. Feasible only for small dimensions;
+// used by tests and examples to measure exact residuals.
+func (r *Result) ReconstructDense() *tensor.Dense {
+	dims := make([]int, len(r.Factors))
+	for n, u := range r.Factors {
+		dims[n] = u.Rows
+	}
+	out := tensor.NewDense(dims)
+	coord := make([]int, len(dims))
+	var rec func(n int)
+	rec = func(n int) {
+		if n == len(dims) {
+			out.Data[out.Offset(coord)] = r.ReconstructAt(coord)
+			return
+		}
+		for i := 0; i < dims[n]; i++ {
+			coord[n] = i
+			rec(n + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// Residual computes the exact relative residual ||X - X̂||_F / ||X||_F
+// against a sparse tensor by evaluating the model at every nonzero and
+// accounting for the model mass at zero positions via the norm identity
+// ||X - X̂||² = ||X||² - 2<X, X̂> + ||X̂||², with ||X̂|| = ||G||.
+func (r *Result) Residual(x *tensor.COO) float64 {
+	coord := make([]int, x.Order())
+	var inner float64
+	for t := 0; t < x.NNZ(); t++ {
+		x.Coord(t, coord)
+		inner += x.Val[t] * r.ReconstructAt(coord)
+	}
+	normX := x.Norm(1)
+	normG := r.Core.Norm()
+	sq := normX*normX - 2*inner + normG*normG
+	if sq < 0 {
+		sq = 0
+	}
+	if normX == 0 {
+		return 0
+	}
+	return math.Sqrt(sq) / normX
+}

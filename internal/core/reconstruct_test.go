@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hypertensor/internal/gen"
+	"hypertensor/internal/tensor"
+)
+
+func TestReconstructDenseMatchesFit(t *testing.T) {
+	// For a small tensor, the exact dense residual must match the fit
+	// computed from the norm identity.
+	x := gen.Random(gen.Config{Dims: []int{8, 7, 6}, NNZ: 60, Skew: 0, Seed: 21})
+	res, err := Decompose(x, Options{Ranks: []int{3, 3, 3}, MaxIters: 10, Tol: -1, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xd := tensor.DenseFromCOO(x)
+	xhat := res.ReconstructDense()
+	var diff2 float64
+	for i := range xd.Data {
+		d := xd.Data[i] - xhat.Data[i]
+		diff2 += d * d
+	}
+	relerr := math.Sqrt(diff2) / x.Norm(1)
+	if math.Abs((1-relerr)-res.Fit) > 1e-8 {
+		t.Fatalf("dense residual %v inconsistent with fit %v", 1-relerr, res.Fit)
+	}
+	// Residual() must agree too.
+	if got := res.Residual(x); math.Abs(got-relerr) > 1e-8 {
+		t.Fatalf("Residual() = %v, dense = %v", got, relerr)
+	}
+}
+
+func TestReconstructAtMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	x := gen.Random(gen.Config{Dims: []int{6, 5, 4, 3}, NNZ: 50, Skew: 0, Seed: 24})
+	res, err := Decompose(x, Options{Ranks: []int{2, 2, 2, 2}, MaxIters: 3, Tol: -1, Seed: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := make([]int, 4)
+	for trial := 0; trial < 20; trial++ {
+		for m := range coord {
+			coord[m] = rng.Intn(x.Dims[m])
+		}
+		// Naive quadruple loop.
+		var want float64
+		for p := 0; p < 2; p++ {
+			for q := 0; q < 2; q++ {
+				for r := 0; r < 2; r++ {
+					for s := 0; s < 2; s++ {
+						want += res.Core.At(p, q, r, s) *
+							res.Factors[0].At(coord[0], p) *
+							res.Factors[1].At(coord[1], q) *
+							res.Factors[2].At(coord[2], r) *
+							res.Factors[3].At(coord[3], s)
+					}
+				}
+			}
+		}
+		if got := res.ReconstructAt(coord); math.Abs(got-want) > 1e-10 {
+			t.Fatalf("ReconstructAt(%v) = %v, want %v", coord, got, want)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package cp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hypertensor/internal/dense"
+	"hypertensor/internal/gen"
+	"hypertensor/internal/symbolic"
+	"hypertensor/internal/tensor"
+)
+
+func TestMTTKRPMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	dims := []int{6, 5, 4}
+	const r = 3
+	x := tensor.NewCOO(dims, 0)
+	coord := make([]int, 3)
+	for i := 0; i < 40; i++ {
+		for m := range coord {
+			coord[m] = rng.Intn(dims[m])
+		}
+		x.Append(coord, rng.NormFloat64())
+	}
+	x.SortDedup()
+	u := make([]*dense.Matrix, 3)
+	for m := range u {
+		u[m] = dense.RandomNormal(dims[m], r, rng)
+	}
+	sym := symbolic.Build(x, 1)
+	for mode := 0; mode < 3; mode++ {
+		sm := &sym.Modes[mode]
+		got := dense.NewMatrix(sm.NumRows(), r)
+		for _, threads := range []int{1, 3} {
+			MTTKRP(got, x, sm, u, threads)
+			// Naive reference summed straight over nonzeros.
+			want := dense.NewMatrix(dims[mode], r)
+			for e := 0; e < x.NNZ(); e++ {
+				x.Coord(e, coord)
+				for j := 0; j < r; j++ {
+					v := x.Val[e]
+					for tm := 0; tm < 3; tm++ {
+						if tm != mode {
+							v *= u[tm].At(coord[tm], j)
+						}
+					}
+					want.Set(coord[mode], j, want.At(coord[mode], j)+v)
+				}
+			}
+			for row, gi := range sm.Rows {
+				for j := 0; j < r; j++ {
+					if math.Abs(got.At(row, j)-want.At(int(gi), j)) > 1e-10 {
+						t.Fatalf("mode %d threads %d: M(%d,%d) = %v, want %v",
+							mode, threads, gi, j, got.At(row, j), want.At(int(gi), j))
+					}
+				}
+			}
+		}
+	}
+}
+
+// exactCPTensor builds a sparse tensor that is exactly a rank-r CP model
+// on a small support cube (positive factors keep ALS well-behaved).
+func exactCPTensor(rng *rand.Rand, dims []int, r, support int) *tensor.COO {
+	order := len(dims)
+	us := make([][][]float64, order)
+	supports := make([][]int, order)
+	for n := range us {
+		supports[n] = rng.Perm(dims[n])[:support]
+		us[n] = make([][]float64, dims[n])
+		for _, i := range supports[n] {
+			row := make([]float64, r)
+			for j := range row {
+				row[j] = 0.5 + math.Abs(rng.NormFloat64())
+			}
+			us[n][i] = row
+		}
+	}
+	x := tensor.NewCOO(dims, 0)
+	coord := make([]int, order)
+	var rec func(n int)
+	rec = func(n int) {
+		if n == order {
+			var v float64
+			for j := 0; j < r; j++ {
+				p := 1.0
+				for m := 0; m < order; m++ {
+					p *= us[m][coord[m]][j]
+				}
+				v += p
+			}
+			x.Append(coord, v)
+			return
+		}
+		for _, i := range supports[n] {
+			coord[n] = i
+			rec(n + 1)
+		}
+	}
+	rec(0)
+	return x.SortDedup()
+}
+
+func TestCPALSRecoversExactModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	x := exactCPTensor(rng, []int{20, 18, 16}, 2, 7)
+	res, err := Decompose(x, Options{Rank: 2, MaxIters: 200, Tol: 1e-10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fit < 0.98 {
+		t.Fatalf("exact CP model fit = %v", res.Fit)
+	}
+	// Reconstruction at stored coordinates matches values.
+	coord := make([]int, 3)
+	var worst float64
+	for e := 0; e < x.NNZ(); e++ {
+		x.Coord(e, coord)
+		d := math.Abs(res.ReconstructAt(coord)-x.Val[e]) / (1 + math.Abs(x.Val[e]))
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.15 {
+		t.Fatalf("worst relative reconstruction error %v", worst)
+	}
+}
+
+func TestCPALSFitBounds(t *testing.T) {
+	x := gen.Random(gen.Config{Dims: []int{25, 20, 15}, NNZ: 700, Skew: 0.5, Seed: 3})
+	res, err := Decompose(x, Options{Rank: 4, MaxIters: 15, Tol: -1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fit < -1e-9 || res.Fit > 1 {
+		t.Fatalf("fit out of range: %v", res.Fit)
+	}
+	if len(res.Lambda) != 4 {
+		t.Fatal("lambda length wrong")
+	}
+	for _, l := range res.Lambda {
+		if l < 0 || math.IsNaN(l) {
+			t.Fatalf("bad lambda %v", l)
+		}
+	}
+	// Factor columns are unit norm (or exactly zero for dead components).
+	for n, u := range res.Factors {
+		for j := 0; j < u.Cols; j++ {
+			var nrm float64
+			for i := 0; i < u.Rows; i++ {
+				nrm += u.At(i, j) * u.At(i, j)
+			}
+			nrm = math.Sqrt(nrm)
+			if nrm > 1e-9 && math.Abs(nrm-1) > 1e-9 {
+				t.Fatalf("factor %d column %d norm %v", n, j, nrm)
+			}
+		}
+	}
+}
+
+func TestCPALSDeterministicAcrossThreads(t *testing.T) {
+	x := gen.Random(gen.Config{Dims: []int{20, 20, 20}, NNZ: 500, Skew: 0.4, Seed: 7})
+	a, err := Decompose(x, Options{Rank: 3, MaxIters: 5, Tol: -1, Seed: 9, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Decompose(x, Options{Rank: 3, MaxIters: 5, Tol: -1, Seed: 9, Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Fit-b.Fit) > 1e-12 {
+		t.Fatalf("fit differs across threads: %v vs %v", a.Fit, b.Fit)
+	}
+}
+
+func TestCPALS4Mode(t *testing.T) {
+	x := gen.Random(gen.Config{Dims: []int{12, 10, 8, 6}, NNZ: 400, Skew: 0.4, Seed: 11})
+	res, err := Decompose(x, Options{Rank: 3, MaxIters: 10, Tol: 1e-6, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Factors) != 4 || res.Fit <= 0 {
+		t.Fatalf("4-mode CP failed: fit %v", res.Fit)
+	}
+}
+
+func TestCPALSValidation(t *testing.T) {
+	empty := tensor.NewCOO([]int{3, 3}, 0)
+	if _, err := Decompose(empty, Options{Rank: 2}); err == nil {
+		t.Fatal("empty tensor accepted")
+	}
+	x := gen.Random(gen.Config{Dims: []int{5, 5}, NNZ: 10, Seed: 1})
+	if _, err := Decompose(x, Options{Rank: 0}); err == nil {
+		t.Fatal("rank 0 accepted")
+	}
+}
+
+func TestPseudoInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	a := dense.RandomNormal(5, 3, rng)
+	v := dense.MatMulTA(a, a, 1) // full-rank PSD
+	pinv := pseudoInverse(v)
+	prod := dense.MatMul(v, pinv, 1)
+	if !prod.Equal(dense.Identity(3), 1e-8) {
+		t.Fatal("pinv of full-rank matrix is not the inverse")
+	}
+	// Rank-deficient: V * pinv(V) * V == V.
+	b := dense.RandomNormal(5, 1, rng)
+	vd := dense.MatMulTB(b, b, 1) // rank 1, 5x5
+	pd := pseudoInverse(vd)
+	back := dense.MatMul(dense.MatMul(vd, pd, 1), vd, 1)
+	if !back.Equal(vd, 1e-8) {
+		t.Fatal("pinv fails Moore-Penrose identity on rank-deficient input")
+	}
+}
+
+func BenchmarkMTTKRP(b *testing.B) {
+	x := gen.Random(gen.Config{Dims: []int{3000, 2000, 1500}, NNZ: 100000, Skew: 0.6, Seed: 1})
+	rng := rand.New(rand.NewSource(2))
+	u := make([]*dense.Matrix, 3)
+	for m := range u {
+		u[m] = dense.RandomNormal(x.Dims[m], 10, rng)
+	}
+	sym := symbolic.Build(x, 0)
+	sm := &sym.Modes[0]
+	out := dense.NewMatrix(sm.NumRows(), 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MTTKRP(out, x, sm, u, 0)
+	}
+}

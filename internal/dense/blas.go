@@ -1,0 +1,189 @@
+package dense
+
+import (
+	"math"
+
+	"hypertensor/internal/par"
+)
+
+// Dot returns the inner product of x and y, which must have equal length.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("dense: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x elementwise.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("dense: Axpy length mismatch")
+	}
+	if alpha == 0 {
+		return
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scal scales x by alpha in place.
+func Scal(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Nrm2 returns the Euclidean norm of x using scaled accumulation.
+func Nrm2(x []float64) float64 {
+	var scale, ssq float64 = 0, 1
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		a := math.Abs(v)
+		if scale < a {
+			ssq = 1 + ssq*(scale/a)*(scale/a)
+			scale = a
+		} else {
+			ssq += (a / scale) * (a / scale)
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// Gemv computes y = A*x for a row-major matrix (BLAS2 kernel of the
+// shared-memory TRSVD). threads <= 1 runs sequentially.
+func Gemv(a *Matrix, x, y []float64, threads int) {
+	if len(x) != a.Cols || len(y) != a.Rows {
+		panic("dense: Gemv shape mismatch")
+	}
+	par.ForRange(a.Rows, threads, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] = Dot(a.Row(i), x)
+		}
+	})
+}
+
+// GemvT computes y = A^T*x: the matrix transpose-vector product (MTxV in
+// the paper). The parallel version splits rows among workers, each
+// accumulating into a private buffer that is reduced at the end, so no
+// locks are needed.
+func GemvT(a *Matrix, x, y []float64, threads int) {
+	if len(x) != a.Rows || len(y) != a.Cols {
+		panic("dense: GemvT shape mismatch")
+	}
+	threads = par.DefaultThreads(threads)
+	if threads <= 1 || a.Rows < 2*threads {
+		for j := range y {
+			y[j] = 0
+		}
+		for i := 0; i < a.Rows; i++ {
+			Axpy(x[i], a.Row(i), y)
+		}
+		return
+	}
+	partials := make([][]float64, threads)
+	par.ForWorker(a.Rows, threads, func(w, lo, hi int) {
+		buf := make([]float64, a.Cols)
+		for i := lo; i < hi; i++ {
+			Axpy(x[i], a.Row(i), buf)
+		}
+		partials[w] = buf
+	})
+	for j := range y {
+		y[j] = 0
+	}
+	for _, p := range partials {
+		if p != nil {
+			Axpy(1, p, y)
+		}
+	}
+}
+
+// MatMul returns C = A*B computed with a cache-friendly i-k-j loop,
+// parallel over rows of A. It is the BLAS3 kernel used to form the core
+// tensor G = U^T * Y.
+func MatMul(a, b *Matrix, threads int) *Matrix {
+	if a.Cols != b.Rows {
+		panic("dense: MatMul shape mismatch")
+	}
+	c := NewMatrix(a.Rows, b.Cols)
+	par.ForRange(a.Rows, threads, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			crow := c.Row(i)
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				Axpy(av, b.Row(k), crow)
+			}
+		}
+	})
+	return c
+}
+
+// MatMulTA returns C = A^T*B (A is m x n, B is m x p, C is n x p),
+// parallel over column blocks of the output via per-worker partials.
+func MatMulTA(a, b *Matrix, threads int) *Matrix {
+	if a.Rows != b.Rows {
+		panic("dense: MatMulTA shape mismatch")
+	}
+	c := NewMatrix(a.Cols, b.Cols)
+	threads = par.DefaultThreads(threads)
+	if threads <= 1 || a.Rows < 2*threads {
+		for i := 0; i < a.Rows; i++ {
+			arow, brow := a.Row(i), b.Row(i)
+			for j, av := range arow {
+				if av == 0 {
+					continue
+				}
+				Axpy(av, brow, c.Row(j))
+			}
+		}
+		return c
+	}
+	partials := make([]*Matrix, threads)
+	par.ForWorker(a.Rows, threads, func(w, lo, hi int) {
+		p := NewMatrix(a.Cols, b.Cols)
+		for i := lo; i < hi; i++ {
+			arow, brow := a.Row(i), b.Row(i)
+			for j, av := range arow {
+				if av == 0 {
+					continue
+				}
+				Axpy(av, brow, p.Row(j))
+			}
+		}
+		partials[w] = p
+	})
+	for _, p := range partials {
+		if p != nil {
+			Axpy(1, p.Data, c.Data)
+		}
+	}
+	return c
+}
+
+// MatMulTB returns C = A*B^T (A is m x n, B is p x n, C is m x p).
+func MatMulTB(a, b *Matrix, threads int) *Matrix {
+	if a.Cols != b.Cols {
+		panic("dense: MatMulTB shape mismatch")
+	}
+	c := NewMatrix(a.Rows, b.Rows)
+	par.ForRange(a.Rows, threads, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			crow := c.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				crow[j] = Dot(arow, b.Row(j))
+			}
+		}
+	})
+	return c
+}

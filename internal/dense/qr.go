@@ -1,0 +1,109 @@
+package dense
+
+import "math"
+
+// QR computes a thin Householder QR factorization of a (m x n, m >= n):
+// a = Q*R with Q m x n having orthonormal columns and R n x n upper
+// triangular. a is not modified. It is the orthonormalization kernel
+// used to initialize factor matrices and inside the subspace-iteration
+// TRSVD variant.
+func QR(a *Matrix) (q, r *Matrix) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic("dense: QR requires rows >= cols")
+	}
+	// Work on a column-major copy so each column is contiguous.
+	w := a.T() // n x m: w.Row(j) is column j of a
+	vs := make([][]float64, n)
+	r = NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		col := w.Row(j)
+		// Apply the previous reflectors to column j.
+		for k := 0; k < j; k++ {
+			v := vs[k]
+			tau := 2 * Dot(v[k:], col[k:])
+			Axpy(-tau, v[k:], col[k:])
+			r.Set(k, j, col[k])
+		}
+		// Build the reflector eliminating col[j+1:].
+		alpha := Nrm2(col[j:])
+		if col[j] > 0 {
+			alpha = -alpha
+		}
+		v := make([]float64, m)
+		copy(v[j:], col[j:])
+		v[j] -= alpha
+		if nv := Nrm2(v[j:]); nv > 0 {
+			Scal(1/nv, v[j:])
+		}
+		vs[j] = v
+		r.Set(j, j, alpha)
+	}
+	// Form thin Q by applying the reflectors to the first n columns of I.
+	q = NewMatrix(m, n)
+	col := make([]float64, m)
+	for k := 0; k < n; k++ {
+		for i := range col {
+			col[i] = 0
+		}
+		col[k] = 1
+		for j := n - 1; j >= 0; j-- {
+			v := vs[j]
+			tau := 2 * Dot(v[j:], col[j:])
+			Axpy(-tau, v[j:], col[j:])
+		}
+		for i := 0; i < m; i++ {
+			q.Set(i, k, col[i])
+		}
+	}
+	return q, r
+}
+
+// Orthonormalize returns a matrix with the same shape as a whose columns
+// form an orthonormal basis containing a's column space (thin QR, Q
+// factor). Rank deficiency is tolerated: numerically zero columns of Q
+// are replaced by coordinate directions orthogonalized against the rest,
+// so the result always has exactly a.Cols orthonormal columns.
+func Orthonormalize(a *Matrix) *Matrix {
+	q, _ := QR(a)
+	for j := 0; j < q.Cols; j++ {
+		var nrm float64
+		for i := 0; i < q.Rows; i++ {
+			nrm += q.At(i, j) * q.At(i, j)
+		}
+		if math.Sqrt(nrm) < 1e-12 {
+			reseedColumn(q, j)
+		}
+	}
+	return q
+}
+
+// reseedColumn replaces column j of q by a coordinate vector
+// orthogonalized against the other columns (modified Gram-Schmidt).
+func reseedColumn(q *Matrix, j int) {
+	m := q.Rows
+	for try := 0; try < m; try++ {
+		col := make([]float64, m)
+		col[(j+try)%m] = 1
+		for k := 0; k < q.Cols; k++ {
+			if k == j {
+				continue
+			}
+			var d float64
+			for i := 0; i < m; i++ {
+				d += q.At(i, k) * col[i]
+			}
+			for i := 0; i < m; i++ {
+				col[i] -= d * q.At(i, k)
+			}
+		}
+		nrm := Nrm2(col)
+		if nrm > 1e-8 {
+			Scal(1/nrm, col)
+			for i := 0; i < m; i++ {
+				q.Set(i, j, col[i])
+			}
+			return
+		}
+	}
+}

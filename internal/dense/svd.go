@@ -1,0 +1,122 @@
+package dense
+
+import (
+	"math"
+	"sort"
+)
+
+// SVD computes a thin singular value decomposition a = U * diag(s) * V^T
+// using the one-sided Jacobi method. For a of shape m x n it returns
+// U (m x k), s (length k, descending) and V (n x k) with k = min(m, n).
+//
+// One-sided Jacobi is chosen because it is simple, unconditionally
+// stable, and highly accurate for the small-to-medium problems this
+// library needs it for: the projected bidiagonal systems inside the
+// Lanczos TRSVD (k <= a few dozen) and reference solutions in tests. It
+// stands in for the LAPACK xGESVD the paper links against.
+func SVD(a *Matrix) (u *Matrix, s []float64, v *Matrix) {
+	if a.Rows < a.Cols {
+		// Work on the transpose and swap the factors.
+		vt, st, ut := SVD(a.T())
+		return ut, st, vt
+	}
+	m, n := a.Rows, a.Cols
+	// Column-major working copy: w.Row(j) is column j of a. V is
+	// accumulated column-major too: vcols.Row(j) is column j of V.
+	w := a.T()
+	vcols := Identity(n)
+
+	const maxSweeps = 60
+	eps := 1e-15
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				cp, cq := w.Row(p), w.Row(q)
+				alpha := Dot(cp, cp)
+				beta := Dot(cq, cq)
+				gamma := Dot(cp, cq)
+				if gamma == 0 {
+					continue
+				}
+				denom := math.Sqrt(alpha * beta)
+				if denom == 0 || math.Abs(gamma) <= eps*denom {
+					continue
+				}
+				off += math.Abs(gamma) / denom
+				// Jacobi rotation zeroing the (p,q) Gram entry.
+				zeta := (beta - alpha) / (2 * gamma)
+				var t float64
+				if zeta >= 0 {
+					t = 1 / (zeta + math.Sqrt(1+zeta*zeta))
+				} else {
+					t = -1 / (-zeta + math.Sqrt(1+zeta*zeta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				sn := c * t
+				rotate(cp, cq, c, sn)
+				rotate(vcols.Row(p), vcols.Row(q), c, sn)
+			}
+		}
+		if off == 0 {
+			break
+		}
+	}
+
+	// Singular values are the column norms; U columns are normalized.
+	type col struct {
+		idx int
+		nrm float64
+	}
+	cols := make([]col, n)
+	for j := 0; j < n; j++ {
+		cols[j] = col{j, Nrm2(w.Row(j))}
+	}
+	sort.SliceStable(cols, func(i, j int) bool { return cols[i].nrm > cols[j].nrm })
+
+	u = NewMatrix(m, n)
+	v = NewMatrix(n, n)
+	s = make([]float64, n)
+	for out, cj := range cols {
+		s[out] = cj.nrm
+		src := w.Row(cj.idx)
+		if cj.nrm > 0 {
+			for i := 0; i < m; i++ {
+				u.Set(i, out, src[i]/cj.nrm)
+			}
+		} else {
+			// Null direction: keep a zero column; callers that need an
+			// orthonormal basis use Orthonormalize on the result.
+			u.Set(out%m, out, 0)
+		}
+		vsrc := vcols.Row(cj.idx)
+		for i := 0; i < n; i++ {
+			v.Set(i, out, vsrc[i])
+		}
+	}
+	return u, s, v
+}
+
+// rotate applies the Givens rotation [c s; -s c] to the column pair
+// (x, y): x' = c*x - s*y, y' = s*x + c*y.
+func rotate(x, y []float64, c, s float64) {
+	for i := range x {
+		xi, yi := x[i], y[i]
+		x[i] = c*xi - s*yi
+		y[i] = s*xi + c*yi
+	}
+}
+
+// LeadingLeftSingularVectors returns the first k left singular vectors of
+// a as an a.Rows x k matrix, plus the corresponding singular values.
+func LeadingLeftSingularVectors(a *Matrix, k int) (*Matrix, []float64) {
+	u, s, _ := SVD(a)
+	if k > u.Cols {
+		k = u.Cols
+	}
+	out := NewMatrix(u.Rows, k)
+	for i := 0; i < u.Rows; i++ {
+		copy(out.Row(i), u.Row(i)[:k])
+	}
+	return out, s[:k]
+}

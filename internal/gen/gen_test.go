@@ -1,0 +1,147 @@
+package gen
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestRandomBasicProperties(t *testing.T) {
+	cfg := Config{Name: "t", Dims: []int{50, 40, 30}, NNZ: 2000, Skew: 0, Seed: 1}
+	x := Random(cfg)
+	if x.Order() != 3 {
+		t.Fatalf("order = %d", x.Order())
+	}
+	// The oversampling loop should land near the request: at least 60%
+	// (uniform indices collide rarely here) and no more than ~5x over.
+	if x.NNZ() < cfg.NNZ*6/10 || x.NNZ() > cfg.NNZ*5 {
+		t.Fatalf("nnz = %d, requested %d", x.NNZ(), cfg.NNZ)
+	}
+	for m, d := range cfg.Dims {
+		for _, ix := range x.Idx[m] {
+			if ix < 0 || int(ix) >= d {
+				t.Fatalf("mode %d index %d out of range", m, ix)
+			}
+		}
+	}
+	for _, v := range x.Val {
+		if v <= 0 {
+			t.Fatalf("nonpositive value %v (generator shifts to positive)", v)
+		}
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	cfg := Config{Dims: []int{20, 20}, NNZ: 500, Skew: 0.5, Seed: 7}
+	a, b := Random(cfg), Random(cfg)
+	if a.NNZ() != b.NNZ() {
+		t.Fatalf("nondeterministic nnz: %d vs %d", a.NNZ(), b.NNZ())
+	}
+	for i := 0; i < a.NNZ(); i++ {
+		if a.Val[i] != b.Val[i] || a.Idx[0][i] != b.Idx[0][i] {
+			t.Fatal("nondeterministic content")
+		}
+	}
+	cfg.Seed = 8
+	c := Random(cfg)
+	same := c.NNZ() == a.NNZ()
+	if same {
+		diff := false
+		for i := 0; i < a.NNZ() && !diff; i++ {
+			diff = a.Idx[0][i] != c.Idx[0][i]
+		}
+		same = !diff
+	}
+	if same {
+		t.Fatal("different seeds produced identical tensors")
+	}
+}
+
+func TestSkewProducesHeavyTail(t *testing.T) {
+	dims := []int{1000, 1000}
+	uni := Random(Config{Dims: dims, NNZ: 20000, Skew: 0, Seed: 3})
+	skw := Random(Config{Dims: dims, NNZ: 20000, Skew: 1.0, Seed: 3})
+	maxCount := func(x interface{ ModeCounts(int) []int32 }) int32 {
+		counts := x.ModeCounts(0)
+		sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+		return counts[0]
+	}
+	if maxCount(skw) < 2*maxCount(uni) {
+		t.Fatalf("skewed max slice %d not much larger than uniform %d", maxCount(skw), maxCount(uni))
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, name := range PresetNames() {
+		cfg, err := Preset(name, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := Random(cfg)
+		if x.NNZ() == 0 {
+			t.Fatalf("%s: empty tensor", name)
+		}
+		want := 3
+		if name == "delicious" || name == "flickr" {
+			want = 4
+		}
+		if x.Order() != want {
+			t.Fatalf("%s: order %d, want %d", name, x.Order(), want)
+		}
+	}
+	if _, err := Preset("bogus", 1); err == nil {
+		t.Fatal("expected error for unknown preset")
+	}
+	cfg, err := Preset("random", 0.02)
+	if err != nil || cfg.Skew != 0 {
+		t.Fatalf("random preset: %v, skew=%v", err, cfg.Skew)
+	}
+}
+
+func TestPresetScaleGrowsNNZ(t *testing.T) {
+	small, _ := Preset("netflix", 0.1)
+	large, _ := Preset("netflix", 0.2)
+	if large.NNZ <= small.NNZ {
+		t.Fatalf("scale did not grow nnz: %d vs %d", large.NNZ, small.NNZ)
+	}
+	if large.Dims[0] <= small.Dims[0] {
+		t.Fatal("scale did not grow large mode")
+	}
+	// Negative scale falls back to 1.
+	def, _ := Preset("netflix", -1)
+	one, _ := Preset("netflix", 1)
+	if def.NNZ != one.NNZ {
+		t.Fatal("negative scale not defaulted")
+	}
+}
+
+func TestPaperRanks(t *testing.T) {
+	if r := PaperRanks(3); len(r) != 3 || r[0] != 10 {
+		t.Fatalf("3-mode ranks %v", r)
+	}
+	if r := PaperRanks(4); len(r) != 4 || r[3] != 5 {
+		t.Fatalf("4-mode ranks %v", r)
+	}
+}
+
+func TestZipfSamplerRange(t *testing.T) {
+	// All sampled indices must be valid even for tiny mode sizes.
+	for _, n := range []int{1, 2, 3, 10} {
+		cfg := Config{Dims: []int{n, 5}, NNZ: 200, Skew: 1.2, Seed: 9}
+		x := Random(cfg)
+		for _, ix := range x.Idx[0] {
+			if int(ix) >= n {
+				t.Fatalf("n=%d: index %d out of range", n, ix)
+			}
+		}
+	}
+}
+
+func TestValuesFinite(t *testing.T) {
+	x := Random(Config{Dims: []int{100, 100, 100}, NNZ: 5000, Skew: 0.9, Seed: 11})
+	for _, v := range x.Val {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite value %v", v)
+		}
+	}
+}

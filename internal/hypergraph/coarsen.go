@@ -1,0 +1,120 @@
+package hypergraph
+
+import "math/rand"
+
+// coarsen performs one level of heavy-connectivity agglomerative
+// clustering (the spirit of PaToH's default absorption clustering):
+// vertices are visited in random order and merged into the neighboring
+// cluster — or paired with the unclustered neighbor — with the highest
+// connectivity score Σ_e cost(e)/(|e|−1) over shared nets, subject to a
+// cluster weight cap. Nets larger than maxNetSize are skipped during
+// scoring (huge nets carry little locality signal and dominate cost).
+// It returns the coarse hypergraph and the fine→coarse vertex map, or
+// ok=false when coarsening stalled (too little reduction).
+func coarsen(h *Hypergraph, maxClusterW int64, maxNetSize int, rng *rand.Rand) (coarse *Hypergraph, vmap []int32, ok bool) {
+	n := h.NumV
+	vmap = make([]int32, n)
+	for i := range vmap {
+		vmap[i] = -1
+	}
+	clusterW := make([]int64, 0, n)
+
+	// Separate accumulators for the two candidate kinds: existing
+	// clusters and still-unclustered vertices.
+	cScore := make([]float64, n)
+	vScore := make([]float64, n)
+	cTouched := make([]int32, 0, 64)
+	vTouched := make([]int32, 0, 64)
+
+	order := rng.Perm(n)
+	for _, v := range order {
+		if vmap[v] != -1 {
+			continue
+		}
+		cTouched = cTouched[:0]
+		vTouched = vTouched[:0]
+		for _, e := range h.Nets(v) {
+			pins := h.Pins(int(e))
+			if len(pins) > maxNetSize || len(pins) < 2 {
+				continue
+			}
+			w := float64(h.NetCost[e]) / float64(len(pins)-1)
+			for _, u := range pins {
+				if int(u) == v {
+					continue
+				}
+				if cu := vmap[u]; cu != -1 {
+					if cScore[cu] == 0 {
+						cTouched = append(cTouched, cu)
+					}
+					cScore[cu] += w
+				} else {
+					if vScore[u] == 0 {
+						vTouched = append(vTouched, u)
+					}
+					vScore[u] += w
+				}
+			}
+		}
+		bestCluster := int32(-1)
+		bestVertex := int32(-1)
+		var bestScore float64
+		for _, c := range cTouched {
+			if cScore[c] > bestScore && h.VWeights[v]+clusterW[c] <= maxClusterW {
+				bestScore = cScore[c]
+				bestCluster, bestVertex = c, -1
+			}
+			cScore[c] = 0
+		}
+		for _, u := range vTouched {
+			if vScore[u] > bestScore && h.VWeights[v]+h.VWeights[u] <= maxClusterW {
+				bestScore = vScore[u]
+				bestCluster, bestVertex = -1, u
+			}
+			vScore[u] = 0
+		}
+		switch {
+		case bestCluster != -1:
+			vmap[v] = bestCluster
+			clusterW[bestCluster] += h.VWeights[v]
+		case bestVertex != -1:
+			id := int32(len(clusterW))
+			clusterW = append(clusterW, h.VWeights[v]+h.VWeights[bestVertex])
+			vmap[v] = id
+			vmap[bestVertex] = id
+		default:
+			id := int32(len(clusterW))
+			clusterW = append(clusterW, h.VWeights[v])
+			vmap[v] = id
+		}
+	}
+
+	numC := len(clusterW)
+	if numC == 0 || float64(numC) > 0.95*float64(n) {
+		return nil, nil, false
+	}
+
+	// Build the coarse hypergraph: project nets, dedup pins per net,
+	// drop nets with fewer than 2 coarse pins (they can never be cut).
+	stamp := make([]int32, numC)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	nets := make([][]int32, 0, h.NumN)
+	costs := make([]int32, 0, h.NumN)
+	for e := 0; e < h.NumN; e++ {
+		var coarsePins []int32
+		for _, u := range h.Pins(e) {
+			c := vmap[u]
+			if stamp[c] != int32(e) {
+				stamp[c] = int32(e)
+				coarsePins = append(coarsePins, c)
+			}
+		}
+		if len(coarsePins) >= 2 {
+			nets = append(nets, coarsePins)
+			costs = append(costs, h.NetCost[e])
+		}
+	}
+	return New(numC, nets, clusterW, costs), vmap, true
+}

@@ -1,0 +1,181 @@
+// Package hypergraph provides the hypergraph partitioning substrate the
+// paper obtains from PaToH: hypergraph construction from sparse tensors
+// (the fine-grain and coarse-grain models of Kaya & Uçar SC'15 reused in
+// §III.B), the connectivity-1 cutsize metric that equals the parallel
+// algorithm's communication volume, and a multilevel partitioner
+// (heavy-connectivity coarsening, balanced greedy initial partition,
+// K-way FM boundary refinement). Random and block partitioners provide
+// the paper's "fine-rd" and "coarse-bl" baselines.
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Hypergraph is a set of nets (hyperedges) over vertices, stored CSR
+// both ways. Vertices carry integer weights (computational load), nets
+// carry integer costs (communication units).
+type Hypergraph struct {
+	NumV     int
+	NumN     int
+	VWeights []int64
+	NetCost  []int32
+
+	netPtr []int32 // nets -> pins
+	pins   []int32
+	vtxPtr []int32 // vertices -> nets
+	vnets  []int32
+}
+
+// New builds a hypergraph from per-net pin lists. weights may be nil
+// (unit weights); costs may be nil (unit costs). Pin lists must contain
+// valid vertex ids; duplicates within a net are tolerated but waste
+// space, so builders should avoid them.
+func New(numV int, nets [][]int32, weights []int64, costs []int32) *Hypergraph {
+	h := &Hypergraph{NumV: numV, NumN: len(nets)}
+	if weights == nil {
+		weights = make([]int64, numV)
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	if len(weights) != numV {
+		panic("hypergraph: weight count mismatch")
+	}
+	h.VWeights = weights
+	if costs == nil {
+		costs = make([]int32, len(nets))
+		for i := range costs {
+			costs[i] = 1
+		}
+	}
+	if len(costs) != len(nets) {
+		panic("hypergraph: cost count mismatch")
+	}
+	h.NetCost = costs
+
+	totalPins := 0
+	for _, n := range nets {
+		totalPins += len(n)
+	}
+	h.netPtr = make([]int32, len(nets)+1)
+	h.pins = make([]int32, 0, totalPins)
+	deg := make([]int32, numV)
+	for e, n := range nets {
+		for _, v := range n {
+			if v < 0 || int(v) >= numV {
+				panic(fmt.Sprintf("hypergraph: pin %d out of range", v))
+			}
+			deg[v]++
+		}
+		h.pins = append(h.pins, n...)
+		h.netPtr[e+1] = int32(len(h.pins))
+	}
+	h.vtxPtr = make([]int32, numV+1)
+	for v := 0; v < numV; v++ {
+		h.vtxPtr[v+1] = h.vtxPtr[v] + deg[v]
+	}
+	h.vnets = make([]int32, totalPins)
+	next := make([]int32, numV)
+	copy(next, h.vtxPtr[:numV])
+	for e := 0; e < h.NumN; e++ {
+		for _, v := range h.Pins(e) {
+			h.vnets[next[v]] = int32(e)
+			next[v]++
+		}
+	}
+	return h
+}
+
+// Pins returns the vertex list of net e.
+func (h *Hypergraph) Pins(e int) []int32 { return h.pins[h.netPtr[e]:h.netPtr[e+1]] }
+
+// Nets returns the net list of vertex v.
+func (h *Hypergraph) Nets(v int) []int32 { return h.vnets[h.vtxPtr[v]:h.vtxPtr[v+1]] }
+
+// TotalWeight returns the sum of vertex weights.
+func (h *Hypergraph) TotalWeight() int64 {
+	var s int64
+	for _, w := range h.VWeights {
+		s += w
+	}
+	return s
+}
+
+// Pin count of the whole hypergraph.
+func (h *Hypergraph) NumPins() int { return len(h.pins) }
+
+// CutsizeConn computes the connectivity-1 cutsize
+// Σ_e cost(e)·(λ(e) − 1), where λ(e) is the number of parts net e spans.
+// This equals the total communication volume of the parallel HOOI for
+// the corresponding task partition (§III.B).
+func (h *Hypergraph) CutsizeConn(parts []int32, k int) int64 {
+	if len(parts) != h.NumV {
+		panic("hypergraph: partition length mismatch")
+	}
+	seen := make([]int32, k)
+	stamp := int32(0)
+	var cut int64
+	for e := 0; e < h.NumN; e++ {
+		stamp++
+		lambda := 0
+		for _, v := range h.Pins(e) {
+			p := parts[v]
+			if seen[p] != stamp {
+				seen[p] = stamp
+				lambda++
+			}
+		}
+		if lambda > 1 {
+			cut += int64(h.NetCost[e]) * int64(lambda-1)
+		}
+	}
+	return cut
+}
+
+// PartLoads returns the per-part sums of vertex weights.
+func PartLoads(weights []int64, parts []int32, k int) []int64 {
+	loads := make([]int64, k)
+	for v, p := range parts {
+		loads[p] += weights[v]
+	}
+	return loads
+}
+
+// Imbalance returns max(load)/avg(load) − 1 (0 = perfectly balanced).
+func Imbalance(weights []int64, parts []int32, k int) float64 {
+	loads := PartLoads(weights, parts, k)
+	var max, total int64
+	for _, l := range loads {
+		total += l
+		if l > max {
+			max = l
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	avg := float64(total) / float64(k)
+	return float64(max)/avg - 1
+}
+
+// Validate checks that parts assigns every vertex to [0, k).
+func Validate(parts []int32, numV, k int) error {
+	if len(parts) != numV {
+		return fmt.Errorf("hypergraph: partition has %d entries for %d vertices", len(parts), numV)
+	}
+	for v, p := range parts {
+		if p < 0 || int(p) >= k {
+			return fmt.Errorf("hypergraph: vertex %d assigned to invalid part %d", v, p)
+		}
+	}
+	return nil
+}
+
+// sortedCopy is a small test/debug helper returning sorted unique pins.
+func sortedCopy(xs []int32) []int32 {
+	out := append([]int32(nil), xs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

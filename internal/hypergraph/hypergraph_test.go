@@ -1,0 +1,309 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hypertensor/internal/gen"
+	"hypertensor/internal/tensor"
+)
+
+// tiny hypergraph: 6 vertices, 4 nets.
+func tinyHG() *Hypergraph {
+	nets := [][]int32{
+		{0, 1, 2},
+		{2, 3},
+		{3, 4, 5},
+		{0, 5},
+	}
+	return New(6, nets, nil, nil)
+}
+
+func TestNewAndAccessors(t *testing.T) {
+	h := tinyHG()
+	if h.NumV != 6 || h.NumN != 4 || h.NumPins() != 10 {
+		t.Fatalf("shape: V=%d N=%d pins=%d", h.NumV, h.NumN, h.NumPins())
+	}
+	if got := h.Pins(1); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("Pins(1) = %v", got)
+	}
+	// Vertex 0 belongs to nets 0 and 3.
+	n0 := sortedCopy(h.Nets(0))
+	if len(n0) != 2 || n0[0] != 0 || n0[1] != 3 {
+		t.Fatalf("Nets(0) = %v", n0)
+	}
+	if h.TotalWeight() != 6 {
+		t.Fatalf("TotalWeight = %d", h.TotalWeight())
+	}
+}
+
+func TestCutsizeConn(t *testing.T) {
+	h := tinyHG()
+	// All in one part: zero cut.
+	if got := h.CutsizeConn(make([]int32, 6), 2); got != 0 {
+		t.Fatalf("uncut cutsize = %d", got)
+	}
+	// Split {0,1,2} | {3,4,5}: nets 1 and 3 each span 2 parts.
+	parts := []int32{0, 0, 0, 1, 1, 1}
+	if got := h.CutsizeConn(parts, 2); got != 2 {
+		t.Fatalf("cutsize = %d, want 2", got)
+	}
+	// Weighted nets count with cost.
+	h2 := New(6, [][]int32{{0, 3}}, nil, []int32{7})
+	if got := h2.CutsizeConn(parts, 2); got != 7 {
+		t.Fatalf("weighted cutsize = %d, want 7", got)
+	}
+}
+
+func TestPartLoadsAndImbalance(t *testing.T) {
+	w := []int64{5, 1, 1, 1}
+	parts := []int32{0, 1, 1, 1}
+	loads := PartLoads(w, parts, 2)
+	if loads[0] != 5 || loads[1] != 3 {
+		t.Fatalf("loads = %v", loads)
+	}
+	if got := Imbalance(w, parts, 2); got != 0.25 {
+		t.Fatalf("imbalance = %v, want 0.25", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate([]int32{0, 1}, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate([]int32{0, 2}, 2, 2); err == nil {
+		t.Fatal("invalid part accepted")
+	}
+	if err := Validate([]int32{0}, 2, 2); err == nil {
+		t.Fatal("short partition accepted")
+	}
+}
+
+func TestPartitionRandomAndBlock(t *testing.T) {
+	parts := PartitionRandom(1000, 8, 1)
+	if err := Validate(parts, 1000, 8); err != nil {
+		t.Fatal(err)
+	}
+	// Uniform random on 1000 vertices should touch every part.
+	seen := make(map[int32]bool)
+	for _, p := range parts {
+		seen[p] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("random partition used %d of 8 parts", len(seen))
+	}
+
+	w := make([]int64, 100)
+	for i := range w {
+		w[i] = 1
+	}
+	bp := PartitionBlock(w, 4)
+	if err := Validate(bp, 100, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Blocks must be contiguous and near-balanced.
+	for i := 1; i < len(bp); i++ {
+		if bp[i] < bp[i-1] {
+			t.Fatal("block partition not monotone")
+		}
+	}
+	if got := Imbalance(w, bp, 4); got > 0.01 {
+		t.Fatalf("block imbalance = %v", got)
+	}
+}
+
+func TestPartitionBlockSkewedWeights(t *testing.T) {
+	// One huge vertex: blocks must still cover all parts validly.
+	w := []int64{100, 1, 1, 1, 1, 1, 1, 1}
+	bp := PartitionBlock(w, 4)
+	if err := Validate(bp, len(w), 4); err != nil {
+		t.Fatal(err)
+	}
+	if bp[0] != 0 {
+		t.Fatal("first vertex must open part 0")
+	}
+}
+
+func TestPartitionRandomBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := make([]int64, 500)
+	for i := range w {
+		w[i] = int64(1 + rng.Intn(50))
+	}
+	parts := PartitionRandomBalanced(w, 8, 7)
+	if err := Validate(parts, 500, 8); err != nil {
+		t.Fatal(err)
+	}
+	if got := Imbalance(w, parts, 8); got > 0.10 {
+		t.Fatalf("balanced random imbalance = %v", got)
+	}
+}
+
+func TestMultilevelPartitionQuality(t *testing.T) {
+	// A hypergraph with 4 natural clusters joined by a few bridge nets:
+	// the multilevel partitioner should find a near-zero cut, far below
+	// random.
+	rng := rand.New(rand.NewSource(5))
+	const clusterSize, k = 60, 4
+	numV := clusterSize * k
+	var nets [][]int32
+	for c := 0; c < k; c++ {
+		base := int32(c * clusterSize)
+		for i := 0; i < 150; i++ {
+			a := base + int32(rng.Intn(clusterSize))
+			b := base + int32(rng.Intn(clusterSize))
+			c2 := base + int32(rng.Intn(clusterSize))
+			nets = append(nets, []int32{a, b, c2})
+		}
+	}
+	for i := 0; i < 5; i++ { // sparse bridges
+		nets = append(nets, []int32{int32(rng.Intn(numV)), int32(rng.Intn(numV))})
+	}
+	h := New(numV, nets, nil, nil)
+
+	parts := Partition(h, Options{Parts: k, Seed: 11})
+	if err := Validate(parts, numV, k); err != nil {
+		t.Fatal(err)
+	}
+	if got := Imbalance(h.VWeights, parts, k); got > 0.11 {
+		t.Fatalf("imbalance = %v exceeds epsilon", got)
+	}
+	cutHP := h.CutsizeConn(parts, k)
+	cutRD := h.CutsizeConn(PartitionRandom(numV, k, 13), k)
+	if cutHP*4 > cutRD {
+		t.Fatalf("multilevel cut %d not clearly better than random %d", cutHP, cutRD)
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	x := gen.Random(gen.Config{Dims: []int{30, 30, 30}, NNZ: 800, Skew: 0.5, Seed: 17})
+	h := FineGrainModel(x)
+	p1 := Partition(h, Options{Parts: 4, Seed: 23})
+	p2 := Partition(h, Options{Parts: 4, Seed: 23})
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("partition not deterministic")
+		}
+	}
+}
+
+func TestPartitionEdgeCases(t *testing.T) {
+	h := tinyHG()
+	// k = 1: all zeros.
+	p := Partition(h, Options{Parts: 1, Seed: 1})
+	for _, v := range p {
+		if v != 0 {
+			t.Fatal("k=1 must map everything to part 0")
+		}
+	}
+	// k > numV: valid, some parts empty.
+	p = Partition(h, Options{Parts: 10, Seed: 1})
+	if err := Validate(p, h.NumV, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Empty hypergraph.
+	he := New(0, nil, nil, nil)
+	if got := Partition(he, Options{Parts: 3, Seed: 1}); len(got) != 0 {
+		t.Fatal("empty hypergraph should give empty partition")
+	}
+}
+
+func TestFineGrainModelShape(t *testing.T) {
+	x := tensor.NewCOO([]int{3, 4}, 4)
+	x.Append([]int{0, 0}, 1)
+	x.Append([]int{0, 1}, 1)
+	x.Append([]int{2, 1}, 1)
+	x.Append([]int{1, 3}, 1)
+	h := FineGrainModel(x)
+	if h.NumV != 4 {
+		t.Fatalf("NumV = %d, want nnz = 4", h.NumV)
+	}
+	// Nets: mode-0 has nonempty rows {0(2 pins),1,2}, mode-1 has
+	// {0(1),1(2),3(1)} -> 6 nets, 8 pins total.
+	if h.NumN != 6 || h.NumPins() != 8 {
+		t.Fatalf("nets = %d pins = %d", h.NumN, h.NumPins())
+	}
+}
+
+func TestCoarseGrainModelShape(t *testing.T) {
+	x := tensor.NewCOO([]int{3, 4, 2}, 4)
+	x.Append([]int{0, 0, 0}, 1)
+	x.Append([]int{0, 1, 1}, 1)
+	x.Append([]int{2, 1, 1}, 1)
+	x.Append([]int{1, 3, 0}, 1)
+	h := CoarseGrainModel(x, 0)
+	if h.NumV != 3 {
+		t.Fatalf("NumV = %d, want dims[0] = 3", h.NumV)
+	}
+	// Vertex weights are slice sizes: |X(0,:,:)| = 2, others 1.
+	if h.VWeights[0] != 2 || h.VWeights[1] != 1 || h.VWeights[2] != 1 {
+		t.Fatalf("weights = %v", h.VWeights)
+	}
+	// Mode-1 nets: j=0 pins {0}, j=1 pins {0,2}, j=3 pins {1};
+	// mode-2 nets: k=0 pins {0,1}, k=1 pins {0,2} -> 5 nets.
+	if h.NumN != 5 {
+		t.Fatalf("nets = %d, want 5", h.NumN)
+	}
+}
+
+// Property: multilevel partitions are always valid and within the
+// balance envelope for random tensors.
+func TestPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -(seed + 1)
+		}
+		k := int(seed%6) + 2
+		x := gen.Random(gen.Config{Dims: []int{20, 15, 10}, NNZ: 300, Skew: 0.4, Seed: seed})
+		if x.NNZ() == 0 {
+			return true
+		}
+		h := FineGrainModel(x)
+		parts := Partition(h, Options{Parts: k, Seed: seed})
+		if Validate(parts, h.NumV, k) != nil {
+			return false
+		}
+		// Cut never exceeds the trivial bound Σ cost·(min(|e|,k)-1).
+		var bound int64
+		for e := 0; e < h.NumN; e++ {
+			l := len(h.Pins(e))
+			if l > k {
+				l = k
+			}
+			if l > 1 {
+				bound += int64(h.NetCost[e]) * int64(l-1)
+			}
+		}
+		return h.CutsizeConn(parts, k) <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefinementNeverWorsensCut(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	x := gen.Random(gen.Config{Dims: []int{25, 25, 25}, NNZ: 600, Skew: 0.5, Seed: 31})
+	h := FineGrainModel(x)
+	k := 4
+	parts := PartitionRandom(h.NumV, k, 37)
+	before := h.CutsizeConn(parts, k)
+	refine(h, parts, k, 0.10, 4, rng)
+	after := h.CutsizeConn(parts, k)
+	if after > before {
+		t.Fatalf("refinement worsened cut: %d -> %d", before, after)
+	}
+	if err := Validate(parts, h.NumV, k); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPartitionFineGrain(b *testing.B) {
+	x := gen.Random(gen.Config{Dims: []int{500, 400, 300}, NNZ: 20000, Skew: 0.6, Seed: 1})
+	h := FineGrainModel(x)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Partition(h, Options{Parts: 8, Seed: int64(i)})
+	}
+}

@@ -1,0 +1,68 @@
+package hypergraph
+
+import (
+	"hypertensor/internal/symbolic"
+	"hypertensor/internal/tensor"
+)
+
+// FineGrainModel builds the fine-grain hypergraph of Kaya & Uçar SC'15
+// (reused by the paper in §III.B.2): one vertex per nonzero (unit
+// weight, since every nonzero costs the same ∏R work in each TTMc) and
+// one net per (mode, nonempty index) connecting the nonzeros that share
+// the index. A partition's connectivity-1 cutsize is then exactly the
+// per-iteration communication volume: each additional part touching net
+// (n, i) must exchange the U_n(i,:) row and fold one y_i entry per
+// TRSVD iteration.
+func FineGrainModel(t *tensor.COO) *Hypergraph {
+	sym := symbolic.Build(t, 0)
+	var nets [][]int32
+	for n := range sym.Modes {
+		sm := &sym.Modes[n]
+		for r := 0; r < sm.NumRows(); r++ {
+			// Copy: the hypergraph must own its pin storage.
+			nets = append(nets, append([]int32(nil), sm.RowNZ(r)...))
+		}
+	}
+	return New(t.NNZ(), nets, nil, nil)
+}
+
+// CoarseGrainModel builds the per-mode coarse-grain hypergraph: one
+// vertex per mode-`mode` index weighted by its slice size (the TTMc work
+// of the coarse task t^mode_i), and one net per (other mode, nonempty
+// index) pinning the mode-`mode` slices that reference it. Cut nets
+// correspond to factor-matrix rows needed by several owners.
+func CoarseGrainModel(t *tensor.COO, mode int) *Hypergraph {
+	counts := t.ModeCounts(mode)
+	weights := make([]int64, t.Dims[mode])
+	for i, c := range counts {
+		weights[i] = int64(c)
+	}
+	sym := symbolic.Build(t, 0)
+	stamp := make([]int32, t.Dims[mode])
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	var nets [][]int32
+	tick := int32(0)
+	for m := range sym.Modes {
+		if m == mode {
+			continue
+		}
+		sm := &sym.Modes[m]
+		for r := 0; r < sm.NumRows(); r++ {
+			tick++
+			var pins []int32
+			for _, id := range sm.RowNZ(r) {
+				v := t.Idx[mode][id]
+				if stamp[v] != tick {
+					stamp[v] = tick
+					pins = append(pins, v)
+				}
+			}
+			if len(pins) >= 1 {
+				nets = append(nets, pins)
+			}
+		}
+	}
+	return New(t.Dims[mode], nets, weights, nil)
+}

@@ -1,0 +1,116 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Options configure the multilevel partitioner.
+type Options struct {
+	// Parts is the number of parts K. Required (>= 1).
+	Parts int
+	// Epsilon is the allowed load imbalance (default 0.10).
+	Epsilon float64
+	// Seed drives all randomized decisions; fixed seed = fixed result.
+	Seed int64
+	// CoarsestSize stops coarsening once the hypergraph is this small
+	// (default max(200, 30·K)).
+	CoarsestSize int
+	// Passes caps refinement sweeps per level (default 4).
+	Passes int
+	// MaxNetSize excludes larger nets from coarsening scores
+	// (default 256).
+	MaxNetSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Epsilon <= 0 {
+		o.Epsilon = 0.10
+	}
+	if o.CoarsestSize <= 0 {
+		o.CoarsestSize = 200
+		if 30*o.Parts > o.CoarsestSize {
+			o.CoarsestSize = 30 * o.Parts
+		}
+	}
+	if o.Passes <= 0 {
+		o.Passes = 4
+	}
+	if o.MaxNetSize <= 0 {
+		o.MaxNetSize = 256
+	}
+	return o
+}
+
+// Partition computes a K-way partition of the hypergraph minimizing the
+// connectivity-1 cutsize under the balance constraint, with the
+// classical multilevel scheme: heavy-connectivity coarsening, a balanced
+// greedy initial partition of the coarsest hypergraph, and K-way FM
+// refinement during uncoarsening. It is the library's stand-in for
+// PaToH and produces the "fine-hp"/"coarse-hp" partitions of the
+// experiments.
+func Partition(h *Hypergraph, opts Options) []int32 {
+	opts = opts.withDefaults()
+	k := opts.Parts
+	if k <= 1 || h.NumV == 0 {
+		return make([]int32, h.NumV)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Coarsening phase.
+	type level struct {
+		h    *Hypergraph
+		vmap []int32 // fine vertex -> coarse vertex of next level
+	}
+	var levels []level
+	cur := h
+	maxClusterW := cur.TotalWeight()/(2*int64(k)) + 1
+	for cur.NumV > opts.CoarsestSize {
+		coarse, vmap, ok := coarsen(cur, maxClusterW, opts.MaxNetSize, rng)
+		if !ok {
+			break
+		}
+		levels = append(levels, level{h: cur, vmap: vmap})
+		cur = coarse
+	}
+
+	// Initial partition of the coarsest hypergraph: LPT greedy (heaviest
+	// vertex to least-loaded part) gives balance; refinement supplies
+	// the cut quality.
+	parts := lptPartition(cur.VWeights, k, rng)
+	refine(cur, parts, k, opts.Epsilon, opts.Passes+2, rng)
+
+	// Uncoarsening with refinement at every level.
+	for li := len(levels) - 1; li >= 0; li-- {
+		fine := levels[li]
+		fineParts := make([]int32, fine.h.NumV)
+		for v := range fineParts {
+			fineParts[v] = parts[fine.vmap[v]]
+		}
+		parts = fineParts
+		refine(fine.h, parts, k, opts.Epsilon, opts.Passes, rng)
+	}
+	return parts
+}
+
+// lptPartition assigns vertices to parts with the longest-processing-
+// time greedy rule: descending weight, least-loaded part first, with
+// random tie order.
+func lptPartition(weights []int64, k int, rng *rand.Rand) []int32 {
+	n := len(weights)
+	order := rng.Perm(n)
+	sort.SliceStable(order, func(a, b int) bool { return weights[order[a]] > weights[order[b]] })
+	parts := make([]int32, n)
+	loads := make([]int64, k)
+	for _, v := range order {
+		best := 0
+		for p := 1; p < k; p++ {
+			if loads[p] < loads[best] {
+				best = p
+			}
+		}
+		parts[v] = int32(best)
+		loads[best] += weights[v]
+	}
+	return parts
+}

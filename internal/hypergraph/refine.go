@@ -1,0 +1,165 @@
+package hypergraph
+
+import "math/rand"
+
+// refiner implements K-way FM-style boundary refinement for the
+// connectivity-1 metric: it maintains per-(net, part) pin counts so the
+// gain of moving a vertex is computed incrementally, and performs
+// randomized passes accepting gain-positive (or balance-improving
+// gain-neutral) moves within a load limit.
+type refiner struct {
+	h        *Hypergraph
+	k        int
+	parts    []int32
+	loads    []int64
+	pinCount []int32 // pinCount[e*k+p] = pins of net e in part p
+	limit    int64   // hard per-part load cap
+}
+
+func newRefiner(h *Hypergraph, parts []int32, k int, eps float64) *refiner {
+	r := &refiner{
+		h:        h,
+		k:        k,
+		parts:    parts,
+		loads:    PartLoads(h.VWeights, parts, k),
+		pinCount: make([]int32, h.NumN*k),
+	}
+	for e := 0; e < h.NumN; e++ {
+		for _, v := range h.Pins(e) {
+			r.pinCount[e*k+int(parts[v])]++
+		}
+	}
+	total := h.TotalWeight()
+	avg := float64(total) / float64(k)
+	r.limit = int64((1 + eps) * avg)
+	// Never set the cap below the current maximum (an oversized vertex
+	// can make eps infeasible); refinement then simply won't worsen it.
+	for _, l := range r.loads {
+		if l > r.limit {
+			r.limit = l
+		}
+	}
+	return r
+}
+
+// gain returns the connectivity-1 cutsize reduction of moving v to part
+// `to` (positive = improvement).
+func (r *refiner) gain(v int, to int32) int64 {
+	from := r.parts[v]
+	var g int64
+	for _, e := range r.h.Nets(v) {
+		base := int(e) * r.k
+		cost := int64(r.h.NetCost[e])
+		if r.pinCount[base+int(from)] == 1 {
+			g += cost // v was the last pin of its part: λ drops
+		}
+		if r.pinCount[base+int(to)] == 0 {
+			g -= cost // v opens a new part for this net: λ grows
+		}
+	}
+	return g
+}
+
+// move relocates v to part `to`, updating loads and pin counts.
+func (r *refiner) move(v int, to int32) {
+	from := r.parts[v]
+	if from == to {
+		return
+	}
+	w := r.h.VWeights[v]
+	r.loads[from] -= w
+	r.loads[to] += w
+	for _, e := range r.h.Nets(v) {
+		base := int(e) * r.k
+		r.pinCount[base+int(from)]--
+		r.pinCount[base+int(to)]++
+	}
+	r.parts[v] = to
+}
+
+// candidateParts collects the parts adjacent to v through its nets (the
+// only targets that can have positive gain), plus the globally
+// least-loaded part (for balance-driven moves). The scratch stamp array
+// avoids allocation.
+func (r *refiner) candidateParts(v int, stamp []int32, tick int32, out []int32) []int32 {
+	out = out[:0]
+	for _, e := range r.h.Nets(v) {
+		base := int(e) * r.k
+		for p := 0; p < r.k; p++ {
+			if r.pinCount[base+p] > 0 && stamp[p] != tick {
+				stamp[p] = tick
+				out = append(out, int32(p))
+			}
+		}
+	}
+	least := int32(0)
+	for p := 1; p < r.k; p++ {
+		if r.loads[p] < r.loads[least] {
+			least = int32(p)
+		}
+	}
+	if stamp[least] != tick {
+		stamp[least] = tick
+		out = append(out, least)
+	}
+	return out
+}
+
+// pass performs one randomized sweep over all vertices and returns the
+// total cutsize gain realized.
+func (r *refiner) pass(rng *rand.Rand) int64 {
+	order := rng.Perm(r.h.NumV)
+	stamp := make([]int32, r.k)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	var tick int32
+	cands := make([]int32, 0, r.k)
+	var total int64
+	for _, v := range order {
+		from := r.parts[v]
+		w := r.h.VWeights[v]
+		tick++
+		cands = r.candidateParts(v, stamp, tick, cands)
+		bestPart := from
+		var bestGain int64 = 0
+		bestLoad := r.loads[from]
+		for _, p := range cands {
+			if p == from {
+				continue
+			}
+			if r.loads[p]+w > r.limit {
+				continue
+			}
+			g := r.gain(v, p)
+			if g > bestGain || (g == bestGain && g >= 0 && r.loads[p]+w < bestLoad && r.loads[from] > r.loads[p]+w) {
+				// Accept strictly better cut, or equal cut with a
+				// balance improvement.
+				if g > 0 || r.loads[p]+w < r.loads[from] {
+					bestGain = g
+					bestPart = p
+					bestLoad = r.loads[p] + w
+				}
+			}
+		}
+		if bestPart != from {
+			r.move(v, bestPart)
+			total += bestGain
+		}
+	}
+	return total
+}
+
+// refine runs up to maxPasses sweeps, stopping early when a sweep yields
+// no gain.
+func refine(h *Hypergraph, parts []int32, k int, eps float64, maxPasses int, rng *rand.Rand) {
+	if k <= 1 || h.NumV == 0 {
+		return
+	}
+	r := newRefiner(h, parts, k, eps)
+	for pass := 0; pass < maxPasses; pass++ {
+		if r.pass(rng) <= 0 {
+			break
+		}
+	}
+}

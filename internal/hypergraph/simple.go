@@ -1,0 +1,65 @@
+package hypergraph
+
+import "math/rand"
+
+// PartitionRandom assigns each of n vertices to one of k parts uniformly
+// at random (the paper's "fine-rd" baseline: balanced in expectation, no
+// attention to communication).
+func PartitionRandom(n, k int, seed int64) []int32 {
+	rng := rand.New(rand.NewSource(seed))
+	parts := make([]int32, n)
+	for i := range parts {
+		parts[i] = int32(rng.Intn(k))
+	}
+	return parts
+}
+
+// PartitionBlock splits vertices into k contiguous blocks with
+// near-equal total weight (the paper's "coarse-bl" baseline: the natural
+// contiguous-range distribution of mode indices).
+func PartitionBlock(weights []int64, k int) []int32 {
+	n := len(weights)
+	parts := make([]int32, n)
+	var total int64
+	for _, w := range weights {
+		total += w
+	}
+	// Walk vertices, cutting a new block whenever the running weight
+	// passes the next ideal boundary.
+	var acc int64
+	p := int32(0)
+	for v := 0; v < n; v++ {
+		// Ideal boundary for finishing part p: (p+1)/k of total weight.
+		bound := (int64(p) + 1) * total / int64(k)
+		if acc >= bound && int(p) < k-1 {
+			p++
+		}
+		parts[v] = p
+		acc += weights[v]
+	}
+	return parts
+}
+
+// PartitionRandomBalanced assigns vertices to parts randomly but keeps
+// the per-part weighted loads within one heaviest-vertex of each other,
+// by always choosing among the least-loaded parts. Used for coarse-grain
+// random baselines where plain uniform assignment can be noticeably
+// unbalanced on heavy-tailed slice weights.
+func PartitionRandomBalanced(weights []int64, k int, seed int64) []int32 {
+	rng := rand.New(rand.NewSource(seed))
+	n := len(weights)
+	order := rng.Perm(n)
+	parts := make([]int32, n)
+	loads := make([]int64, k)
+	for _, v := range order {
+		best := 0
+		for p := 1; p < k; p++ {
+			if loads[p] < loads[best] {
+				best = p
+			}
+		}
+		parts[v] = int32(best)
+		loads[best] += weights[v]
+	}
+	return parts
+}

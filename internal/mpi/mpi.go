@@ -1,0 +1,349 @@
+// Package mpi is an SPMD message-passing runtime standing in for MPI in
+// the paper's distributed-memory algorithms. Ranks are goroutines
+// launched by World.Run; each pair of ranks is connected by a buffered
+// FIFO channel carrying copied messages, so rank code shares nothing and
+// all data movement is explicit — exactly the discipline of the MPI
+// implementation the paper benchmarks. Collectives (Barrier, Bcast,
+// Reduce, AllReduce, AllGather, AllToAll) are built from point-to-point
+// sends with conventional algorithms, and every rank counts the bytes it
+// sends, which is how the experiment harness measures the communication
+// volumes of Tables II–IV. Reductions accumulate in fixed rank order at
+// a root and broadcast the result, so every rank observes bitwise
+// identical values — the property that keeps the redundant SPMD Lanczos
+// iterations in lockstep.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// message is one point-to-point transfer. Payloads are copied on send so
+// ranks never alias each other's memory.
+type message struct {
+	tag  int
+	f    []float64
+	i    []int32
+	meta int
+}
+
+// World owns the communication fabric for a fixed number of ranks.
+type World struct {
+	p     int
+	chans [][]chan message // chans[src][dst]
+	sent  []atomic.Int64   // bytes sent per rank
+}
+
+// NewWorld creates a fabric for p ranks.
+func NewWorld(p int) *World {
+	if p < 1 {
+		panic("mpi: need at least one rank")
+	}
+	w := &World{p: p, chans: make([][]chan message, p), sent: make([]atomic.Int64, p)}
+	for s := 0; s < p; s++ {
+		w.chans[s] = make([]chan message, p)
+		for d := 0; d < p; d++ {
+			w.chans[s][d] = make(chan message, 1024)
+		}
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.p }
+
+// Run executes body on every rank concurrently (SPMD) and waits for all
+// of them. A panic on any rank is captured and returned as an error
+// naming the rank; remaining ranks may then be deadlocked-but-abandoned,
+// as after a real MPI abort, so a World must not be reused after an
+// error.
+func (w *World) Run(body func(c *Comm)) error {
+	var wg sync.WaitGroup
+	panics := make([]any, w.p)
+	wg.Add(w.p)
+	for r := 0; r < w.p; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if e := recover(); e != nil {
+					panics[rank] = e
+				}
+			}()
+			body(&Comm{w: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	for r, e := range panics {
+		if e != nil {
+			return fmt.Errorf("mpi: rank %d panicked: %v", r, e)
+		}
+	}
+	return nil
+}
+
+// BytesSent returns the bytes sent so far by the given rank.
+func (w *World) BytesSent(rank int) int64 { return w.sent[rank].Load() }
+
+// SnapshotBytes returns a copy of all per-rank sent-byte counters.
+func (w *World) SnapshotBytes() []int64 {
+	out := make([]int64, w.p)
+	for r := range out {
+		out[r] = w.sent[r].Load()
+	}
+	return out
+}
+
+// ResetCounters zeroes the byte counters (call between setup and the
+// measured iterations; must not race with sends).
+func (w *World) ResetCounters() {
+	for r := range w.sent {
+		w.sent[r].Store(0)
+	}
+}
+
+// Comm is one rank's endpoint. Methods must only be called from the
+// goroutine that Run started for this rank.
+type Comm struct {
+	w    *World
+	rank int
+}
+
+// Rank returns the caller's rank id.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.w.p }
+
+// World returns the owning world (for counter access in drivers).
+func (c *Comm) World() *World { return c.w }
+
+const (
+	tagUserBase = 1 << 20
+	tagBarrier  = 1
+	tagBcast    = 2
+	tagReduce   = 3
+	tagGather   = 4
+	tagExchange = 5
+)
+
+// Send transfers a copy of data to dst with the given tag (use tags >= 0;
+// the collective implementations use a reserved space internally).
+func (c *Comm) Send(dst, tag int, data []float64) {
+	c.sendMsg(dst, message{tag: tagUserBase + tag, f: append([]float64(nil), data...)})
+}
+
+// SendInt32s transfers a copy of an int32 slice.
+func (c *Comm) SendInt32s(dst, tag int, data []int32) {
+	c.sendMsg(dst, message{tag: tagUserBase + tag, i: append([]int32(nil), data...)})
+}
+
+// Recv receives the next float64 message from src, which must carry the
+// given tag — a mismatch is a protocol bug and panics.
+func (c *Comm) Recv(src, tag int) []float64 {
+	m := c.recvMsg(src, tagUserBase+tag)
+	return m.f
+}
+
+// RecvInt32s receives the next int32 message from src with the tag.
+func (c *Comm) RecvInt32s(src, tag int) []int32 {
+	m := c.recvMsg(src, tagUserBase+tag)
+	return m.i
+}
+
+func (c *Comm) sendMsg(dst int, m message) {
+	if dst == c.rank {
+		// Self-sends are allowed (simplifies exchange loops) and are
+		// free: no bytes counted, delivered through the same channel.
+		c.w.chans[c.rank][dst] <- m
+		return
+	}
+	c.w.sent[c.rank].Add(int64(8*len(m.f) + 4*len(m.i)))
+	c.w.chans[c.rank][dst] <- m
+}
+
+func (c *Comm) recvMsg(src, tag int) message {
+	m := <-c.w.chans[src][c.rank]
+	if m.tag != tag {
+		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, src, m.tag))
+	}
+	return m
+}
+
+// Barrier blocks until every rank has entered it (dissemination
+// algorithm, ceil(log2 P) zero-byte rounds).
+func (c *Comm) Barrier() {
+	p := c.w.p
+	for dist := 1; dist < p; dist *= 2 {
+		dst := (c.rank + dist) % p
+		src := (c.rank - dist + p) % p
+		c.sendMsg(dst, message{tag: tagBarrier, meta: dist})
+		m := c.recvMsg(src, tagBarrier)
+		if m.meta != dist {
+			panic("mpi: barrier round mismatch")
+		}
+	}
+}
+
+// Bcast distributes root's data to every rank through a binomial tree
+// and returns the received slice (root returns data unchanged).
+func (c *Comm) Bcast(root int, data []float64) []float64 {
+	p := c.w.p
+	if p == 1 {
+		return data
+	}
+	// Work in a rotated rank space where root is 0.
+	vr := (c.rank - root + p) % p
+	if vr != 0 {
+		src := findBcastParent(vr, p)
+		data = c.recvMsg((src+root)%p, tagBcast).f
+	}
+	for dist := nextPow2(p); dist >= 1; dist /= 2 {
+		if vr%(2*dist) == 0 && vr+dist < p {
+			dst := (vr + dist + root) % p
+			c.sendMsg(dst, message{tag: tagBcast, f: append([]float64(nil), data...)})
+		}
+	}
+	return data
+}
+
+// findBcastParent returns the virtual rank that sends to vr in the
+// binomial broadcast.
+func findBcastParent(vr, p int) int {
+	for dist := 1; dist < p; dist *= 2 {
+		if vr%(2*dist) == dist {
+			return vr - dist
+		}
+	}
+	panic("mpi: unreachable bcast parent")
+}
+
+func nextPow2(p int) int {
+	d := 1
+	for d*2 < p {
+		d *= 2
+	}
+	return d
+}
+
+// ReduceSum sums data across ranks element-wise at root. Non-roots send
+// their contribution directly to root; root accumulates in ascending
+// rank order so the result is deterministic. Returns the sum at root and
+// nil elsewhere.
+func (c *Comm) ReduceSum(root int, data []float64) []float64 {
+	if c.rank != root {
+		c.sendMsg(root, message{tag: tagReduce, f: append([]float64(nil), data...)})
+		return nil
+	}
+	acc := append([]float64(nil), data...)
+	for r := 0; r < c.w.p; r++ {
+		if r == root {
+			continue
+		}
+		m := c.recvMsg(r, tagReduce)
+		if len(m.f) != len(acc) {
+			panic("mpi: ReduceSum length mismatch")
+		}
+		for i, v := range m.f {
+			acc[i] += v
+		}
+	}
+	return acc
+}
+
+// AllReduceSum sums data element-wise across all ranks; every rank
+// receives the bitwise-identical result (reduce to rank 0, then
+// broadcast).
+func (c *Comm) AllReduceSum(data []float64) []float64 {
+	acc := c.ReduceSum(0, data)
+	if c.rank != 0 {
+		acc = nil
+	}
+	if acc == nil {
+		acc = make([]float64, len(data))
+	}
+	return c.Bcast(0, acc)
+}
+
+// AllReduceScalar is AllReduceSum for a single value.
+func (c *Comm) AllReduceScalar(v float64) float64 {
+	return c.AllReduceSum([]float64{v})[0]
+}
+
+// AllGatherV exchanges each rank's (variable-length) slice with every
+// other rank directly; the result is indexed by rank. Total traffic is
+// P·(P−1)·m, the information-theoretic volume of an allgather.
+func (c *Comm) AllGatherV(local []float64) [][]float64 {
+	p := c.w.p
+	out := make([][]float64, p)
+	out[c.rank] = append([]float64(nil), local...)
+	for off := 1; off < p; off++ {
+		dst := (c.rank + off) % p
+		c.sendMsg(dst, message{tag: tagGather, f: append([]float64(nil), local...), meta: c.rank})
+	}
+	for off := 1; off < p; off++ {
+		src := (c.rank - off + p) % p
+		m := c.recvMsg(src, tagGather)
+		out[m.meta] = m.f
+	}
+	return out
+}
+
+// AllGatherInt32s is AllGatherV for int32 payloads (partition setup).
+func (c *Comm) AllGatherInt32s(local []int32) [][]int32 {
+	p := c.w.p
+	out := make([][]int32, p)
+	out[c.rank] = append([]int32(nil), local...)
+	for off := 1; off < p; off++ {
+		dst := (c.rank + off) % p
+		c.sendMsg(dst, message{tag: tagGather, i: append([]int32(nil), local...), meta: c.rank})
+	}
+	for off := 1; off < p; off++ {
+		src := (c.rank - off + p) % p
+		m := c.recvMsg(src, tagGather)
+		out[m.meta] = m.i
+	}
+	return out
+}
+
+// AllToAllV sends bufs[d] to rank d and returns the per-source received
+// slices. bufs[c.Rank()] is delivered locally without counting traffic.
+// Nil buffers are sent as empty slices.
+func (c *Comm) AllToAllV(bufs [][]float64) [][]float64 {
+	p := c.w.p
+	if len(bufs) != p {
+		panic("mpi: AllToAllV needs one buffer per rank")
+	}
+	out := make([][]float64, p)
+	out[c.rank] = append([]float64(nil), bufs[c.rank]...)
+	for off := 1; off < p; off++ {
+		dst := (c.rank + off) % p
+		c.sendMsg(dst, message{tag: tagExchange, f: append([]float64(nil), bufs[dst]...), meta: c.rank})
+	}
+	for off := 1; off < p; off++ {
+		src := (c.rank - off + p) % p
+		m := c.recvMsg(src, tagExchange)
+		out[m.meta] = m.f
+	}
+	return out
+}
+
+// AllToAllInt32s is AllToAllV for int32 payloads.
+func (c *Comm) AllToAllInt32s(bufs [][]int32) [][]int32 {
+	p := c.w.p
+	if len(bufs) != p {
+		panic("mpi: AllToAllInt32s needs one buffer per rank")
+	}
+	out := make([][]int32, p)
+	out[c.rank] = append([]int32(nil), bufs[c.rank]...)
+	for off := 1; off < p; off++ {
+		dst := (c.rank + off) % p
+		c.sendMsg(dst, message{tag: tagExchange, i: append([]int32(nil), bufs[dst]...), meta: c.rank})
+	}
+	for off := 1; off < p; off++ {
+		src := (c.rank - off + p) % p
+		m := c.recvMsg(src, tagExchange)
+		out[m.meta] = m.i
+	}
+	return out
+}

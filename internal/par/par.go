@@ -1,0 +1,194 @@
+// Package par provides small shared-memory parallel looping primitives
+// used throughout the library. They stand in for the OpenMP parallel-for
+// constructs of the paper's C++ implementation: For mirrors
+// "#pragma omp parallel for schedule(dynamic)" and ForStatic mirrors the
+// static schedule.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultThreads returns the worker count used when a caller passes a
+// non-positive thread count: the current GOMAXPROCS setting.
+func DefaultThreads(threads int) int {
+	if threads > 0 {
+		return threads
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs body(i) for every i in [0, n) on up to threads workers using
+// dynamic self-scheduling: workers claim fixed-size chunks from an atomic
+// cursor, so irregular per-iteration costs (the norm for sparse tensor
+// rows) balance automatically. chunk <= 0 selects a heuristic chunk size.
+// With threads <= 1 the loop runs inline on the caller's goroutine.
+func For(n, threads, chunk int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	threads = DefaultThreads(threads)
+	if threads > n {
+		threads = n
+	}
+	if threads <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	if chunk <= 0 {
+		// Aim for ~8 chunks per worker to amortize the atomic
+		// increment while preserving balance.
+		chunk = n / (threads * 8)
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for w := 0; w < threads; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(cursor.Add(int64(chunk))) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					body(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForRange runs body(lo, hi) over a static partition of [0, n) into at
+// most threads contiguous ranges, one per worker. It is the static
+// counterpart of For and is preferred when per-element cost is uniform
+// or when the body wants to vectorize over a contiguous range.
+func ForRange(n, threads int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	threads = DefaultThreads(threads)
+	if threads > n {
+		threads = n
+	}
+	if threads <= 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for w := 0; w < threads; w++ {
+		lo, hi := Split(n, threads, w)
+		go func(lo, hi int) {
+			defer wg.Done()
+			if lo < hi {
+				body(lo, hi)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForWorker runs body(worker, lo, hi) like ForRange but also passes the
+// worker id, letting callers index per-worker scratch buffers without
+// synchronization.
+func ForWorker(n, threads int, body func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	threads = DefaultThreads(threads)
+	if threads > n {
+		threads = n
+	}
+	if threads <= 1 {
+		body(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for w := 0; w < threads; w++ {
+		lo, hi := Split(n, threads, w)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			if lo < hi {
+				body(w, lo, hi)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForDynamicWorker combines dynamic chunk scheduling with worker ids:
+// body(worker, lo, hi) is invoked for dynamically claimed chunks. This is
+// the schedule used by the numeric TTMc row loop, where rows have wildly
+// different costs and each worker owns a scratch buffer.
+func ForDynamicWorker(n, threads, chunk int, body func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	threads = DefaultThreads(threads)
+	if threads > n {
+		threads = n
+	}
+	if threads <= 1 {
+		body(0, 0, n)
+		return
+	}
+	if chunk <= 0 {
+		chunk = n / (threads * 8)
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for w := 0; w < threads; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				start := int(cursor.Add(int64(chunk))) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				body(worker, start, end)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Split returns the half-open range [lo, hi) of the w-th of p nearly
+// equal contiguous blocks of [0, n). Blocks differ in size by at most 1.
+func Split(n, p, w int) (lo, hi int) {
+	q, r := n/p, n%p
+	lo = w*q + min(w, r)
+	hi = lo + q
+	if w < r {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

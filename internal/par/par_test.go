@@ -1,0 +1,134 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1023} {
+		for _, threads := range []int{1, 2, 3, 8} {
+			seen := make([]atomic.Int32, n)
+			For(n, threads, 0, func(i int) { seen[i].Add(1) })
+			for i := range seen {
+				if got := seen[i].Load(); got != 1 {
+					t.Fatalf("n=%d threads=%d: index %d visited %d times", n, threads, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForSmallChunk(t *testing.T) {
+	const n = 57
+	seen := make([]atomic.Int32, n)
+	For(n, 4, 1, func(i int) { seen[i].Add(1) })
+	for i := range seen {
+		if seen[i].Load() != 1 {
+			t.Fatalf("index %d not visited exactly once", i)
+		}
+	}
+}
+
+func TestForRangeCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 64, 101} {
+		for _, threads := range []int{1, 2, 4, 16} {
+			seen := make([]atomic.Int32, n)
+			ForRange(n, threads, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					seen[i].Add(1)
+				}
+			})
+			for i := range seen {
+				if seen[i].Load() != 1 {
+					t.Fatalf("n=%d threads=%d: index %d not visited exactly once", n, threads, i)
+				}
+			}
+		}
+	}
+}
+
+func TestForWorkerIDsDistinct(t *testing.T) {
+	const n, threads = 100, 4
+	var used [threads]atomic.Int32
+	ForWorker(n, threads, func(w, lo, hi int) {
+		if w < 0 || w >= threads {
+			t.Errorf("worker id %d out of range", w)
+		}
+		used[w].Add(int32(hi - lo))
+	})
+	total := int32(0)
+	for i := range used {
+		total += used[i].Load()
+	}
+	if total != n {
+		t.Fatalf("workers covered %d of %d elements", total, n)
+	}
+}
+
+func TestForDynamicWorkerCoverage(t *testing.T) {
+	const n = 333
+	seen := make([]atomic.Int32, n)
+	ForDynamicWorker(n, 3, 7, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			seen[i].Add(1)
+		}
+	})
+	for i := range seen {
+		if seen[i].Load() != 1 {
+			t.Fatalf("index %d visited %d times", i, seen[i].Load())
+		}
+	}
+}
+
+// Property: Split produces a disjoint cover of [0,n) with near-equal parts.
+func TestSplitProperties(t *testing.T) {
+	f := func(nRaw, pRaw uint16) bool {
+		n := int(nRaw % 5000)
+		p := int(pRaw%64) + 1
+		prevHi := 0
+		minSz, maxSz := 1<<30, -1
+		for w := 0; w < p; w++ {
+			lo, hi := Split(n, p, w)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			sz := hi - lo
+			if sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+			prevHi = hi
+		}
+		if prevHi != n {
+			return false
+		}
+		return maxSz-minSz <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultThreads(t *testing.T) {
+	if got := DefaultThreads(3); got != 3 {
+		t.Fatalf("DefaultThreads(3) = %d", got)
+	}
+	if got := DefaultThreads(0); got < 1 {
+		t.Fatalf("DefaultThreads(0) = %d, want >= 1", got)
+	}
+	if got := DefaultThreads(-5); got < 1 {
+		t.Fatalf("DefaultThreads(-5) = %d, want >= 1", got)
+	}
+}
+
+func BenchmarkForDynamic(b *testing.B) {
+	x := make([]float64, 1<<16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		For(len(x), 0, 0, func(j int) { x[j] = float64(j) * 1.5 })
+	}
+}

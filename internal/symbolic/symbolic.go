@@ -1,0 +1,147 @@
+// Package symbolic implements the symbolic TTMc preprocessing step of
+// the paper (§III.A.1): for every mode n it groups the tensor's nonzero
+// ids by their mode-n index into update lists ul_n(i), stored as a CSR
+// structure over the set J_n of nonempty slices. The structure resolves
+// all index computations and write dependencies once, before the HOOI
+// iterations, so the numeric TTMc can update each row of Y_(n)
+// independently in parallel without locks. It is built once and reused
+// by every iteration (and by every run with different ranks).
+package symbolic
+
+import (
+	"fmt"
+
+	"hypertensor/internal/par"
+	"hypertensor/internal/tensor"
+)
+
+// Mode is the symbolic structure for one mode: update lists ul_n(i) in
+// CSR form. For the r-th nonempty slice (row index Rows[r]), the nonzero
+// ids contributing to Y_(n)(Rows[r], :) are NZ[Ptr[r]:Ptr[r+1]].
+type Mode struct {
+	N    int     // which mode this structure describes
+	Rows []int32 // J_n: sorted distinct mode-n indices with nonempty slices
+	Ptr  []int32 // row pointers into NZ, len(Rows)+1
+	NZ   []int32 // nonzero ids grouped by row; a permutation of 0..nnz-1
+	// Pos maps a mode-n index to its position in Rows, or -1 when the
+	// slice is empty. Sized Dims[n]; int32 keeps it compact for the
+	// multi-million-index modes of the 4-mode datasets.
+	Pos []int32
+}
+
+// NumRows returns |J_n|, the number of nonempty slices.
+func (m *Mode) NumRows() int { return len(m.Rows) }
+
+// RowNZ returns the nonzero ids of the r-th nonempty slice.
+func (m *Mode) RowNZ(r int) []int32 { return m.NZ[m.Ptr[r]:m.Ptr[r+1]] }
+
+// Structure bundles the per-mode symbolic data for a tensor.
+type Structure struct {
+	Modes []Mode
+}
+
+// Build computes the symbolic TTMc structure for every mode of t. The
+// per-mode constructions are independent and run in parallel (the paper
+// parallelizes exactly this way), each being a counting sort over the
+// mode's index stream: histogram, prefix sum, scatter.
+func Build(t *tensor.COO, threads int) *Structure {
+	s := &Structure{Modes: make([]Mode, t.Order())}
+	par.For(t.Order(), threads, 1, func(n int) {
+		s.Modes[n] = buildMode(t, n)
+	})
+	return s
+}
+
+func buildMode(t *tensor.COO, n int) Mode {
+	dim := t.Dims[n]
+	idx := t.Idx[n]
+	nnz := len(idx)
+
+	counts := make([]int32, dim)
+	for _, ix := range idx {
+		counts[ix]++
+	}
+	// Collect nonempty rows and build Pos.
+	pos := make([]int32, dim)
+	rows := make([]int32, 0, dim)
+	for i, c := range counts {
+		if c > 0 {
+			pos[i] = int32(len(rows))
+			rows = append(rows, int32(i))
+		} else {
+			pos[i] = -1
+		}
+	}
+	ptr := make([]int32, len(rows)+1)
+	for r, row := range rows {
+		ptr[r+1] = ptr[r] + counts[row]
+	}
+	// Scatter nonzero ids; next tracks the insertion cursor per row.
+	nz := make([]int32, nnz)
+	next := make([]int32, len(rows))
+	copy(next, ptr[:len(rows)])
+	for id, ix := range idx {
+		r := pos[ix]
+		nz[next[r]] = int32(id)
+		next[r]++
+	}
+	return Mode{N: n, Rows: rows, Ptr: ptr, NZ: nz, Pos: pos}
+}
+
+// Validate checks the structural invariants: Rows sorted and within
+// range, Ptr monotone covering exactly nnz ids, NZ a permutation of
+// 0..nnz-1 where every id lands in the row matching its mode index, and
+// Pos consistent with Rows. Used by tests and available to callers
+// ingesting untrusted structures.
+func (s *Structure) Validate(t *tensor.COO) error {
+	if len(s.Modes) != t.Order() {
+		return fmt.Errorf("symbolic: %d modes for order-%d tensor", len(s.Modes), t.Order())
+	}
+	for n := range s.Modes {
+		m := &s.Modes[n]
+		if m.N != n {
+			return fmt.Errorf("symbolic: mode %d labeled %d", n, m.N)
+		}
+		if len(m.Ptr) != len(m.Rows)+1 || int(m.Ptr[len(m.Rows)]) != t.NNZ() {
+			return fmt.Errorf("symbolic: mode %d pointer structure inconsistent", n)
+		}
+		seen := make([]bool, t.NNZ())
+		for r := range m.Rows {
+			if r > 0 && m.Rows[r] <= m.Rows[r-1] {
+				return fmt.Errorf("symbolic: mode %d rows not strictly sorted", n)
+			}
+			if m.Ptr[r] > m.Ptr[r+1] {
+				return fmt.Errorf("symbolic: mode %d ptr not monotone", n)
+			}
+			if m.Pos[m.Rows[r]] != int32(r) {
+				return fmt.Errorf("symbolic: mode %d Pos inconsistent at row %d", n, r)
+			}
+			for _, id := range m.RowNZ(r) {
+				if id < 0 || int(id) >= t.NNZ() {
+					return fmt.Errorf("symbolic: mode %d nonzero id %d out of range", n, id)
+				}
+				if seen[id] {
+					return fmt.Errorf("symbolic: mode %d nonzero id %d duplicated", n, id)
+				}
+				seen[id] = true
+				if t.Idx[n][id] != m.Rows[r] {
+					return fmt.Errorf("symbolic: mode %d nonzero %d in wrong row", n, id)
+				}
+			}
+		}
+		for id, ok := range seen {
+			if !ok {
+				return fmt.Errorf("symbolic: mode %d missing nonzero id %d", n, id)
+			}
+		}
+		for i, p := range m.Pos {
+			if p == -1 {
+				continue
+			}
+			if int(p) >= len(m.Rows) || m.Rows[p] != int32(i) {
+				return fmt.Errorf("symbolic: mode %d Pos[%d] broken", n, i)
+			}
+		}
+	}
+	return nil
+}

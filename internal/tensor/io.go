@@ -1,0 +1,142 @@
+package tensor
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The .tns text format (as used by FROSTT and SPLATT): one nonzero per
+// line, N 1-based integer coordinates followed by a floating-point
+// value, '#' comments and blank lines ignored. Dimensions are inferred
+// as the per-mode maxima unless a "# dims: d1 d2 ..." header is present.
+
+// WriteTNS writes the tensor in .tns format with a dims header so the
+// exact mode sizes round-trip.
+func WriteTNS(w io.Writer, t *COO) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	fmt.Fprintf(bw, "# dims:")
+	for _, d := range t.Dims {
+		fmt.Fprintf(bw, " %d", d)
+	}
+	fmt.Fprintln(bw)
+	for i := 0; i < t.NNZ(); i++ {
+		for m := range t.Dims {
+			fmt.Fprintf(bw, "%d ", t.Idx[m][i]+1)
+		}
+		if _, err := fmt.Fprintf(bw, "%.17g\n", t.Val[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTNS parses a .tns stream. If no dims header is present the mode
+// sizes are the maxima seen per mode.
+func ReadTNS(r io.Reader) (*COO, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	var dims []int
+	var rows [][]int
+	var vals []float64
+	order := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if rest, ok := strings.CutPrefix(line, "# dims:"); ok {
+				for _, f := range strings.Fields(rest) {
+					d, err := strconv.Atoi(f)
+					if err != nil {
+						return nil, fmt.Errorf("tns line %d: bad dims header: %v", lineNo, err)
+					}
+					dims = append(dims, d)
+				}
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if order == -1 {
+			order = len(fields) - 1
+			if order < 1 {
+				return nil, fmt.Errorf("tns line %d: need at least one coordinate and a value", lineNo)
+			}
+		}
+		if len(fields) != order+1 {
+			return nil, fmt.Errorf("tns line %d: expected %d fields, got %d", lineNo, order+1, len(fields))
+		}
+		coord := make([]int, order)
+		for m := 0; m < order; m++ {
+			c, err := strconv.Atoi(fields[m])
+			if err != nil {
+				return nil, fmt.Errorf("tns line %d: bad coordinate: %v", lineNo, err)
+			}
+			if c < 1 {
+				return nil, fmt.Errorf("tns line %d: coordinates are 1-based, got %d", lineNo, c)
+			}
+			coord[m] = c - 1
+		}
+		v, err := strconv.ParseFloat(fields[order], 64)
+		if err != nil {
+			return nil, fmt.Errorf("tns line %d: bad value: %v", lineNo, err)
+		}
+		rows = append(rows, coord)
+		vals = append(vals, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if order == -1 && dims == nil {
+		return nil, fmt.Errorf("tns: empty input")
+	}
+	if dims == nil {
+		dims = make([]int, order)
+		for _, c := range rows {
+			for m, x := range c {
+				if x+1 > dims[m] {
+					dims[m] = x + 1
+				}
+			}
+		}
+	} else if order != -1 && len(dims) != order {
+		return nil, fmt.Errorf("tns: dims header has %d modes but data has %d", len(dims), order)
+	}
+	t := NewCOO(dims, len(vals))
+	for i, c := range rows {
+		if err := t.AppendChecked(c, vals[i]); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// ReadTNSFile reads a .tns tensor from the named file.
+func ReadTNSFile(path string) (*COO, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTNS(f)
+}
+
+// WriteTNSFile writes the tensor to the named file.
+func WriteTNSFile(path string, t *COO) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTNS(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

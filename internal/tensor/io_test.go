@@ -1,0 +1,108 @@
+package tensor
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTNSRoundtrip(t *testing.T) {
+	x := NewCOO([]int{4, 5, 6}, 3)
+	x.Append([]int{0, 0, 0}, 1.5)
+	x.Append([]int{3, 4, 5}, -2.25)
+	x.Append([]int{1, 2, 3}, 1e-9)
+
+	var buf bytes.Buffer
+	if err := WriteTNS(&buf, x); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTNS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Order() != 3 || got.NNZ() != 3 {
+		t.Fatalf("roundtrip shape: order=%d nnz=%d", got.Order(), got.NNZ())
+	}
+	for m := range x.Dims {
+		if got.Dims[m] != x.Dims[m] {
+			t.Fatalf("dims differ: %v vs %v", got.Dims, x.Dims)
+		}
+	}
+	for i := 0; i < x.NNZ(); i++ {
+		for m := range x.Dims {
+			if got.Idx[m][i] != x.Idx[m][i] {
+				t.Fatalf("index mismatch at nz %d mode %d", i, m)
+			}
+		}
+		if math.Abs(got.Val[i]-x.Val[i]) > 0 {
+			t.Fatalf("value mismatch at nz %d: %v vs %v", i, got.Val[i], x.Val[i])
+		}
+	}
+}
+
+func TestReadTNSWithoutHeader(t *testing.T) {
+	in := "1 1 1 2.0\n3 2 4 -1\n"
+	x, err := ReadTNS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Dims[0] != 3 || x.Dims[1] != 2 || x.Dims[2] != 4 {
+		t.Fatalf("inferred dims %v", x.Dims)
+	}
+	if x.NNZ() != 2 {
+		t.Fatalf("nnz = %d", x.NNZ())
+	}
+}
+
+func TestReadTNSCommentsAndBlank(t *testing.T) {
+	in := "# a comment\n\n1 1 3.5\n# another\n2 2 1\n"
+	x, err := ReadTNS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Order() != 2 || x.NNZ() != 2 {
+		t.Fatalf("order=%d nnz=%d", x.Order(), x.NNZ())
+	}
+}
+
+func TestReadTNSErrors(t *testing.T) {
+	cases := []string{
+		"",                   // empty
+		"1 1\n",              // missing value? (order would be 1, coordinate "1" value "1" -- actually valid)
+		"0 1 1 5\n",          // zero coordinate (1-based required)
+		"1 1 abc\n",          // bad value
+		"x 1 1 5\n",          // bad coordinate
+		"1 1 1 5\n1 1 5\n",   // inconsistent field count
+		"# dims: 2\n1 1 5\n", // header/data mode mismatch
+	}
+	for i, in := range cases {
+		if i == 1 {
+			continue // "1 1" parses as a 1-mode nonzero; skip
+		}
+		if _, err := ReadTNS(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d (%q): expected error", i, in)
+		}
+	}
+}
+
+func TestTNSFileRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.tns")
+	x := NewCOO([]int{2, 2}, 1)
+	x.Append([]int{1, 0}, 42)
+	if err := WriteTNSFile(path, x); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTNSFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != 1 || got.Val[0] != 42 {
+		t.Fatal("file roundtrip failed")
+	}
+	if _, err := ReadTNSFile(filepath.Join(dir, "missing.tns")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

@@ -1,0 +1,99 @@
+package tensor
+
+// Transformations used when preparing real-world tensors: mode
+// permutation (the TTM products of HOOI may be evaluated in any mode
+// order — §II of the paper — and reordering modes by size is a standard
+// memory lever) and empty-slice compaction (web-crawl datasets ship
+// with huge, mostly unused id spaces; compacting them shrinks factor
+// matrices and partitioning work without changing the decomposition).
+
+// Permute returns a new tensor with modes reordered so that new mode m
+// is old mode perm[m]. perm must be a permutation of 0..N-1.
+func (t *COO) Permute(perm []int) *COO {
+	if len(perm) != t.Order() {
+		panic("tensor: permutation length mismatch")
+	}
+	seen := make([]bool, t.Order())
+	for _, p := range perm {
+		if p < 0 || p >= t.Order() || seen[p] {
+			panic("tensor: invalid mode permutation")
+		}
+		seen[p] = true
+	}
+	dims := make([]int, t.Order())
+	for m, p := range perm {
+		dims[m] = t.Dims[p]
+	}
+	out := NewCOO(dims, t.NNZ())
+	for m, p := range perm {
+		out.Idx[m] = append(out.Idx[m], t.Idx[p]...)
+	}
+	out.Val = append(out.Val, t.Val...)
+	return out
+}
+
+// CompactMaps holds the index translations produced by Compact:
+// NewToOld[m][newIdx] = original index, OldToNew[m][oldIdx] = new index
+// or -1 for dropped (empty) slices.
+type CompactMaps struct {
+	NewToOld [][]int32
+	OldToNew [][]int32
+}
+
+// Compact renumbers every mode to remove empty slices, returning the
+// compacted tensor and the index maps. Factor matrices computed on the
+// compacted tensor can be expanded back with ExpandRows.
+func (t *COO) Compact() (*COO, *CompactMaps) {
+	order := t.Order()
+	maps := &CompactMaps{
+		NewToOld: make([][]int32, order),
+		OldToNew: make([][]int32, order),
+	}
+	dims := make([]int, order)
+	for m := 0; m < order; m++ {
+		counts := t.ModeCounts(m)
+		oldToNew := make([]int32, t.Dims[m])
+		var newToOld []int32
+		for i, c := range counts {
+			if c > 0 {
+				oldToNew[i] = int32(len(newToOld))
+				newToOld = append(newToOld, int32(i))
+			} else {
+				oldToNew[i] = -1
+			}
+		}
+		if len(newToOld) == 0 {
+			// Degenerate (empty tensor): keep one slot so dims stay valid.
+			newToOld = []int32{0}
+			if t.Dims[m] > 0 {
+				oldToNew[0] = 0
+			}
+		}
+		maps.NewToOld[m] = newToOld
+		maps.OldToNew[m] = oldToNew
+		dims[m] = len(newToOld)
+	}
+	out := NewCOO(dims, t.NNZ())
+	for m := 0; m < order; m++ {
+		col := out.Idx[m][:0]
+		oldToNew := maps.OldToNew[m]
+		for _, ix := range t.Idx[m] {
+			col = append(col, oldToNew[ix])
+		}
+		out.Idx[m] = col
+	}
+	out.Val = append(out.Val, t.Val...)
+	return out, maps
+}
+
+// ExpandRows scatters rows computed in a compacted index space back to
+// the original space: dst (oldDim x cols, row-major) receives
+// src's rows at the original indices; rows of dropped slices stay zero.
+// src and dst are flat row-major buffers.
+func (m *CompactMaps) ExpandRows(mode int, src []float64, cols int, oldDim int) []float64 {
+	dst := make([]float64, oldDim*cols)
+	for newIdx, oldIdx := range m.NewToOld[mode] {
+		copy(dst[int(oldIdx)*cols:(int(oldIdx)+1)*cols], src[newIdx*cols:(newIdx+1)*cols])
+	}
+	return dst
+}

@@ -1,0 +1,338 @@
+package trsvd
+
+import (
+	"fmt"
+	"math"
+
+	"hypertensor/internal/dense"
+)
+
+// Options control the iterative solvers.
+type Options struct {
+	// MaxDim caps the Krylov subspace dimension. 0 selects
+	// min(cols, max(2k+10, 30)).
+	MaxDim int
+	// Tol is the relative residual tolerance for a triplet to count as
+	// converged. 0 selects 1e-9.
+	Tol float64
+	// Seed makes start vectors (and any basis completion) deterministic.
+	Seed int64
+}
+
+// Result holds the leading singular triplets computed by a solver.
+type Result struct {
+	// U has LocalRows rows and k columns: this rank's rows of the k
+	// leading left singular vectors.
+	U *dense.Matrix
+	// Sigma are the corresponding singular value estimates, descending.
+	Sigma []float64
+	// MatVecs counts operator applications (MatVec + MatTVec), the
+	// communication-bearing steps in the distributed setting.
+	MatVecs int
+	// Converged reports whether all k residuals met the tolerance
+	// before MaxDim was reached. HOOI tolerates approximate vectors, so
+	// callers usually proceed either way.
+	Converged bool
+}
+
+func (o Options) maxDim(k, cols int) int {
+	d := o.MaxDim
+	if d <= 0 {
+		d = 2*k + 10
+		if d < 30 {
+			d = 30
+		}
+	}
+	if d > cols {
+		d = cols
+	}
+	if d < k {
+		d = k
+	}
+	return d
+}
+
+func (o Options) tol() float64 {
+	if o.Tol > 0 {
+		return o.Tol
+	}
+	return 1e-9
+}
+
+// Lanczos computes the k leading left singular vectors of the operator
+// with Golub–Kahan–Lanczos bidiagonalization and full
+// reorthogonalization. The bidiagonalization produces A·V = U·B with B
+// upper bidiagonal; the small SVD of B (one-sided Jacobi) yields Ritz
+// triplets whose residuals β·|p_s| gate convergence. On breakdown
+// (invariant subspace found) the Krylov space is restarted with a fresh
+// deterministic vector orthogonal to the current basis, so
+// rank-deficient matrices still yield a full orthonormal basis.
+func Lanczos(op Operator, k int, opts Options) (*Result, error) {
+	cols := op.Cols()
+	if k <= 0 {
+		return nil, fmt.Errorf("trsvd: k = %d must be positive", k)
+	}
+	if k > cols {
+		return nil, fmt.Errorf("trsvd: k = %d exceeds column count %d", k, cols)
+	}
+	rows := op.LocalRows()
+	maxDim := opts.maxDim(k, cols)
+	tol := opts.tol()
+
+	// Krylov bases: V (col space, replicated) and U (row space, local).
+	vBasis := make([][]float64, 0, maxDim)
+	uBasis := make([][]float64, 0, maxDim)
+	alphas := make([]float64, 0, maxDim)
+	betas := make([]float64, 0, maxDim) // betas[j] couples v_{j+1} with u_j
+
+	res := &Result{}
+	colID := func(i int) int64 { return int64(i) }
+
+	// Start vector in the column space.
+	v := make([]float64, cols)
+	hashUnit(v, opts.Seed+1, colID)
+	normalizeCols(v)
+
+	u := make([]float64, rows)
+	tmpU := make([]float64, rows)
+	tmpV := make([]float64, cols)
+
+	// First step: u_1 = A v_1 / alpha_1.
+	op.MatVec(v, u)
+	res.MatVecs++
+	alpha := math.Sqrt(op.RowDot(u, u))
+	restartSeed := opts.Seed + 100
+	if alpha <= 1e-300 {
+		// A v = 0: restart with another direction below inside the loop
+		// machinery; record a zero column pair.
+		alpha = 0
+	} else {
+		scal(1/alpha, u)
+	}
+	vBasis = append(vBasis, clone(v))
+	uBasis = append(uBasis, clone(u))
+	alphas = append(alphas, alpha)
+
+	for len(vBasis) < maxDim {
+		s := len(vBasis)
+		// r = A^T u_s - alpha_s v_s, reorthogonalized against V.
+		op.MatTVec(uBasis[s-1], tmpV)
+		res.MatVecs++
+		dense.Axpy(-alphas[s-1], vBasis[s-1], tmpV)
+		reorthCols(tmpV, vBasis)
+		beta := dense.Nrm2(tmpV)
+		// Ritz residual test with the fresh coupling beta: for the SVD
+		// B_s = P Σ Qᵀ of the current bidiagonal, the residual of the
+		// i-th triplet is beta * |P(s-1, i)|.
+		if s >= k && ritzResidualsOK(alphas, betas, beta, k, tol) {
+			res.Converged = true
+			break
+		}
+		if beta <= 1e-12*math.Max(1, alphas[s-1]) {
+			// Invariant subspace: restart with a fresh direction
+			// orthogonal to the existing V basis.
+			restartSeed++
+			hashUnit(tmpV, restartSeed, colID)
+			reorthCols(tmpV, vBasis)
+			nrm := dense.Nrm2(tmpV)
+			if nrm <= 1e-12 {
+				break // column space exhausted
+			}
+			scal(1/nrm, tmpV)
+			beta = 0
+		} else {
+			scal(1/beta, tmpV)
+		}
+		vNext := clone(tmpV)
+
+		// p = A v_{s+1} - beta_s u_s, reorthogonalized against U.
+		op.MatVec(vNext, tmpU)
+		res.MatVecs++
+		if beta != 0 {
+			axpyLocal(-beta, uBasis[s-1], tmpU)
+		}
+		reorthRows(op, tmpU, uBasis)
+		alphaNext := math.Sqrt(op.RowDot(tmpU, tmpU))
+		if alphaNext > 1e-300 {
+			scal(1/alphaNext, tmpU)
+		} else {
+			alphaNext = 0
+			zero(tmpU)
+		}
+		vBasis = append(vBasis, vNext)
+		uBasis = append(uBasis, clone(tmpU))
+		betas = append(betas, beta)
+		alphas = append(alphas, alphaNext)
+	}
+
+	u2, sigma := ritzExtract(op, uBasis, alphas, betas, k, opts)
+	res.U = u2
+	res.Sigma = sigma
+	return res, nil
+}
+
+// ritzResidualsOK solves the projected SVD of the bidiagonal built from
+// alphas (length s) and betas (length s-1) and checks the residual bound
+// nextBeta * |P(s-1, i)| <= tol * sigma_max for the k leading triplets.
+func ritzResidualsOK(alphas, betas []float64, nextBeta float64, k int, tol float64) bool {
+	s := len(alphas)
+	b := bidiagonal(alphas, betas)
+	p, sig, _ := dense.SVD(b)
+	if sig[0] == 0 {
+		return true // zero operator: trivially converged
+	}
+	for i := 0; i < k && i < s; i++ {
+		if nextBeta*math.Abs(p.At(s-1, i)) > tol*sig[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// bidiagonal assembles the small upper-bidiagonal matrix B from the
+// recurrence coefficients.
+func bidiagonal(alphas, betas []float64) *dense.Matrix {
+	s := len(alphas)
+	b := dense.NewMatrix(s, s)
+	for i := 0; i < s; i++ {
+		b.Set(i, i, alphas[i])
+		if i+1 < s {
+			b.Set(i, i+1, betas[i])
+		}
+	}
+	return b
+}
+
+// ritzExtract forms the k leading left singular vector approximations
+// U_loc = [u_1 ... u_s] * P(:, :k) and completes the basis
+// deterministically if the numerical rank fell short of k. The returned
+// matrix always has exactly k columns.
+func ritzExtract(op Operator, uBasis [][]float64, alphas, betas []float64, k int, opts Options) (*dense.Matrix, []float64) {
+	s := len(uBasis)
+	rows := op.LocalRows()
+	b := bidiagonal(alphas, betas)
+	p, sig, _ := dense.SVD(b)
+	u := dense.NewMatrix(rows, k)
+	sigma := make([]float64, k)
+	for j := 0; j < k && j < s; j++ {
+		col := make([]float64, rows)
+		for t := 0; t < s; t++ {
+			if w := p.At(t, j); w != 0 {
+				axpyLocal(w, uBasis[t], col)
+			}
+		}
+		for i := 0; i < rows; i++ {
+			u.Set(i, j, col[i])
+		}
+		sigma[j] = sig[j]
+	}
+	completeBasis(op, u, sigma, opts)
+	return u, sigma
+}
+
+// completeBasis replaces numerically zero columns of u (arising from
+// exactly rank-deficient operators) with deterministic pseudo-random
+// directions orthogonalized against the other columns via RowDot-based
+// modified Gram-Schmidt, so u always has orthonormal columns. Global row
+// ids (when available) make the completion consistent across ranks.
+func completeBasis(op Operator, u *dense.Matrix, sigma []float64, opts Options) {
+	rows := u.Rows
+	rowID := func(i int) int64 { return int64(i) }
+	if g, ok := op.(GlobalRowIDer); ok {
+		rowID = func(i int) int64 { return g.GlobalRow(i) }
+	}
+	col := make([]float64, rows)
+	for j := 0; j < u.Cols; j++ {
+		for i := 0; i < rows; i++ {
+			col[i] = u.At(i, j)
+		}
+		nrm := math.Sqrt(op.RowDot(col, col))
+		if nrm > 0.5 {
+			continue // healthy column (they are near-unit by construction)
+		}
+		// Deterministic completion.
+		for attempt := 0; attempt < 64; attempt++ {
+			hashUnit(col, opts.Seed+1000+int64(j*64+attempt), rowID)
+			for jj := 0; jj < u.Cols; jj++ {
+				if jj == j {
+					continue
+				}
+				other := make([]float64, rows)
+				for i := 0; i < rows; i++ {
+					other[i] = u.At(i, jj)
+				}
+				d := op.RowDot(col, other)
+				axpyLocal(-d, other, col)
+			}
+			nrm = math.Sqrt(op.RowDot(col, col))
+			if nrm > 1e-6 {
+				scal(1/nrm, col)
+				for i := 0; i < rows; i++ {
+					u.Set(i, j, col[i])
+				}
+				if j < len(sigma) {
+					sigma[j] = 0
+				}
+				break
+			}
+		}
+	}
+}
+
+// reorthCols orthogonalizes v (replicated column-space vector) against
+// the basis with one round of modified Gram-Schmidt (sufficient with the
+// small subspaces used here; a second pass runs when the norm drops).
+func reorthCols(v []float64, basis [][]float64) {
+	for pass := 0; pass < 2; pass++ {
+		before := dense.Nrm2(v)
+		for _, b := range basis {
+			d := dense.Dot(v, b)
+			dense.Axpy(-d, b, v)
+		}
+		if dense.Nrm2(v) > 0.7*before {
+			return
+		}
+	}
+}
+
+// reorthRows orthogonalizes u (row-space vector) against the basis using
+// the operator's global RowDot.
+func reorthRows(op Operator, u []float64, basis [][]float64) {
+	for pass := 0; pass < 2; pass++ {
+		before := math.Sqrt(op.RowDot(u, u))
+		for _, b := range basis {
+			d := op.RowDot(u, b)
+			axpyLocal(-d, b, u)
+		}
+		if math.Sqrt(op.RowDot(u, u)) > 0.7*before || before == 0 {
+			return
+		}
+	}
+}
+
+func clone(x []float64) []float64 { return append([]float64(nil), x...) }
+
+func zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+func scal(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+func axpyLocal(a float64, x, y []float64) {
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+func normalizeCols(v []float64) {
+	n := dense.Nrm2(v)
+	if n > 0 {
+		scal(1/n, v)
+	}
+}

@@ -1,0 +1,199 @@
+package trsvd
+
+import (
+	"fmt"
+	"math"
+
+	"hypertensor/internal/dense"
+)
+
+// SubspaceIteration computes the k leading left singular vectors with
+// randomized block subspace iteration on the column space: the iterate
+// W (cols x b, replicated) is refreshed as W <- orth(Aᵀ(A·W)), so the
+// only distributed operations are the operator applications — no
+// distributed QR is ever needed. After convergence the left vectors are
+// recovered as U = A·W·Q·diag(1/sigma) from the small projected
+// eigenproblem. It serves as the ablation alternative to Lanczos
+// (DESIGN.md §4) and as an independent cross-check in tests.
+func SubspaceIteration(op Operator, k int, opts Options) (*Result, error) {
+	cols := op.Cols()
+	if k <= 0 {
+		return nil, fmt.Errorf("trsvd: k = %d must be positive", k)
+	}
+	if k > cols {
+		return nil, fmt.Errorf("trsvd: k = %d exceeds column count %d", k, cols)
+	}
+	rows := op.LocalRows()
+	blk := k + 4
+	if blk > cols {
+		blk = cols
+	}
+	maxIters := opts.MaxDim
+	if maxIters <= 0 {
+		maxIters = 40
+	}
+	tol := opts.tol()
+
+	res := &Result{}
+	colID := func(i int) int64 { return int64(i) }
+
+	// W: cols x blk replicated iterate, deterministic start.
+	w := dense.NewMatrix(cols, blk)
+	for j := 0; j < blk; j++ {
+		col := make([]float64, cols)
+		hashUnit(col, opts.Seed+int64(j)+1, colID)
+		for i := 0; i < cols; i++ {
+			w.Set(i, j, col[i])
+		}
+	}
+	orthColumns(w)
+
+	y := make([]float64, rows)
+	z := make([]float64, cols)
+	prev := make([]float64, k)
+	for iter := 0; iter < maxIters; iter++ {
+		// W <- orth(A^T A W), one column at a time (blk is small).
+		next := dense.NewMatrix(cols, blk)
+		for j := 0; j < blk; j++ {
+			colIn := columnOf(w, j)
+			op.MatVec(colIn, y)
+			op.MatTVec(y, z)
+			res.MatVecs += 2
+			for i := 0; i < cols; i++ {
+				next.Set(i, j, z[i])
+			}
+		}
+		orthColumns(next)
+		w = next
+
+		// Projected Gram: S = W^T A^T A W via one more operator sweep
+		// every convergence check; estimate sigma from its eigenvalues.
+		sig := projectedSigmas(op, w, y, z, &res.MatVecs)
+		converged := iter > 0
+		for i := 0; i < k; i++ {
+			den := math.Max(sig[i], 1e-300)
+			if math.Abs(sig[i]-prev[i]) > tol*den {
+				converged = false
+			}
+		}
+		copy(prev, sig[:k])
+		if converged {
+			res.Converged = true
+			break
+		}
+	}
+
+	// Recover left vectors: B = A W (rows x blk local), projected Gram
+	// S = B^T B = Q Λ Q^T, U = B Q Λ^{-1/2}.
+	b := dense.NewMatrix(rows, blk)
+	for j := 0; j < blk; j++ {
+		op.MatVec(columnOf(w, j), y)
+		res.MatVecs++
+		for i := 0; i < rows; i++ {
+			b.Set(i, j, y[i])
+		}
+	}
+	s := dense.NewMatrix(blk, blk)
+	for a := 0; a < blk; a++ {
+		ca := columnOf(b, a)
+		for c := a; c < blk; c++ {
+			d := op.RowDot(ca, columnOf(b, c))
+			s.Set(a, c, d)
+			s.Set(c, a, d)
+		}
+	}
+	q, lam, _ := dense.SVD(s) // symmetric PSD: SVD == eigendecomposition
+	u := dense.NewMatrix(rows, k)
+	sigma := make([]float64, k)
+	for j := 0; j < k; j++ {
+		sv := math.Sqrt(math.Max(lam[j], 0))
+		sigma[j] = sv
+		if sv <= 1e-300 {
+			continue // left as zero; completed below
+		}
+		col := make([]float64, rows)
+		for t := 0; t < blk; t++ {
+			if wgt := q.At(t, j); wgt != 0 {
+				axpyLocal(wgt/sv, columnOf(b, t), col)
+			}
+		}
+		for i := 0; i < rows; i++ {
+			u.Set(i, j, col[i])
+		}
+	}
+	completeBasis(op, u, sigma, opts)
+	res.U = u
+	res.Sigma = sigma
+	return res, nil
+}
+
+// projectedSigmas estimates the leading singular values from the
+// projected Gram matrix Wᵀ Aᵀ A W (replicated, so no RowDot needed: the
+// product A W is formed locally and reduced through MatTVec).
+func projectedSigmas(op Operator, w *dense.Matrix, y, z []float64, matvecs *int) []float64 {
+	blk := w.Cols
+	g := dense.NewMatrix(blk, blk)
+	for j := 0; j < blk; j++ {
+		op.MatVec(columnOf(w, j), y)
+		op.MatTVec(y, z) // z = A^T A w_j, replicated
+		*matvecs += 2
+		for i := 0; i < blk; i++ {
+			g.Set(i, j, dense.Dot(columnOf(w, i), z))
+		}
+	}
+	_, lam, _ := dense.SVD(g)
+	out := make([]float64, blk)
+	for i := range lam {
+		out[i] = math.Sqrt(math.Max(lam[i], 0))
+	}
+	return out
+}
+
+// columnOf extracts column j of m into a fresh slice.
+func columnOf(m *dense.Matrix, j int) []float64 {
+	col := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		col[i] = m.At(i, j)
+	}
+	return col
+}
+
+// orthColumns orthonormalizes the columns of m in place (replicated
+// small matrix: plain QR).
+func orthColumns(m *dense.Matrix) {
+	q := dense.Orthonormalize(m)
+	copy(m.Data, q.Data)
+}
+
+// GramSVD computes the k leading left singular vectors of a dense matrix
+// through the explicit column-side Gram matrix G = AᵀA (cols x cols):
+// eigenvectors V of G give U = A V Σ^{-1}. With the paper's shapes the
+// column count is the small ∏R_t, so this direct method is feasible in
+// shared memory and serves as the third ablation point. (The row-side
+// Gram Y·Yᵀ the paper rules out would be I_n x I_n — exactly the
+// infeasible case §III.A.2 describes.)
+func GramSVD(a *dense.Matrix, k, threads int) (*Result, error) {
+	if k <= 0 || k > a.Cols {
+		return nil, fmt.Errorf("trsvd: invalid k = %d for %d columns", k, a.Cols)
+	}
+	g := dense.MatMulTA(a, a, threads)
+	v, lam, _ := dense.SVD(g)
+	u := dense.NewMatrix(a.Rows, k)
+	sigma := make([]float64, k)
+	for j := 0; j < k; j++ {
+		sv := math.Sqrt(math.Max(lam[j], 0))
+		sigma[j] = sv
+		if sv <= 1e-300 {
+			continue
+		}
+		col := make([]float64, a.Rows)
+		vcol := columnOf(v, j)
+		dense.Gemv(a, vcol, col, threads)
+		for i := 0; i < a.Rows; i++ {
+			u.Set(i, j, col[i]/sv)
+		}
+	}
+	op := &DenseOperator{A: a, Threads: threads}
+	completeBasis(op, u, sigma, Options{})
+	return &Result{U: u, Sigma: sigma, Converged: true}, nil
+}

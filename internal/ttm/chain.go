@@ -1,0 +1,28 @@
+package ttm
+
+import (
+	"hypertensor/internal/dense"
+	"hypertensor/internal/tensor"
+)
+
+// ChainTTMc computes the same mode-n TTMc result as TTMc but with the
+// strategy of MET (the memory-efficient Tucker implementation in the
+// Matlab Tensor Toolbox): a sequence of single-mode TTM products, each
+// materializing a semi-sparse intermediate tensor whose contracted modes
+// are dense blocks. Contraction proceeds in ascending mode order so the
+// final dense blocks use the same Kronecker layout as TTMc (later modes
+// fastest).
+//
+// It returns the set of nonempty mode-n slice indices (sorted) and the
+// compacted result matrix with one row per nonempty slice — the same
+// convention as the symbolic structure, so results compare directly.
+// This is the single-core baseline of the paper's §V MET comparison.
+func ChainTTMc(x *tensor.COO, mode int, u []*dense.Matrix) (rows []int32, y *dense.Matrix) {
+	s := FromCOO(x)
+	for m := 0; m < x.Order(); m++ {
+		if m != mode {
+			s = s.Contract(m, u[m])
+		}
+	}
+	return s.MatricizeRows(mode)
+}

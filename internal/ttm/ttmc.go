@@ -1,0 +1,188 @@
+package ttm
+
+import (
+	"hypertensor/internal/dense"
+	"hypertensor/internal/par"
+	"hypertensor/internal/symbolic"
+	"hypertensor/internal/tensor"
+)
+
+// TTMc computes the mode-n matricized tensor-times-matrix-chain product
+//
+//	Y_(n)(i, :) = sum_{x_{i_1..i_N} in X, i_n = i} x * ⊗_{t≠n} U_t(i_t, :)
+//
+// (eq. 4 of the paper) for every nonempty slice i in sm.Rows, writing
+// row r of y for slice sm.Rows[r]. y must be pre-shaped
+// sm.NumRows() x RowSize(u, sm.N); it is overwritten. U[sm.N] is not
+// referenced and may be nil.
+//
+// Rows are computed independently with dynamic scheduling (Algorithm 3
+// lines 5-8): each row is owned by exactly one worker so no locks are
+// needed, and the accumulation order within a row is fixed by the
+// symbolic structure, making the result bitwise deterministic for any
+// thread count.
+func TTMc(y *dense.Matrix, x *tensor.COO, sm *symbolic.Mode, u []*dense.Matrix, threads int) {
+	k := RowSize(u, sm.N)
+	if y.Rows != sm.NumRows() || y.Cols != k {
+		panic("ttm: TTMc output shape mismatch")
+	}
+	order := x.Order()
+	nOther := order - 1
+	// Length of the longest Kronecker prefix (everything except the
+	// last contracted mode).
+	lastMode := order - 1
+	if lastMode == sm.N {
+		lastMode--
+	}
+	prefixLen := 1
+	for t := 0; t < order; t++ {
+		if t != sm.N && t != lastMode {
+			prefixLen *= u[t].Cols
+		}
+	}
+
+	threads = par.DefaultThreads(threads)
+	type scratch struct {
+		rows [][]float64
+		bufA []float64
+		bufB []float64
+	}
+	scratches := make([]*scratch, threads)
+	par.ForDynamicWorker(sm.NumRows(), threads, 0, func(w, lo, hi int) {
+		sc := scratches[w]
+		if sc == nil {
+			sc = &scratch{
+				rows: make([][]float64, nOther),
+				bufA: make([]float64, prefixLen),
+				bufB: make([]float64, prefixLen),
+			}
+			scratches[w] = sc
+		}
+		for r := lo; r < hi; r++ {
+			row := y.Row(r)
+			for i := range row {
+				row[i] = 0
+			}
+			for _, id := range sm.RowNZ(r) {
+				j := 0
+				for t := 0; t < order; t++ {
+					if t == sm.N {
+						continue
+					}
+					sc.rows[j] = u[t].Row(int(x.Idx[t][id]))
+					j++
+				}
+				accumKron(row, x.Val[id], sc.rows, sc.bufA, sc.bufB)
+			}
+		}
+	})
+}
+
+// TTMcRows computes the TTMc result only for the symbolic row positions
+// listed in rows (ascending positions into sm.Rows): y.Row(j) receives
+// the row for slice sm.Rows[rows[j]]. The coarse-grain distributed
+// algorithm uses this to evaluate exactly its owned set K_n = I_n^k
+// (Algorithm 4 lines 3-4, 9-12) from a local tensor that also stores
+// nonzeros owned through other modes.
+func TTMcRows(y *dense.Matrix, x *tensor.COO, sm *symbolic.Mode, rows []int32, u []*dense.Matrix, threads int) {
+	k := RowSize(u, sm.N)
+	if y.Rows != len(rows) || y.Cols != k {
+		panic("ttm: TTMcRows output shape mismatch")
+	}
+	order := x.Order()
+	nOther := order - 1
+	lastMode := order - 1
+	if lastMode == sm.N {
+		lastMode--
+	}
+	prefixLen := 1
+	for t := 0; t < order; t++ {
+		if t != sm.N && t != lastMode {
+			prefixLen *= u[t].Cols
+		}
+	}
+	threads = par.DefaultThreads(threads)
+	type scratch struct {
+		rows [][]float64
+		bufA []float64
+		bufB []float64
+	}
+	scratches := make([]*scratch, threads)
+	par.ForDynamicWorker(len(rows), threads, 0, func(w, lo, hi int) {
+		sc := scratches[w]
+		if sc == nil {
+			sc = &scratch{
+				rows: make([][]float64, nOther),
+				bufA: make([]float64, prefixLen),
+				bufB: make([]float64, prefixLen),
+			}
+			scratches[w] = sc
+		}
+		for j := lo; j < hi; j++ {
+			row := y.Row(j)
+			for i := range row {
+				row[i] = 0
+			}
+			for _, id := range sm.RowNZ(int(rows[j])) {
+				q := 0
+				for t := 0; t < order; t++ {
+					if t == sm.N {
+						continue
+					}
+					sc.rows[q] = u[t].Row(int(x.Idx[t][id]))
+					q++
+				}
+				accumKron(row, x.Val[id], sc.rows, sc.bufA, sc.bufB)
+			}
+		}
+	})
+}
+
+// TTMcNaive is the un-fused variant used as an ablation baseline: for
+// every nonzero it materializes the full Kronecker product in a
+// temporary of length RowSize and then adds it to the row. Numerically
+// it matches TTMc to rounding; the benchmark quantifies the cost of the
+// extra temporary traffic.
+func TTMcNaive(y *dense.Matrix, x *tensor.COO, sm *symbolic.Mode, u []*dense.Matrix, threads int) {
+	k := RowSize(u, sm.N)
+	if y.Rows != sm.NumRows() || y.Cols != k {
+		panic("ttm: TTMcNaive output shape mismatch")
+	}
+	order := x.Order()
+	threads = par.DefaultThreads(threads)
+	type scratch struct {
+		rows [][]float64
+		kron []float64
+	}
+	scratches := make([]*scratch, threads)
+	par.ForDynamicWorker(sm.NumRows(), threads, 0, func(w, lo, hi int) {
+		sc := scratches[w]
+		if sc == nil {
+			sc = &scratch{rows: make([][]float64, order-1), kron: make([]float64, k)}
+			scratches[w] = sc
+		}
+		for r := lo; r < hi; r++ {
+			row := y.Row(r)
+			for i := range row {
+				row[i] = 0
+			}
+			for _, id := range sm.RowNZ(r) {
+				j := 0
+				for t := 0; t < order; t++ {
+					if t == sm.N {
+						continue
+					}
+					sc.rows[j] = u[t].Row(int(x.Idx[t][id]))
+					j++
+				}
+				KronRows(sc.rows, sc.kron)
+				dense.Axpy(x.Val[id], sc.kron, row)
+			}
+		}
+	})
+}
+
+// Flops returns the multiply-add count of one TTMc call for the given
+// mode: nnz * RowSize (the final AXPY dominates; prefix terms are a
+// geometric series below it). It is the W_TTMc statistic of Table III.
+func Flops(nnz, rowSize int) int64 { return int64(nnz) * int64(rowSize) }

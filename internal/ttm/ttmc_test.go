@@ -1,0 +1,329 @@
+package ttm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hypertensor/internal/dense"
+	"hypertensor/internal/gen"
+	"hypertensor/internal/symbolic"
+	"hypertensor/internal/tensor"
+)
+
+// kronMatrix builds the explicit Kronecker product of the given matrices
+// (later matrices fastest), the reference operand for TTMc testing:
+// Y_(n) = X_(n) * (U_{t1} ⊗ U_{t2} ⊗ ...).
+func kronMatrix(ms []*dense.Matrix) *dense.Matrix {
+	rows, cols := 1, 1
+	for _, m := range ms {
+		rows *= m.Rows
+		cols *= m.Cols
+	}
+	out := dense.NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			v, ri, cj := 1.0, i, j
+			// Decode multi-indices with the last matrix fastest.
+			rdiv := rows
+			cdiv := cols
+			for _, m := range ms {
+				rdiv /= m.Rows
+				cdiv /= m.Cols
+				v *= m.At(ri/rdiv, cj/cdiv)
+				ri %= rdiv
+				cj %= cdiv
+			}
+			out.Set(i, j, v)
+		}
+	}
+	return out
+}
+
+// denseTTMcRef computes the full mode-n TTMc result via explicit dense
+// matricization and Kronecker matrices. Rows for empty slices are zero.
+func denseTTMcRef(x *tensor.COO, mode int, u []*dense.Matrix) *dense.Matrix {
+	xd := tensor.DenseFromCOO(x)
+	others := make([]*dense.Matrix, 0, len(u)-1)
+	for t, m := range u {
+		if t != mode {
+			others = append(others, m)
+		}
+	}
+	return dense.MatMul(xd.Matricize(mode), kronMatrix(others), 1)
+}
+
+// randomSetup builds a random sparse tensor, factor matrices, and the
+// symbolic structure.
+func randomSetup(rng *rand.Rand, dims, ranks []int, nnz int) (*tensor.COO, []*dense.Matrix, *symbolic.Structure) {
+	x := tensor.NewCOO(dims, nnz)
+	coord := make([]int, len(dims))
+	for i := 0; i < nnz; i++ {
+		for m := range coord {
+			coord[m] = rng.Intn(dims[m])
+		}
+		x.Append(coord, rng.NormFloat64())
+	}
+	x.SortDedup()
+	u := make([]*dense.Matrix, len(dims))
+	for m := range u {
+		u[m] = dense.RandomNormal(dims[m], ranks[m], rng)
+	}
+	return x, u, symbolic.Build(x, 1)
+}
+
+func TestTTMcMatchesDenseReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	cases := []struct {
+		dims, ranks []int
+		nnz         int
+	}{
+		{[]int{5, 6}, []int{2, 3}, 12},
+		{[]int{4, 5, 6}, []int{2, 3, 2}, 30},
+		{[]int{3, 4, 5, 2}, []int{2, 2, 3, 2}, 25},
+	}
+	for _, tc := range cases {
+		x, u, sym := randomSetup(rng, tc.dims, tc.ranks, tc.nnz)
+		for mode := 0; mode < x.Order(); mode++ {
+			sm := &sym.Modes[mode]
+			ref := denseTTMcRef(x, mode, u)
+			for _, threads := range []int{1, 3} {
+				y := dense.NewMatrix(sm.NumRows(), RowSize(u, mode))
+				TTMc(y, x, sm, u, threads)
+				for r, row := range sm.Rows {
+					for c := 0; c < y.Cols; c++ {
+						if math.Abs(y.At(r, c)-ref.At(int(row), c)) > 1e-10 {
+							t.Fatalf("dims=%v mode=%d threads=%d: Y(%d,%d) = %v, want %v",
+								tc.dims, mode, threads, row, c, y.At(r, c), ref.At(int(row), c))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTTMcDeterministicAcrossThreads(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	x, u, sym := randomSetup(rng, []int{30, 20, 25}, []int{4, 3, 5}, 400)
+	sm := &sym.Modes[1]
+	y1 := dense.NewMatrix(sm.NumRows(), RowSize(u, 1))
+	y4 := dense.NewMatrix(sm.NumRows(), RowSize(u, 1))
+	TTMc(y1, x, sm, u, 1)
+	TTMc(y4, x, sm, u, 4)
+	for i := range y1.Data {
+		if y1.Data[i] != y4.Data[i] {
+			t.Fatalf("thread count changed bits at %d: %v vs %v", i, y1.Data[i], y4.Data[i])
+		}
+	}
+}
+
+func TestTTMcNaiveMatchesFused(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	x, u, sym := randomSetup(rng, []int{10, 12, 8, 6}, []int{3, 2, 4, 2}, 200)
+	for mode := 0; mode < x.Order(); mode++ {
+		sm := &sym.Modes[mode]
+		k := RowSize(u, mode)
+		yf := dense.NewMatrix(sm.NumRows(), k)
+		yn := dense.NewMatrix(sm.NumRows(), k)
+		TTMc(yf, x, sm, u, 2)
+		TTMcNaive(yn, x, sm, u, 2)
+		if !yf.Equal(yn, 1e-10) {
+			t.Fatalf("mode %d: naive and fused TTMc disagree", mode)
+		}
+	}
+}
+
+func TestTTMcMatrixCase(t *testing.T) {
+	// Order 2: Y_(0) = X * U_1, a plain sparse-times-dense product.
+	rng := rand.New(rand.NewSource(24))
+	x, u, sym := randomSetup(rng, []int{7, 9}, []int{3, 4}, 20)
+	sm := &sym.Modes[0]
+	y := dense.NewMatrix(sm.NumRows(), RowSize(u, 0))
+	TTMc(y, x, sm, u, 1)
+	ref := denseTTMcRef(x, 0, u)
+	for r, row := range sm.Rows {
+		for c := 0; c < y.Cols; c++ {
+			if math.Abs(y.At(r, c)-ref.At(int(row), c)) > 1e-10 {
+				t.Fatal("order-2 TTMc wrong")
+			}
+		}
+	}
+}
+
+func TestChainTTMcMatchesFused(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	for _, tc := range []struct {
+		dims, ranks []int
+		nnz         int
+	}{
+		{[]int{6, 7, 8}, []int{2, 3, 2}, 60},
+		{[]int{4, 5, 3, 6}, []int{2, 2, 2, 3}, 40},
+	} {
+		x, u, sym := randomSetup(rng, tc.dims, tc.ranks, tc.nnz)
+		for mode := 0; mode < x.Order(); mode++ {
+			sm := &sym.Modes[mode]
+			y := dense.NewMatrix(sm.NumRows(), RowSize(u, mode))
+			TTMc(y, x, sm, u, 1)
+			rows, yc := ChainTTMc(x, mode, u)
+			if len(rows) != sm.NumRows() {
+				t.Fatalf("mode %d: chain found %d rows, want %d", mode, len(rows), sm.NumRows())
+			}
+			for r := range rows {
+				if rows[r] != sm.Rows[r] {
+					t.Fatalf("mode %d: chain row order differs at %d", mode, r)
+				}
+			}
+			if !y.Equal(yc, 1e-9) {
+				t.Fatalf("dims=%v mode %d: chain result differs", tc.dims, mode)
+			}
+		}
+	}
+}
+
+func TestCoreMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	dims, ranks := []int{5, 6, 4}, []int{2, 3, 2}
+	x, u, sym := randomSetup(rng, dims, ranks, 40)
+	// Orthonormal factors are the realistic input (HOOI maintains this).
+	for m := range u {
+		u[m] = dense.Orthonormalize(u[m])
+	}
+	last := x.Order() - 1
+	sm := &sym.Modes[last]
+	y := dense.NewMatrix(sm.NumRows(), RowSize(u, last))
+	TTMc(y, x, sm, u, 1)
+	g := Core(y, sm, u[last], ranks, 1)
+
+	// Naive reference: g[p,q,r] = sum_x x * U0(i,p) U1(j,q) U2(k,r).
+	want := tensor.NewDense(ranks)
+	coord := make([]int, 3)
+	for t2 := 0; t2 < x.NNZ(); t2++ {
+		x.Coord(t2, coord)
+		v := x.Val[t2]
+		for p := 0; p < ranks[0]; p++ {
+			for q := 0; q < ranks[1]; q++ {
+				for r := 0; r < ranks[2]; r++ {
+					want.Data[want.Offset([]int{p, q, r})] +=
+						v * u[0].At(coord[0], p) * u[1].At(coord[1], q) * u[2].At(coord[2], r)
+				}
+			}
+		}
+	}
+	for i := range want.Data {
+		if math.Abs(g.Data[i]-want.Data[i]) > 1e-10 {
+			t.Fatalf("core mismatch at %d: %v vs %v", i, g.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestCoreMatricizedRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	ranks := []int{3, 2, 4}
+	g := tensor.NewDense(ranks)
+	for i := range g.Data {
+		g.Data[i] = rng.NormFloat64()
+	}
+	for mode := 0; mode < 3; mode++ {
+		m := MatricizeCore(g, mode)
+		back := CoreFromMatricized(m, ranks, mode)
+		for i := range g.Data {
+			if g.Data[i] != back.Data[i] {
+				t.Fatalf("mode %d roundtrip failed at %d", mode, i)
+			}
+		}
+	}
+}
+
+func TestKronRows(t *testing.T) {
+	dst := make([]float64, 6)
+	KronRows([][]float64{{1, 2}, {3, 4, 5}}, dst)
+	want := []float64{3, 4, 5, 6, 8, 10}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("KronRows = %v, want %v", dst, want)
+		}
+	}
+	one := make([]float64, 1)
+	KronRows(nil, one)
+	if one[0] != 1 {
+		t.Fatal("empty KronRows should yield [1]")
+	}
+}
+
+// Property: Kronecker norm multiplicativity ||u ⊗ v|| = ||u||·||v||, and
+// the mixed-product dot identity (u⊗v)·(x⊗y) = (u·x)(v·y).
+func TestKronProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n1, n2 := 1+rng.Intn(6), 1+rng.Intn(6)
+		u := randVec(rng, n1)
+		v := randVec(rng, n2)
+		xv := randVec(rng, n1)
+		yv := randVec(rng, n2)
+		uv := make([]float64, n1*n2)
+		xy := make([]float64, n1*n2)
+		KronRows([][]float64{u, v}, uv)
+		KronRows([][]float64{xv, yv}, xy)
+		if math.Abs(dense.Nrm2(uv)-dense.Nrm2(u)*dense.Nrm2(v)) > 1e-10 {
+			return false
+		}
+		return math.Abs(dense.Dot(uv, xy)-dense.Dot(u, xv)*dense.Dot(v, yv)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestRowSizeAndFlops(t *testing.T) {
+	u := []*dense.Matrix{dense.NewMatrix(5, 2), dense.NewMatrix(6, 3), dense.NewMatrix(7, 4)}
+	if RowSize(u, 0) != 12 || RowSize(u, 1) != 8 || RowSize(u, 2) != 6 {
+		t.Fatal("RowSize wrong")
+	}
+	if Flops(100, 12) != 1200 {
+		t.Fatal("Flops wrong")
+	}
+}
+
+func BenchmarkTTMcFused(b *testing.B) {
+	x := gen.Random(gen.Config{Dims: []int{3000, 2000, 1500}, NNZ: 100000, Skew: 0.6, Seed: 1})
+	rng := rand.New(rand.NewSource(2))
+	u := make([]*dense.Matrix, 3)
+	for m := range u {
+		u[m] = dense.RandomNormal(x.Dims[m], 10, rng)
+	}
+	sym := symbolic.Build(x, 0)
+	sm := &sym.Modes[0]
+	y := dense.NewMatrix(sm.NumRows(), RowSize(u, 0))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TTMc(y, x, sm, u, 0)
+	}
+}
+
+func BenchmarkTTMcNaive(b *testing.B) {
+	x := gen.Random(gen.Config{Dims: []int{3000, 2000, 1500}, NNZ: 100000, Skew: 0.6, Seed: 1})
+	rng := rand.New(rand.NewSource(2))
+	u := make([]*dense.Matrix, 3)
+	for m := range u {
+		u[m] = dense.RandomNormal(x.Dims[m], 10, rng)
+	}
+	sym := symbolic.Build(x, 0)
+	sm := &sym.Modes[0]
+	y := dense.NewMatrix(sm.NumRows(), RowSize(u, 0))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TTMcNaive(y, x, sm, u, 0)
+	}
+}
