@@ -82,6 +82,26 @@ func BenchmarkMET_Comparison(b *testing.B) {
 	b.ReportMetric(lastRatio, "met/ours-speedup")
 }
 
+// BenchmarkDTreeVsFlat reports the dimension-tree TTMc comparison: the
+// per-sweep flop ratio on the 4-mode Flickr-like tensor is the headline
+// metric (host independent), alongside the measured sweep times.
+func BenchmarkDTreeVsFlat(b *testing.B) {
+	o := benchOpts()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.DTreeCompare(o, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Dataset == "flickr" {
+				ratio = r.FlopRatio
+			}
+		}
+	}
+	b.ReportMetric(ratio, "flat/dtree-flops")
+}
+
 // --- Ablations -------------------------------------------------------
 
 // ablationSetup builds a mid-size tensor with factor matrices and the

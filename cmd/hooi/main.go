@@ -29,6 +29,7 @@ func main() {
 		algo    = flag.String("algo", "hooi", "algorithm: hooi | sthosvd | sthosvd+hooi")
 		initM   = flag.String("init", "random", "factor initialization: random | hosvd")
 		svd     = flag.String("svd", "lanczos", "TRSVD solver: lanczos | subspace | gram")
+		ttmc    = flag.String("ttmc", "flat", "TTMc strategy: flat | dtree (memoized dimension tree)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		distP   = flag.Int("dist", 0, "run distributed with this many simulated ranks (0 = shared memory)")
 		grain   = flag.String("grain", "fine", "distributed task grain: fine | coarse")
@@ -109,6 +110,14 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown svd %q", *svd))
 	}
+	switch *ttmc {
+	case "flat":
+		opts.TTMc = hypertensor.TTMcFlat
+	case "dtree":
+		opts.TTMc = hypertensor.TTMcDTree
+	default:
+		fail(fmt.Errorf("unknown ttmc strategy %q", *ttmc))
+	}
 	dec, err := hypertensor.Decompose(x, opts)
 	if err != nil {
 		fail(err)
@@ -120,6 +129,11 @@ func main() {
 	fmt.Println(hypertensor.Summary(dec))
 	fmt.Printf("timings: symbolic=%v ttmc=%v trsvd=%v core=%v\n",
 		dec.Timings.Symbolic, dec.Timings.TTMc, dec.Timings.TRSVD, dec.Timings.Core)
+	fmt.Printf("ttmc: strategy=%s flops=%d", *ttmc, dec.TTMcFlops)
+	if *ttmc == "dtree" {
+		fmt.Printf(" (node recompute time %v)", dec.Timings.TTMcNodes)
+	}
+	fmt.Println()
 	for i, f := range dec.FitHistory {
 		fmt.Printf("  sweep %2d: fit %.8f\n", i+1, f)
 	}

@@ -22,6 +22,7 @@ func main() {
 	var (
 		table = flag.Int("table", 0, "regenerate one table (1-5)")
 		met   = flag.Bool("met", false, "run the MET single-core comparison")
+		dtree = flag.Bool("dtree", false, "run the dimension-tree vs flat TTMc comparison")
 		all   = flag.Bool("all", false, "run every experiment")
 		scale = flag.Float64("scale", 1.0, "dataset scale (1.0 ~ 1/500 of the paper's nonzeros)")
 		iters = flag.Int("iters", 5, "HOOI sweeps per measurement (paper: 5)")
@@ -31,7 +32,7 @@ func main() {
 		seed  = flag.Int64("seed", 1, "seed for datasets and partitioners")
 	)
 	flag.Parse()
-	if !*all && *table == 0 && !*met {
+	if !*all && *table == 0 && !*met && !*dtree {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -73,6 +74,10 @@ func main() {
 		if _, err := bench.MET(o, out); err != nil {
 			fail(err)
 		}
+		fmt.Fprintln(out)
+		if _, err := bench.DTreeCompare(o, out); err != nil {
+			fail(err)
+		}
 		return
 	}
 	if *table != 0 {
@@ -83,6 +88,11 @@ func main() {
 	}
 	if *met {
 		if _, err := bench.MET(o, out); err != nil {
+			fail(err)
+		}
+	}
+	if *dtree {
+		if _, err := bench.DTreeCompare(o, out); err != nil {
 			fail(err)
 		}
 	}

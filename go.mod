@@ -1,0 +1,3 @@
+module hypertensor
+
+go 1.24

@@ -61,6 +61,9 @@ type (
 	// SVDMethod selects the TRSVD solver (SVDLanczos, SVDSubspace,
 	// SVDGram).
 	SVDMethod = core.SVDMethod
+	// TTMcStrategy selects the TTMc evaluation path (TTMcFlat,
+	// TTMcDTree).
+	TTMcStrategy = core.TTMcStrategy
 	// Partition is a distributed task assignment (rows and, for fine
 	// grain, nonzeros) for P ranks.
 	Partition = dist.Partition
@@ -90,6 +93,9 @@ const (
 	SVDLanczos  = core.SVDLanczos
 	SVDSubspace = core.SVDSubspace
 	SVDGram     = core.SVDGram
+
+	TTMcFlat  = core.TTMcFlat
+	TTMcDTree = core.TTMcDTree
 
 	CoarseGrain = dist.Coarse
 	FineGrain   = dist.Fine

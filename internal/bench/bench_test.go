@@ -118,6 +118,30 @@ func TestTableV(t *testing.T) {
 	}
 }
 
+func TestDTreeCompare(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := DTreeCompare(quickOpts(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.FlatFlops <= 0 || r.TreeFlops <= 0 {
+			t.Fatalf("%s: flop counters empty", r.Dataset)
+		}
+		// The acceptance bar: on 4-mode tensors the memoized tree must
+		// do strictly less TTMc work per sweep than the flat path.
+		if r.Order >= 4 && r.TreeFlops >= r.FlatFlops {
+			t.Fatalf("%s (%d modes): dtree %d madds >= flat %d", r.Dataset, r.Order, r.TreeFlops, r.FlatFlops)
+		}
+	}
+	if !strings.Contains(buf.String(), "dtree") {
+		t.Fatal("table output missing dtree column")
+	}
+}
+
 func TestMET(t *testing.T) {
 	var buf bytes.Buffer
 	res, err := MET(quickOpts(), &buf)

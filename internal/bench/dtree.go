@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"hypertensor/internal/core"
+)
+
+// DTreeRow compares one dataset's HOOI sweep cost under the flat
+// (recompute-everything) TTMc and the memoized dimension tree: the
+// multiply-add counts per sweep (host independent) and the measured
+// TTMc seconds per sweep (host dependent).
+type DTreeRow struct {
+	Dataset   string
+	Order     int
+	FlatFlops int64 // TTMc madds per sweep, flat path
+	TreeFlops int64 // TTMc madds per sweep, dimension tree
+	FlopRatio float64
+	FlatSec   float64 // TTMc seconds per sweep, flat path
+	TreeSec   float64 // TTMc seconds per sweep, dimension tree
+	Speedup   float64
+}
+
+// DTreeCompare runs the flat-vs-dimension-tree TTMc comparison on one
+// 3-mode and two 4-mode datasets. The tree's flop saving comes from
+// reusing internal-node contractions across the modes of a sweep, so
+// the 4-mode tensors are where the roughly 2x reduction shows up; the
+// 3-mode gain depends on how much the leading mode pair merges.
+func DTreeCompare(o Options, w io.Writer) ([]DTreeRow, error) {
+	o = o.withDefaults()
+	t := &Table{
+		Title:   fmt.Sprintf("Dimension-tree TTMc vs flat (per HOOI sweep, %d sweeps measured)", o.Iters),
+		Headers: []string{"Tensor", "modes", "flat madds", "dtree madds", "ratio", "flat s/sweep", "dtree s/sweep", "speedup"},
+	}
+	var rows []DTreeRow
+	for _, name := range []string{"netflix", "delicious", "flickr"} {
+		x, err := dataset(name, o.Scale)
+		if err != nil {
+			return nil, err
+		}
+		ranks := ranksFor(x)
+		run := func(strategy core.TTMcStrategy) (*core.Result, error) {
+			return core.Decompose(x, core.Options{
+				Ranks:    ranks,
+				MaxIters: o.Iters,
+				Tol:      -1,
+				Seed:     o.Seed + 9,
+				TTMc:     strategy,
+			})
+		}
+		flat, err := run(core.TTMcFlat)
+		if err != nil {
+			return nil, fmt.Errorf("%s flat: %w", name, err)
+		}
+		tree, err := run(core.TTMcDTree)
+		if err != nil {
+			return nil, fmt.Errorf("%s dtree: %w", name, err)
+		}
+		it := float64(flat.Iters)
+		row := DTreeRow{
+			Dataset:   name,
+			Order:     x.Order(),
+			FlatFlops: flat.TTMcFlops / int64(flat.Iters),
+			TreeFlops: tree.TTMcFlops / int64(tree.Iters),
+			FlatSec:   flat.Timings.TTMc.Seconds() / it,
+			TreeSec:   tree.Timings.TTMc.Seconds() / it,
+		}
+		if row.TreeFlops > 0 {
+			row.FlopRatio = float64(row.FlatFlops) / float64(row.TreeFlops)
+		}
+		if row.TreeSec > 0 {
+			row.Speedup = row.FlatSec / row.TreeSec
+		}
+		rows = append(rows, row)
+		t.AddRow(name, fmt.Sprintf("%d", row.Order),
+			humanCount(row.FlatFlops), humanCount(row.TreeFlops),
+			fmt.Sprintf("%.2fx", row.FlopRatio),
+			secs(row.FlatSec), secs(row.TreeSec),
+			fmt.Sprintf("%.2fx", row.Speedup))
+	}
+	t.Render(w)
+	return rows, nil
+}

@@ -17,8 +17,12 @@ import (
 type Timings struct {
 	Symbolic time.Duration // one-time symbolic TTMc preprocessing
 	TTMc     time.Duration
-	TRSVD    time.Duration
-	Core     time.Duration
+	// TTMcNodes is the share of TTMc spent recomputing internal
+	// dimension-tree nodes (zero for the flat strategy); the remainder
+	// of TTMc is leaf emission.
+	TTMcNodes time.Duration
+	TRSVD     time.Duration
+	Core      time.Duration
 }
 
 // Total returns the summed iteration time (excluding Symbolic).
@@ -39,6 +43,11 @@ type Result struct {
 	Iters int
 	// Timings is the phase breakdown.
 	Timings Timings
+	// TTMcFlops is the multiply-add count of all TTMc work performed
+	// (dominant AXPY terms): for the flat strategy, modes x sweeps x
+	// nnz x row size; for the dimension tree, the memoized — typically
+	// much smaller — actual count.
+	TTMcFlops int64
 }
 
 // Decompose runs the shared-memory parallel HOOI algorithm
@@ -58,6 +67,10 @@ func Decompose(x *tensor.COO, optsIn Options) (*Result, error) {
 
 	start := time.Now()
 	sym := symbolic.Build(x, opts.Threads)
+	var tree *ttm.DTree
+	if opts.TTMc == TTMcDTree {
+		tree = ttm.NewDTree(x)
+	}
 	res.Timings.Symbolic = time.Since(start)
 
 	factors := initFactors(x, opts)
@@ -72,7 +85,12 @@ func Decompose(x *tensor.COO, optsIn Options) (*Result, error) {
 			sm := &sym.Modes[n]
 
 			t0 := time.Now()
-			ttm.TTMc(ys[n], x, sm, factors, opts.Threads)
+			if tree != nil {
+				tree.TTMc(ys[n], n, factors, opts.Threads)
+			} else {
+				ttm.TTMc(ys[n], x, sm, factors, opts.Threads)
+				res.TTMcFlops += ttm.Flops(x.NNZ(), ys[n].Cols)
+			}
 			res.Timings.TTMc += time.Since(t0)
 
 			t0 = time.Now()
@@ -81,6 +99,9 @@ func Decompose(x *tensor.COO, optsIn Options) (*Result, error) {
 				return nil, fmt.Errorf("core: TRSVD failed in mode %d: %w", n, err)
 			}
 			scatterRows(factors[n], uc, sm)
+			if tree != nil {
+				tree.Invalidate(n)
+			}
 			res.Timings.TRSVD += time.Since(t0)
 		}
 
@@ -98,6 +119,10 @@ func Decompose(x *tensor.COO, optsIn Options) (*Result, error) {
 			break
 		}
 		prevFit = fit
+	}
+	if tree != nil {
+		res.TTMcFlops = tree.Flops()
+		res.Timings.TTMcNodes = tree.NodeTime()
 	}
 	res.Factors = factors
 	return res, nil

@@ -1,0 +1,471 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hypertensor/internal/dense"
+	"hypertensor/internal/mpi"
+	"hypertensor/internal/symbolic"
+	"hypertensor/internal/tensor"
+	"hypertensor/internal/trsvd"
+	"hypertensor/internal/ttm"
+)
+
+// Config configures a distributed decomposition.
+type Config struct {
+	// Ranks holds the target Tucker rank per mode. Required.
+	Ranks []int
+	// MaxIters caps the ALS sweeps. 0 selects 50.
+	MaxIters int
+	// Tol stops when the fit improves by less than this between sweeps.
+	// 0 selects 1e-5; negative disables the test.
+	Tol float64
+	// Seed makes the decomposition deterministic.
+	Seed int64
+	// Initial optionally supplies explicit initial factor matrices;
+	// when nil, DefaultInitial(x.Dims, Ranks, Seed) is used.
+	Initial []*dense.Matrix
+}
+
+// ModeStats carries one rank's per-mode work and communication counts
+// for a single HOOI iteration (the paper's Table III statistics).
+type ModeStats struct {
+	// WTTMc is the TTMc multiply-add count: local nonzeros times the
+	// TTMc row size.
+	WTTMc int64
+	// WTRSVD is the per-operator-pass TRSVD work: owned rows times the
+	// row size.
+	WTRSVD int64
+	// CommBytes is the bytes this rank sent during the mode's fold,
+	// TRSVD, and factor-exchange phases, averaged over iterations.
+	CommBytes int64
+}
+
+// Stats aggregates per-rank measurements of a distributed run.
+type Stats struct {
+	// P is the number of simulated ranks.
+	P int
+	// WallPerIter is the wall-clock time per HOOI sweep (host
+	// dependent: simulated ranks time-share the host's cores).
+	WallPerIter time.Duration
+	// Per-rank phase times, accumulated over all sweeps.
+	SymbolicTime []time.Duration
+	TTMcTime     []time.Duration
+	TRSVDTime    []time.Duration
+	CoreTime     []time.Duration
+	// Mode[n][r] is rank r's per-iteration statistics in mode n.
+	Mode [][]ModeStats
+}
+
+// Result is a distributed Tucker decomposition with per-rank statistics.
+type Result struct {
+	// Factors are the orthonormal factor matrices (identical on every
+	// rank by construction).
+	Factors []*dense.Matrix
+	// Core is the dense core tensor.
+	Core *tensor.Dense
+	// Fit is 1 - ||X - X̂||/||X|| after the final sweep.
+	Fit float64
+	// FitHistory records the fit after every sweep.
+	FitHistory []float64
+	// Iters is the number of completed sweeps.
+	Iters int
+	// Stats carries the per-rank measurements.
+	Stats *Stats
+}
+
+func (cfg Config) validate(x *tensor.COO, part *Partition) error {
+	if x.NNZ() == 0 {
+		return fmt.Errorf("dist: cannot decompose an empty tensor")
+	}
+	if part == nil || part.P < 1 || len(part.RowOwner) != x.Order() {
+		return fmt.Errorf("dist: partition does not match tensor")
+	}
+	if len(cfg.Ranks) != x.Order() {
+		return fmt.Errorf("dist: %d ranks for an order-%d tensor", len(cfg.Ranks), x.Order())
+	}
+	for n, r := range cfg.Ranks {
+		if r < 1 || r > x.Dims[n] {
+			return fmt.Errorf("dist: rank %d invalid for mode %d (size %d)", r, n, x.Dims[n])
+		}
+		other := 1
+		for t, rt := range cfg.Ranks {
+			if t != n {
+				other *= rt
+			}
+		}
+		if r > other {
+			return fmt.Errorf("dist: rank %d in mode %d exceeds product of other ranks (%d)", r, n, other)
+		}
+	}
+	return nil
+}
+
+// Decompose runs the distributed-memory HOOI (Algorithm 4) over the
+// partition's simulated ranks. The result is deterministic for a fixed
+// partition and config: every collective accumulates in fixed rank
+// order, so all ranks observe bitwise-identical factor iterates.
+func Decompose(x *tensor.COO, part *Partition, cfg Config) (*Result, error) {
+	if err := cfg.validate(x, part); err != nil {
+		return nil, err
+	}
+	order := x.Order()
+	p := part.P
+	maxIters := cfg.MaxIters
+	if maxIters == 0 {
+		maxIters = 50
+	}
+	tol := cfg.Tol
+	if tol == 0 {
+		tol = 1e-5
+	}
+
+	gsym := symbolic.Build(x, 0)
+	normX := x.Norm(0)
+	initial := cfg.Initial
+	if initial == nil {
+		initial = DefaultInitial(x.Dims, cfg.Ranks, cfg.Seed)
+	}
+
+	// allOwned[n][r] lists the mode-n slices owned by rank r, ascending.
+	// It is derived from the shared partition, so every rank can compute
+	// factor-row placement without extra communication.
+	allOwned := make([][][]int32, order)
+	for n := 0; n < order; n++ {
+		allOwned[n] = make([][]int32, p)
+		for _, row := range gsym.Modes[n].Rows {
+			r := part.RowOwner[n][row]
+			allOwned[n][r] = append(allOwned[n][r], row)
+		}
+	}
+
+	stats := &Stats{
+		P:            p,
+		SymbolicTime: make([]time.Duration, p),
+		TTMcTime:     make([]time.Duration, p),
+		TRSVDTime:    make([]time.Duration, p),
+		CoreTime:     make([]time.Duration, p),
+		Mode:         make([][]ModeStats, order),
+	}
+	for n := range stats.Mode {
+		stats.Mode[n] = make([]ModeStats, p)
+	}
+
+	res := &Result{Stats: stats}
+	var wallStart, wallEnd time.Time
+
+	world := mpi.NewWorld(p)
+	err := world.Run(func(c *mpi.Comm) {
+		me := c.Rank()
+		setupStart := time.Now()
+		rk := newRankState(c, x, part, gsym, allOwned, cfg.Ranks, initial)
+		stats.SymbolicTime[me] = time.Since(setupStart)
+
+		c.Barrier()
+		if me == 0 {
+			wallStart = time.Now()
+		}
+
+		prevFit := math.Inf(-1)
+		iters := 0
+		for iter := 0; iter < maxIters; iter++ {
+			for n := 0; n < order; n++ {
+				bytesBefore := c.World().BytesSent(me)
+
+				t0 := time.Now()
+				rk.ttmc(n)
+				stats.TTMcTime[me] += time.Since(t0)
+
+				t0 = time.Now()
+				step := int64(iter)*int64(order) + int64(n)
+				rk.trsvd(n, cfg.Seed+7919*step)
+				stats.TRSVDTime[me] += time.Since(t0)
+
+				stats.Mode[n][me].CommBytes += c.World().BytesSent(me) - bytesBefore
+			}
+			t0 := time.Now()
+			g := rk.core()
+			stats.CoreTime[me] += time.Since(t0)
+
+			fit := fitFromNorms(normX, g.Norm())
+			iters = iter + 1
+			if me == 0 {
+				res.FitHistory = append(res.FitHistory, fit)
+				res.Fit = fit
+				res.Core = g
+			}
+			if tol > 0 && math.Abs(fit-prevFit) < tol {
+				break
+			}
+			prevFit = fit
+		}
+
+		c.Barrier()
+		if me == 0 {
+			wallEnd = time.Now()
+			res.Iters = iters
+			res.Factors = rk.factors
+		}
+		// Static per-iteration work counts and averaged comm volume.
+		for n := 0; n < order; n++ {
+			ms := &stats.Mode[n][me]
+			ms.WTTMc = rk.modes[n].wTTMc
+			ms.WTRSVD = rk.modes[n].wTRSVD
+			ms.CommBytes /= int64(iters)
+		}
+		if me == 0 {
+			stats.WallPerIter = wallEnd.Sub(wallStart) / time.Duration(iters)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// rankState is the per-rank working set of the SPMD HOOI body.
+type rankState struct {
+	c       *mpi.Comm
+	me, p   int
+	dims    []int
+	ranks   []int
+	part    *Partition
+	xloc    *tensor.COO
+	lsym    *symbolic.Structure
+	factors []*dense.Matrix
+	modes   []rankMode
+}
+
+// rankMode is one mode's precomputed plans and buffers.
+type rankMode struct {
+	owned    []int32 // global slice ids owned by this rank, ascending
+	ownedPos []int32 // position of each owned slice in lsym's row list
+	gids     []int64 // global compact row index of each owned slice
+	allOwned [][]int32
+	// Fine-grain fold plans: sendDst[d] lists local (lsym) row positions
+	// whose partials go to rank d; recvSrc[s] lists owned-row indices
+	// that receive a partial from rank s. Both ascend in global id, so
+	// sender and receiver agree on buffer order with no index traffic.
+	sendDst [][]int32
+	recvSrc [][]int32
+	yloc    *dense.Matrix // fine: local partial rows
+	yOwn    *dense.Matrix // fully folded owned rows
+	wTTMc   int64
+	wTRSVD  int64
+}
+
+func newRankState(c *mpi.Comm, x *tensor.COO, part *Partition, gsym *symbolic.Structure, allOwned [][][]int32, ranks []int, initial []*dense.Matrix) *rankState {
+	me, p := c.Rank(), c.Size()
+	order := x.Order()
+	rk := &rankState{
+		c: c, me: me, p: p,
+		dims: x.Dims, ranks: ranks, part: part,
+		factors: make([]*dense.Matrix, order),
+		modes:   make([]rankMode, order),
+	}
+	for n := range rk.factors {
+		rk.factors[n] = initial[n].Clone()
+	}
+
+	// Local tensor: owned nonzeros (fine) or every nonzero of an owned
+	// slice in any mode (coarse).
+	var ids []int32
+	if part.Grain == Fine {
+		for id, o := range part.NZOwner {
+			if int(o) == me {
+				ids = append(ids, int32(id))
+			}
+		}
+	} else {
+		for id := 0; id < x.NNZ(); id++ {
+			for n := 0; n < order; n++ {
+				if int(part.RowOwner[n][x.Idx[n][id]]) == me {
+					ids = append(ids, int32(id))
+					break
+				}
+			}
+		}
+	}
+	rk.xloc = x.Subset(ids)
+	rk.lsym = symbolic.Build(rk.xloc, 1)
+
+	for n := 0; n < order; n++ {
+		m := &rk.modes[n]
+		m.allOwned = allOwned[n]
+		m.owned = allOwned[n][me]
+		m.ownedPos = make([]int32, len(m.owned))
+		m.gids = make([]int64, len(m.owned))
+		lsm := &rk.lsym.Modes[n]
+		gsm := &gsym.Modes[n]
+		for k, row := range m.owned {
+			m.ownedPos[k] = lsm.Pos[row]
+			m.gids[k] = int64(gsm.Pos[row])
+		}
+		rowSize := ttm.RowSize(rk.factors, n)
+		m.yOwn = dense.NewMatrix(len(m.owned), rowSize)
+		m.wTRSVD = int64(len(m.owned)) * int64(rowSize)
+
+		if part.Grain == Fine {
+			m.yloc = dense.NewMatrix(lsm.NumRows(), rowSize)
+			m.wTTMc = int64(rk.xloc.NNZ()) * int64(rowSize)
+			m.sendDst = make([][]int32, p)
+			for r, row := range lsm.Rows {
+				if o := int(part.RowOwner[n][row]); o != me {
+					m.sendDst[o] = append(m.sendDst[o], int32(r))
+				}
+			}
+			m.recvSrc = make([][]int32, p)
+			stamp := make([]int, p)
+			for i := range stamp {
+				stamp[i] = -1
+			}
+			for k, row := range m.owned {
+				gpos := gsm.Pos[row]
+				for _, id := range gsm.RowNZ(int(gpos)) {
+					s := int(part.NZOwner[id])
+					if s != me && stamp[s] != k {
+						stamp[s] = k
+						m.recvSrc[s] = append(m.recvSrc[s], int32(k))
+					}
+				}
+			}
+		} else {
+			// Coarse: the rank stores every nonzero of its owned slices,
+			// so the owned rows are complete locally; count their work.
+			for _, pos := range m.ownedPos {
+				m.wTTMc += int64(len(lsm.RowNZ(int(pos)))) * int64(rowSize)
+			}
+		}
+	}
+	return rk
+}
+
+// ttmc computes the fully folded owned rows of Y_(n) into yOwn.
+func (rk *rankState) ttmc(n int) {
+	m := &rk.modes[n]
+	lsm := &rk.lsym.Modes[n]
+	if rk.part.Grain == Coarse {
+		ttm.TTMcRows(m.yOwn, rk.xloc, lsm, m.ownedPos, rk.factors, 1)
+		return
+	}
+	// Fine grain: local partials for every touched slice, then fold to
+	// the slice owners (Algorithm 4 lines 5-8).
+	ttm.TTMc(m.yloc, rk.xloc, lsm, rk.factors, 1)
+	k := m.yloc.Cols
+	bufs := make([][]float64, rk.p)
+	for d, rows := range m.sendDst {
+		if len(rows) == 0 {
+			continue
+		}
+		buf := make([]float64, len(rows)*k)
+		for j, r := range rows {
+			copy(buf[j*k:(j+1)*k], m.yloc.Row(int(r)))
+		}
+		bufs[d] = buf
+	}
+	recv := rk.c.AllToAllV(bufs)
+	// Own partial first, then contributions in ascending source-rank
+	// order: the accumulation order is fixed, so the fold is
+	// deterministic.
+	for kk, pos := range m.ownedPos {
+		copy(m.yOwn.Row(kk), m.yloc.Row(int(pos)))
+	}
+	for s := 0; s < rk.p; s++ {
+		if s == rk.me || len(m.recvSrc[s]) == 0 {
+			continue
+		}
+		buf := recv[s]
+		if len(buf) != len(m.recvSrc[s])*k {
+			panic(fmt.Sprintf("dist: fold buffer mismatch from rank %d: %d values for %d rows", s, len(buf), len(m.recvSrc[s])))
+		}
+		for j, kk := range m.recvSrc[s] {
+			dense.Axpy(1, buf[j*k:(j+1)*k], m.yOwn.Row(int(kk)))
+		}
+	}
+}
+
+// trsvd runs the row-distributed Lanczos TRSVD on the owned rows of
+// Y_(n) and exchanges the updated factor rows (Algorithm 4 lines 9-12).
+func (rk *rankState) trsvd(n int, seed int64) {
+	m := &rk.modes[n]
+	op := &rowDistOperator{a: m.yOwn, c: rk.c, gids: m.gids, tmp: make([]float64, m.yOwn.Cols)}
+	sres, err := trsvd.Lanczos(op, rk.ranks[n], trsvd.Options{Seed: seed})
+	if err != nil {
+		panic(fmt.Sprintf("dist: TRSVD failed in mode %d: %v", n, err))
+	}
+	r := rk.ranks[n]
+	gathered := rk.c.AllGatherV(sres.U.Data)
+	full := dense.NewMatrix(rk.dims[n], r)
+	for src := 0; src < rk.p; src++ {
+		rows := m.allOwned[src]
+		if len(gathered[src]) != len(rows)*r {
+			panic(fmt.Sprintf("dist: factor exchange mismatch from rank %d", src))
+		}
+		for k, row := range rows {
+			copy(full.Row(int(row)), gathered[src][k*r:(k+1)*r])
+		}
+	}
+	rk.factors[n] = full
+}
+
+// core forms the core tensor from the last mode's folded rows: the
+// owned-row block product is AllReduced so every rank holds the
+// identical dense core (Algorithm 4 line 13).
+func (rk *rankState) core() *tensor.Dense {
+	last := len(rk.dims) - 1
+	m := &rk.modes[last]
+	u := rk.factors[last]
+	uc := dense.NewMatrix(len(m.owned), u.Cols)
+	for k, row := range m.owned {
+		copy(uc.Row(k), u.Row(int(row)))
+	}
+	gpart := dense.MatMulTA(uc, m.yOwn, 1)
+	sum := rk.c.AllReduceSum(gpart.Data)
+	gm := &dense.Matrix{Rows: gpart.Rows, Cols: gpart.Cols, Data: sum}
+	return ttm.CoreFromMatricized(gm, rk.ranks, last)
+}
+
+// rowDistOperator is the row-distributed matrix-free view of Y_(n):
+// each rank stores its owned rows; column-space results are reduced in
+// fixed rank order, so every rank receives bitwise-identical vectors
+// and the SPMD Lanczos iterations stay in lockstep.
+type rowDistOperator struct {
+	a    *dense.Matrix
+	c    *mpi.Comm
+	gids []int64
+	tmp  []float64
+}
+
+func (o *rowDistOperator) LocalRows() int { return o.a.Rows }
+func (o *rowDistOperator) Cols() int      { return o.a.Cols }
+
+func (o *rowDistOperator) MatVec(x, y []float64) { dense.Gemv(o.a, x, y, 1) }
+
+func (o *rowDistOperator) MatTVec(y, x []float64) {
+	dense.GemvT(o.a, y, o.tmp, 1)
+	copy(x, o.c.AllReduceSum(o.tmp))
+}
+
+func (o *rowDistOperator) RowDot(a, b []float64) float64 {
+	return o.c.AllReduceScalar(dense.Dot(a, b))
+}
+
+func (o *rowDistOperator) GlobalRow(local int) int64 { return o.gids[local] }
+
+var _ trsvd.Operator = (*rowDistOperator)(nil)
+var _ trsvd.GlobalRowIDer = (*rowDistOperator)(nil)
+
+// fitFromNorms is the orthonormality-based fit measure, identical to the
+// shared-memory implementation.
+func fitFromNorms(normX, normG float64) float64 {
+	diff := normX*normX - normG*normG
+	if diff < 0 {
+		diff = 0
+	}
+	if normX == 0 {
+		return 1
+	}
+	return 1 - math.Sqrt(diff)/normX
+}

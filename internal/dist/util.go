@@ -1,0 +1,34 @@
+package dist
+
+import (
+	"math/rand"
+	"time"
+
+	"hypertensor/internal/dense"
+)
+
+// DefaultInitial produces the deterministic random orthonormal initial
+// factor matrices shared by the shared-memory and distributed drivers
+// (and by the MET baseline comparison): it matches core's InitRandom for
+// the same seed, so the two execution models start from identical
+// factors and their per-sweep fits are directly comparable.
+func DefaultInitial(dims, ranks []int, seed int64) []*dense.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*dense.Matrix, len(dims))
+	for n := range dims {
+		out[n] = dense.Orthonormalize(dense.RandomNormal(dims[n], ranks[n], rng))
+	}
+	return out
+}
+
+// MaxDuration returns the maximum of the per-rank durations (the
+// critical-path time of a phase), or zero for an empty slice.
+func MaxDuration(ds []time.Duration) time.Duration {
+	var max time.Duration
+	for _, d := range ds {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
