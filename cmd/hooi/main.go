@@ -5,6 +5,8 @@
 // Examples:
 //
 //	hooi -input x.tns -ranks 10,10,10 -iters 20 -tol 1e-5
+//	hooi -input x.tns -ranks 10,10,10 -format csf
+//	hooi -input x.tns -ranks 5,5,5,5 -format csf -ttmc dtree
 //	hooi -input x.tns -ranks 5,5,5,5 -dist 16 -grain fine -method hp
 package main
 
@@ -30,6 +32,7 @@ func main() {
 		initM   = flag.String("init", "random", "factor initialization: random | hosvd")
 		svd     = flag.String("svd", "lanczos", "TRSVD solver: lanczos | subspace | gram")
 		ttmc    = flag.String("ttmc", "flat", "TTMc strategy: flat | dtree (memoized dimension tree)")
+		format  = flag.String("format", "coo", "sparse storage format: coo | csf (compressed sparse fibers)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		distP   = flag.Int("dist", 0, "run distributed with this many simulated ranks (0 = shared memory)")
 		grain   = flag.String("grain", "fine", "distributed task grain: fine | coarse")
@@ -118,6 +121,14 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown ttmc strategy %q", *ttmc))
 	}
+	switch *format {
+	case "coo":
+		opts.Format = hypertensor.FormatCOO
+	case "csf":
+		opts.Format = hypertensor.FormatCSF
+	default:
+		fail(fmt.Errorf("unknown storage format %q", *format))
+	}
 	dec, err := hypertensor.Decompose(x, opts)
 	if err != nil {
 		fail(err)
@@ -127,8 +138,10 @@ func main() {
 		return
 	}
 	fmt.Println(hypertensor.Summary(dec))
-	fmt.Printf("timings: symbolic=%v ttmc=%v trsvd=%v core=%v\n",
-		dec.Timings.Symbolic, dec.Timings.TTMc, dec.Timings.TRSVD, dec.Timings.Core)
+	fmt.Printf("timings: convert=%v symbolic=%v ttmc=%v trsvd=%v core=%v\n",
+		dec.Timings.Convert, dec.Timings.Symbolic, dec.Timings.TTMc, dec.Timings.TRSVD, dec.Timings.Core)
+	fmt.Printf("storage: format=%s index=%d B (%.2f B/nnz)\n",
+		dec.Format, dec.IndexBytes, float64(dec.IndexBytes)/float64(x.NNZ()))
 	fmt.Printf("ttmc: strategy=%s flops=%d", *ttmc, dec.TTMcFlops)
 	if *ttmc == "dtree" {
 		fmt.Printf(" (node recompute time %v)", dec.Timings.TTMcNodes)

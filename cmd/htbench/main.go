@@ -20,19 +20,20 @@ import (
 
 func main() {
 	var (
-		table = flag.Int("table", 0, "regenerate one table (1-5)")
-		met   = flag.Bool("met", false, "run the MET single-core comparison")
-		dtree = flag.Bool("dtree", false, "run the dimension-tree vs flat TTMc comparison")
-		all   = flag.Bool("all", false, "run every experiment")
-		scale = flag.Float64("scale", 1.0, "dataset scale (1.0 ~ 1/500 of the paper's nonzeros)")
-		iters = flag.Int("iters", 5, "HOOI sweeps per measurement (paper: 5)")
-		p     = flag.Int("p", 16, "simulated ranks for Tables III-IV (paper: 256)")
-		psIn  = flag.String("ps", "1,2,4,8,16", "rank sweep for Table II")
-		thrIn = flag.String("threads", "1,2,4,8,16,32", "thread sweep for Table V")
-		seed  = flag.Int64("seed", 1, "seed for datasets and partitioners")
+		table  = flag.Int("table", 0, "regenerate one table (1-5)")
+		met    = flag.Bool("met", false, "run the MET single-core comparison")
+		dtree  = flag.Bool("dtree", false, "run the dimension-tree vs flat TTMc comparison")
+		format = flag.Bool("format", false, "run the CSF vs COO storage-format comparison")
+		all    = flag.Bool("all", false, "run every experiment")
+		scale  = flag.Float64("scale", 1.0, "dataset scale (1.0 ~ 1/500 of the paper's nonzeros)")
+		iters  = flag.Int("iters", 5, "HOOI sweeps per measurement (paper: 5)")
+		p      = flag.Int("p", 16, "simulated ranks for Tables III-IV (paper: 256)")
+		psIn   = flag.String("ps", "1,2,4,8,16", "rank sweep for Table II")
+		thrIn  = flag.String("threads", "1,2,4,8,16,32", "thread sweep for Table V")
+		seed   = flag.Int64("seed", 1, "seed for datasets and partitioners")
 	)
 	flag.Parse()
-	if !*all && *table == 0 && !*met && !*dtree {
+	if !*all && *table == 0 && !*met && !*dtree && !*format {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -78,6 +79,10 @@ func main() {
 		if _, err := bench.DTreeCompare(o, out); err != nil {
 			fail(err)
 		}
+		fmt.Fprintln(out)
+		if _, err := bench.FormatCompare(o, out); err != nil {
+			fail(err)
+		}
 		return
 	}
 	if *table != 0 {
@@ -93,6 +98,11 @@ func main() {
 	}
 	if *dtree {
 		if _, err := bench.DTreeCompare(o, out); err != nil {
+			fail(err)
+		}
+	}
+	if *format {
+		if _, err := bench.FormatCompare(o, out); err != nil {
 			fail(err)
 		}
 	}

@@ -47,6 +47,17 @@ import (
 type (
 	// SparseTensor is an N-mode sparse tensor in coordinate format.
 	SparseTensor = tensor.COO
+	// Sparse is the storage abstraction every kernel layer consumes;
+	// both SparseTensor (COO) and CSFTensor implement it.
+	Sparse = tensor.Sparse
+	// CSFTensor is an N-mode sparse tensor in compressed-sparse-fiber
+	// format: per-root-mode fiber trees with compressed index levels.
+	CSFTensor = tensor.CSF
+	// CSFOptions configure BuildCSF (storage mode order, threads).
+	CSFOptions = tensor.CSFOptions
+	// Format selects the storage layout Decompose runs on (FormatCOO,
+	// FormatCSF).
+	Format = core.Format
 	// DenseTensor is a dense N-mode tensor (e.g. the Tucker core).
 	DenseTensor = tensor.Dense
 	// Matrix is a row-major dense matrix (factor matrices).
@@ -97,6 +108,9 @@ const (
 	TTMcFlat  = core.TTMcFlat
 	TTMcDTree = core.TTMcDTree
 
+	FormatCOO = core.FormatCOO
+	FormatCSF = core.FormatCSF
+
 	CoarseGrain = dist.Coarse
 	FineGrain   = dist.Fine
 
@@ -110,6 +124,16 @@ const (
 // canonicalize.
 func NewSparseTensor(dims []int, capacity int) *SparseTensor {
 	return tensor.NewCOO(dims, capacity)
+}
+
+// BuildCSF converts a coordinate tensor to compressed-sparse-fiber
+// storage — the same conversion Decompose performs internally when
+// Options.Format is FormatCSF. Use it to inspect the compressed layout
+// before committing to a format: the CSFTensor reports its fiber
+// counts, index footprint (IndexBytes), storage permutation, and
+// per-mode streams, and ToCOO converts back.
+func BuildCSF(x *SparseTensor, opts CSFOptions) *CSFTensor {
+	return tensor.NewCSF(x, opts)
 }
 
 // ReadTensorFile loads a tensor in .tns text format (1-based

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"hypertensor/internal/core"
+	"hypertensor/internal/tensor"
+)
+
+// FormatRow compares one dataset's storage and HOOI sweep cost under
+// the coordinate format and the compressed-sparse-fiber format: index
+// bytes per nonzero (host independent), TTMc multiply-adds per sweep
+// (host independent), and measured TTMc seconds per sweep.
+type FormatRow struct {
+	Dataset  string
+	Order    int
+	NNZ      int
+	COOBytes int64 // index storage, coordinate streams
+	CSFBytes int64 // index storage, compressed fiber levels
+	BuildSec float64
+	COOFlops int64 // TTMc madds per sweep, flat coordinate kernel
+	CSFFlops int64 // TTMc madds per sweep, fiber-walking kernel
+	COOSec   float64
+	CSFSec   float64
+	Speedup  float64
+	FitDelta float64
+}
+
+// BytesPerNNZ reports the two index footprints normalized by nonzero.
+func (r FormatRow) BytesPerNNZ() (coo, csf float64) {
+	return float64(r.COOBytes) / float64(r.NNZ), float64(r.CSFBytes) / float64(r.NNZ)
+}
+
+// FormatCompare runs the COO-vs-CSF storage comparison on the 3-mode
+// and the two 4-mode presets with the flat TTMc strategy: the CSF path
+// must store strictly fewer index bytes than COO's N x nnz streams and
+// its fiber-walking kernels hoist shared work out of the per-nonzero
+// loop, while the fits agree to rounding (FitDelta).
+func FormatCompare(o Options, w io.Writer) ([]FormatRow, error) {
+	o = o.withDefaults()
+	t := &Table{
+		Title: fmt.Sprintf("CSF vs COO storage (per HOOI sweep, %d sweeps measured)", o.Iters),
+		Headers: []string{"Tensor", "modes", "coo B/nnz", "csf B/nnz", "build s",
+			"coo madds", "csf madds", "coo s/sweep", "csf s/sweep", "speedup", "|Δfit|"},
+	}
+	var rows []FormatRow
+	for _, name := range []string{"netflix", "delicious", "flickr"} {
+		x, err := dataset(name, o.Scale)
+		if err != nil {
+			return nil, err
+		}
+		ranks := ranksFor(x)
+		run := func(format core.Format) (*core.Result, error) {
+			return core.Decompose(x, core.Options{
+				Ranks:    ranks,
+				MaxIters: o.Iters,
+				Tol:      -1,
+				Seed:     o.Seed + 17,
+				Format:   format,
+			})
+		}
+		buildStart := time.Now()
+		csfT := tensor.NewCSF(x, tensor.CSFOptions{})
+		buildSec := time.Since(buildStart).Seconds()
+
+		coo, err := run(core.FormatCOO)
+		if err != nil {
+			return nil, fmt.Errorf("%s coo: %w", name, err)
+		}
+		csf, err := run(core.FormatCSF)
+		if err != nil {
+			return nil, fmt.Errorf("%s csf: %w", name, err)
+		}
+		it := float64(coo.Iters)
+		row := FormatRow{
+			Dataset:  name,
+			Order:    x.Order(),
+			NNZ:      csfT.NNZ(),
+			COOBytes: coo.IndexBytes,
+			CSFBytes: csf.IndexBytes,
+			BuildSec: buildSec,
+			COOFlops: coo.TTMcFlops / int64(coo.Iters),
+			CSFFlops: csf.TTMcFlops / int64(csf.Iters),
+			COOSec:   coo.Timings.TTMc.Seconds() / it,
+			CSFSec:   csf.Timings.TTMc.Seconds() / it,
+			FitDelta: math.Abs(coo.Fit - csf.Fit),
+		}
+		if row.CSFSec > 0 {
+			row.Speedup = row.COOSec / row.CSFSec
+		}
+		rows = append(rows, row)
+		cooB, csfB := row.BytesPerNNZ()
+		t.AddRow(name, fmt.Sprintf("%d", row.Order),
+			fmt.Sprintf("%.1f", cooB), fmt.Sprintf("%.1f", csfB),
+			secs(row.BuildSec),
+			humanCount(row.COOFlops), humanCount(row.CSFFlops),
+			secs(row.COOSec), secs(row.CSFSec),
+			fmt.Sprintf("%.2fx", row.Speedup),
+			fmt.Sprintf("%.1e", row.FitDelta))
+	}
+	t.Render(w)
+	return rows, nil
+}

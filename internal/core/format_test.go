@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hypertensor/internal/gen"
+	"hypertensor/internal/tensor"
+)
+
+// TestFormatEquivalence checks the acceptance bar of the storage layer:
+// on the 3- and 4-mode benchmark presets, the CSF path must reproduce
+// the COO path's fit to 1e-8 for both TTMc strategies, with strictly
+// smaller index storage.
+func TestFormatEquivalence(t *testing.T) {
+	for _, name := range []string{"netflix", "flickr"} {
+		cfg, err := gen.Preset(name, 0.02)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := gen.Random(cfg)
+		ranks := gen.PaperRanks(x.Order())
+		for n := range ranks {
+			if ranks[n] > x.Dims[n] {
+				ranks[n] = x.Dims[n]
+			}
+		}
+		for _, strategy := range []TTMcStrategy{TTMcFlat, TTMcDTree} {
+			base := Options{Ranks: ranks, MaxIters: 3, Tol: -1, Seed: 7, TTMc: strategy}
+			coo := base
+			coo.Format = FormatCOO
+			csf := base
+			csf.Format = FormatCSF
+			rc, err := Decompose(x, coo)
+			if err != nil {
+				t.Fatalf("%s coo: %v", name, err)
+			}
+			rf, err := Decompose(x, csf)
+			if err != nil {
+				t.Fatalf("%s csf: %v", name, err)
+			}
+			if d := math.Abs(rc.Fit - rf.Fit); d > 1e-8 {
+				t.Fatalf("%s strategy=%d: fit diverges by %g (coo %v, csf %v)",
+					name, strategy, d, rc.Fit, rf.Fit)
+			}
+			if rf.Format != FormatCSF || rc.Format != FormatCOO {
+				t.Fatalf("%s: Result.Format not recorded", name)
+			}
+			if rf.IndexBytes >= rc.IndexBytes {
+				t.Fatalf("%s: CSF index bytes %d not below COO %d", name, rf.IndexBytes, rc.IndexBytes)
+			}
+			if rf.IndexBytes <= 0 || rc.IndexBytes != int64(x.Order())*int64(x.NNZ())*4 {
+				t.Fatalf("%s: index byte accounting broken", name)
+			}
+			if strategy == TTMcFlat && rf.TTMcFlops >= rc.TTMcFlops {
+				t.Fatalf("%s: CSF fiber walk did %d madds, flat did %d", name, rf.TTMcFlops, rc.TTMcFlops)
+			}
+		}
+	}
+}
+
+// TestFormatModeOrderKnob runs the CSF path under an explicit storage
+// permutation and checks it still matches COO.
+func TestFormatModeOrderKnob(t *testing.T) {
+	cfg, err := gen.Preset("netflix", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := gen.Random(cfg)
+	ranks := gen.PaperRanks(3)
+	for n := range ranks {
+		if ranks[n] > x.Dims[n] {
+			ranks[n] = x.Dims[n]
+		}
+	}
+	base := Options{Ranks: ranks, MaxIters: 2, Tol: -1, Seed: 3}
+	rc, err := Decompose(x, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csf := base
+	csf.Format = FormatCSF
+	csf.CSFModeOrder = []int{2, 0, 1}
+	rf, err := Decompose(x, csf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(rc.Fit - rf.Fit); d > 1e-8 {
+		t.Fatalf("custom mode order diverges by %g", d)
+	}
+}
+
+// TestFormatStringAndValidate pins the flag spellings the CLI relies
+// on and the error/fallback behavior of the format options.
+func TestFormatStringAndValidate(t *testing.T) {
+	if FormatCOO.String() != "coo" || FormatCSF.String() != "csf" {
+		t.Fatal("Format.String spelling changed")
+	}
+	x := tensor.NewCOO([]int{3, 3}, 0)
+	x.Append([]int{0, 0}, 1)
+	opts := Options{Ranks: []int{1, 1}, Format: FormatCSF, MaxIters: 1, Tol: -1}
+	if _, err := Decompose(x, opts); err != nil {
+		t.Fatalf("order-2 CSF decompose: %v", err)
+	}
+	// A malformed mode order must surface as an error, not a panic.
+	opts.CSFModeOrder = []int{0, 0}
+	if _, err := Decompose(x, opts); err == nil {
+		t.Fatal("non-permutation CSFModeOrder accepted")
+	}
+	opts.CSFModeOrder = []int{0}
+	if _, err := Decompose(x, opts); err == nil {
+		t.Fatal("short CSFModeOrder accepted")
+	}
+}
+
+// TestFormatOrder1 covers the corner the fiber engine does not model:
+// an order-1 tensor must decompose identically under both formats.
+func TestFormatOrder1(t *testing.T) {
+	x := tensor.NewCOO([]int{6}, 0)
+	x.Append([]int{4}, 2)
+	x.Append([]int{1}, 3)
+	x.Append([]int{0}, -1)
+	base := Options{Ranks: []int{1}, MaxIters: 2, Tol: -1, Seed: 1}
+	rc, err := Decompose(x, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Format = FormatCSF
+	rf, err := Decompose(x, base)
+	if err != nil {
+		t.Fatalf("order-1 CSF decompose: %v", err)
+	}
+	if d := math.Abs(rc.Fit - rf.Fit); d > 1e-12 {
+		t.Fatalf("order-1 formats diverge by %g", d)
+	}
+}

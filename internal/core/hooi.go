@@ -15,6 +15,9 @@ import (
 // Timings accumulates wall-clock time per HOOI phase across all
 // iterations; it backs the Table IV / Table V breakdowns.
 type Timings struct {
+	// Convert is the one-time storage-format construction (zero for
+	// FormatCOO; the CSF sort/dedup and fiber-level build otherwise).
+	Convert  time.Duration
 	Symbolic time.Duration // one-time symbolic TTMc preprocessing
 	TTMc     time.Duration
 	// TTMcNodes is the share of TTMc spent recomputing internal
@@ -45,9 +48,14 @@ type Result struct {
 	Timings Timings
 	// TTMcFlops is the multiply-add count of all TTMc work performed
 	// (dominant AXPY terms): for the flat strategy, modes x sweeps x
-	// nnz x row size; for the dimension tree, the memoized — typically
-	// much smaller — actual count.
+	// nnz x row size; for the dimension tree or the CSF fiber walk, the
+	// memoized/hoisted — typically much smaller — actual count.
 	TTMcFlops int64
+	// Format is the sparse storage layout the decomposition ran on.
+	Format Format
+	// IndexBytes is the index storage of that layout (COO: N x nnz x 4
+	// bytes; CSF: the compressed fiber levels and pointers).
+	IndexBytes int64
 }
 
 // Decompose runs the shared-memory parallel HOOI algorithm
@@ -61,15 +69,39 @@ func Decompose(x *tensor.COO, optsIn Options) (*Result, error) {
 	}
 	opts := optsIn.withDefaults()
 	order := x.Order()
-	res := &Result{}
+	res := &Result{Format: opts.Format}
 
-	normX := x.Norm(opts.Threads)
+	// The storage layer: every kernel below this point reaches the
+	// tensor through the tensor.Sparse abstraction (or a format-
+	// specific engine selected here), never through *tensor.COO.
+	var storage tensor.Sparse = x
+	var csf *tensor.CSF
+	if opts.Format == FormatCSF {
+		start := time.Now()
+		csf = tensor.NewCSF(x, tensor.CSFOptions{ModeOrder: opts.CSFModeOrder, Threads: opts.Threads})
+		res.Timings.Convert = time.Since(start)
+		storage = csf
+	}
+	res.IndexBytes = storage.IndexBytes()
+
+	normX := storage.Norm(opts.Threads)
 
 	start := time.Now()
-	sym := symbolic.Build(x, opts.Threads)
+	sym := symbolic.Build(storage, opts.Threads)
+	// The flat kernel consumes coordinate storage whose nonzero order
+	// matches the symbolic structure; for CSF that is the fiber order,
+	// but the fiber engine below replaces it except in the order-1
+	// corner the engine does not model.
+	flatX := x
 	var tree *ttm.DTree
-	if opts.TTMc == TTMcDTree {
-		tree = ttm.NewDTree(x)
+	var fiber *ttm.CSFTTMc
+	switch {
+	case opts.TTMc == TTMcDTree:
+		tree = ttm.NewDTree(storage)
+	case csf != nil && order >= 2:
+		fiber = ttm.NewCSFTTMc(csf)
+	case csf != nil:
+		flatX = csf.ToCOO()
 	}
 	res.Timings.Symbolic = time.Since(start)
 
@@ -85,11 +117,14 @@ func Decompose(x *tensor.COO, optsIn Options) (*Result, error) {
 			sm := &sym.Modes[n]
 
 			t0 := time.Now()
-			if tree != nil {
+			switch {
+			case tree != nil:
 				tree.TTMc(ys[n], n, factors, opts.Threads)
-			} else {
-				ttm.TTMc(ys[n], x, sm, factors, opts.Threads)
-				res.TTMcFlops += ttm.Flops(x.NNZ(), ys[n].Cols)
+			case fiber != nil:
+				fiber.TTMc(ys[n], n, factors, opts.Threads)
+			default:
+				ttm.TTMc(ys[n], flatX, sm, factors, opts.Threads)
+				res.TTMcFlops += ttm.Flops(flatX.NNZ(), ys[n].Cols)
 			}
 			res.Timings.TTMc += time.Since(t0)
 
@@ -123,6 +158,9 @@ func Decompose(x *tensor.COO, optsIn Options) (*Result, error) {
 	if tree != nil {
 		res.TTMcFlops = tree.Flops()
 		res.Timings.TTMcNodes = tree.NodeTime()
+	}
+	if fiber != nil {
+		res.TTMcFlops = fiber.Flops()
 	}
 	res.Factors = factors
 	return res, nil

@@ -5,11 +5,14 @@ import (
 
 	"hypertensor/internal/dense"
 	"hypertensor/internal/tensor"
+	"hypertensor/internal/trsvd"
 )
 
 // initFactors produces the initial orthonormal factor matrices
-// (Algorithm 1, line 1).
-func initFactors(x *tensor.COO, opts Options) []*dense.Matrix {
+// (Algorithm 1, line 1). The tensor is reached through the storage
+// abstraction; initialization is always seeded from the caller's
+// tensor, so both storage formats start HOOI from the same factors.
+func initFactors(x tensor.Sparse, opts Options) []*dense.Matrix {
 	factors := make([]*dense.Matrix, x.Order())
 	if opts.Initial != nil {
 		for n, u := range opts.Initial {
@@ -20,59 +23,13 @@ func initFactors(x *tensor.COO, opts Options) []*dense.Matrix {
 	switch opts.Init {
 	case InitHOSVD:
 		for n := range factors {
-			factors[n] = rangeFinderInit(x, n, opts.Ranks[n], opts.Seed+int64(n))
+			factors[n] = dense.Orthonormalize(trsvd.RangeFinder(x, n, opts.Ranks[n], opts.Seed+int64(n)))
 		}
 	default:
 		rng := rand.New(rand.NewSource(opts.Seed))
 		for n := range factors {
-			factors[n] = dense.Orthonormalize(dense.RandomNormal(x.Dims[n], opts.Ranks[n], rng))
+			factors[n] = dense.Orthonormalize(dense.RandomNormal(x.Shape()[n], opts.Ranks[n], rng))
 		}
 	}
 	return factors
-}
-
-// rangeFinderInit computes U_n = orth(X_(n)·Ω) with an implicit Gaussian
-// sketch Ω of the huge ∏_{t≠n} I_t column space: the sketch entries are
-// generated on the fly per (column, direction) with a hash, so the cost
-// is O(nnz·R_n) and no matricization is ever materialized. This captures
-// the dominant row space of X_(n) like the HOSVD start does, at sparse
-// cost.
-func rangeFinderInit(x *tensor.COO, mode, k int, seed int64) *dense.Matrix {
-	s := dense.NewMatrix(x.Dims[mode], k)
-	order := x.Order()
-	for t := 0; t < x.NNZ(); t++ {
-		// Linearize the non-mode coordinates into the sketch column id.
-		var col int64
-		for m := 0; m < order; m++ {
-			if m == mode {
-				continue
-			}
-			col = col*int64(x.Dims[m]) + int64(x.Idx[m][t])
-		}
-		row := s.Row(int(x.Idx[mode][t]))
-		v := x.Val[t]
-		for j := 0; j < k; j++ {
-			row[j] += v * gaussHash(seed, col, int64(j))
-		}
-	}
-	return dense.Orthonormalize(s)
-}
-
-// gaussHash returns a deterministic pseudo-Gaussian sample for the
-// sketch entry Ω[col, j]: the sum of four independent uniform(-1,1)
-// hashes (variance-normalized), light-tailed enough for a range finder.
-func gaussHash(seed, col, j int64) float64 {
-	var sum float64
-	base := uint64(seed)*0x9E3779B97F4A7C15 ^ uint64(col)*0xC2B2AE3D27D4EB4F ^ uint64(j)*0x165667B19E3779F9
-	for i := uint64(1); i <= 4; i++ {
-		z := base + i*0x9E3779B97F4A7C15
-		z ^= z >> 30
-		z *= 0xBF58476D1CE4E5B9
-		z ^= z >> 27
-		z *= 0x94D049BB133111EB
-		z ^= z >> 31
-		sum += 2*float64(z>>11)/float64(1<<53) - 1
-	}
-	// Var(uniform(-1,1)) = 1/3; sum of 4 has variance 4/3.
-	return sum * 0.8660254037844386 // * sqrt(3)/2
 }

@@ -51,6 +51,34 @@ const (
 	TTMcDTree
 )
 
+// Format selects the sparse storage layout the decomposition runs on.
+type Format int
+
+const (
+	// FormatCOO keeps the tensor in coordinate format: N index streams
+	// of nnz int32 each, scanned per nonzero by the TTMc kernels. It is
+	// the reference path.
+	FormatCOO Format = iota
+	// FormatCSF converts the tensor to compressed-sparse-fiber storage
+	// (tensor.CSF) before the symbolic phase: per-root-mode fiber trees
+	// with compressed index levels. The symbolic structure is built
+	// from the fiber boundaries, and the flat TTMc strategy switches to
+	// the fiber-walking kernels (ttm.CSFTTMc), which hoist per-fiber
+	// work out of the per-nonzero loop. Index storage and TTMc
+	// multiply-adds both drop on compressible tensors; results match
+	// FormatCOO to rounding and stay deterministic for any thread
+	// count.
+	FormatCSF
+)
+
+// String names the format the way cmd/hooi's -format flag spells it.
+func (f Format) String() string {
+	if f == FormatCSF {
+		return "csf"
+	}
+	return "coo"
+}
+
 // SVDMethod selects the truncated SVD solver used for the TRSVD step.
 type SVDMethod int
 
@@ -84,6 +112,13 @@ type Options struct {
 	// TTMc selects the TTMc evaluation strategy (flat reference path or
 	// memoized dimension tree).
 	TTMc TTMcStrategy
+	// Format selects the sparse storage layout (coordinate streams or
+	// compressed sparse fibers).
+	Format Format
+	// CSFModeOrder overrides the CSF storage mode permutation
+	// (ModeOrder[0] is the root level). nil selects shortest-mode-first.
+	// Ignored for FormatCOO.
+	CSFModeOrder []int
 	// Seed makes the whole decomposition deterministic.
 	Seed int64
 	// Initial optionally supplies explicit initial factor matrices
@@ -127,6 +162,18 @@ func (o *Options) Validate(x *tensor.COO) error {
 		}
 		if r > other {
 			return fmt.Errorf("core: rank %d in mode %d exceeds the product of the other ranks (%d); Y_(%d) cannot have that many singular vectors", r, n, other, n)
+		}
+	}
+	if o.Format == FormatCSF && o.CSFModeOrder != nil {
+		if len(o.CSFModeOrder) != x.Order() {
+			return fmt.Errorf("core: CSF mode order has %d modes for an order-%d tensor", len(o.CSFModeOrder), x.Order())
+		}
+		seen := make([]bool, x.Order())
+		for _, m := range o.CSFModeOrder {
+			if m < 0 || m >= x.Order() || seen[m] {
+				return fmt.Errorf("core: CSF mode order %v is not a permutation", o.CSFModeOrder)
+			}
+			seen[m] = true
 		}
 	}
 	if o.Initial != nil {

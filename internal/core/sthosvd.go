@@ -7,6 +7,7 @@ import (
 
 	"hypertensor/internal/dense"
 	"hypertensor/internal/tensor"
+	"hypertensor/internal/trsvd"
 	"hypertensor/internal/ttm"
 )
 
@@ -130,7 +131,7 @@ func sketchMode(s *ttm.SemiSparse, n, k int, seed int64) *dense.Matrix {
 			}
 			col := base ^ int64(uint64(p+1)*0x9E3779B97F4A7C15)
 			for j := 0; j < k; j++ {
-				row[j] += v * gaussHash(seed, col, int64(j))
+				row[j] += v * trsvd.GaussHash(seed, col, int64(j))
 			}
 		}
 	}

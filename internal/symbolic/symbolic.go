@@ -42,48 +42,119 @@ type Structure struct {
 
 // Build computes the symbolic TTMc structure for every mode of t. The
 // per-mode constructions are independent and run in parallel (the paper
-// parallelizes exactly this way), each being a counting sort over the
-// mode's index stream: histogram, prefix sum, scatter.
-func Build(t *tensor.COO, threads int) *Structure {
+// parallelizes exactly this way). On a coordinate tensor each mode is a
+// counting sort over its index stream (histogram, prefix sum, scatter);
+// on a CSF tensor the fiber hierarchy is exploited directly — see
+// buildModeCSF — so the structures come out identical for the same
+// storage order but cheaper.
+func Build(t tensor.Sparse, threads int) *Structure {
 	s := &Structure{Modes: make([]Mode, t.Order())}
+	if c, ok := t.(*tensor.CSF); ok && c.Order() > 1 {
+		par.For(t.Order(), threads, 1, func(n int) {
+			s.Modes[n] = buildModeCSF(c, n)
+		})
+		return s
+	}
 	par.For(t.Order(), threads, 1, func(n int) {
-		s.Modes[n] = buildMode(t, n)
+		s.Modes[n] = buildMode(t.ModeStream(n), t.Shape()[n], n)
 	})
 	return s
 }
 
-func buildMode(t *tensor.COO, n int) Mode {
-	dim := t.Dims[n]
-	idx := t.Idx[n]
+func buildMode(idx []int32, dim, n int) Mode {
 	nnz := len(idx)
-
 	counts := make([]int32, dim)
-	for _, ix := range idx {
-		counts[ix]++
-	}
-	// Collect nonempty rows and build Pos.
+	nz := make([]int32, nnz)
+	groupByKey(idx, nil, nz, counts)
+	// counts now holds per-index group end offsets; collect nonempty
+	// rows, their pointers, and the Pos map from them.
 	pos := make([]int32, dim)
 	rows := make([]int32, 0, dim)
-	for i, c := range counts {
-		if c > 0 {
+	ptr := make([]int32, 1, dim+1)
+	prev := int32(0)
+	for i, end := range counts {
+		if end > prev {
 			pos[i] = int32(len(rows))
 			rows = append(rows, int32(i))
+			ptr = append(ptr, end)
 		} else {
 			pos[i] = -1
 		}
+		prev = end
 	}
-	ptr := make([]int32, len(rows)+1)
-	for r, row := range rows {
-		ptr[r+1] = ptr[r] + counts[row]
+	return Mode{N: n, Rows: rows, Ptr: ptr, NZ: nz, Pos: pos}
+}
+
+// buildModeCSF builds one mode's update lists from the CSF fiber
+// hierarchy. For the root mode the fiber boundaries ARE the update
+// lists: nonzeros are stored grouped by root slice, so Rows, Ptr, and
+// NZ fall out of the level-0 fibers with no counting sort at all. For a
+// deeper mode the counting sort runs over that level's fibers — of
+// which there are typically far fewer than nonzeros — and each grouped
+// fiber contributes its contiguous leaf span to NZ.
+func buildModeCSF(c *tensor.CSF, n int) Mode {
+	l := c.Level(n)
+	dim := c.Shape()[n]
+	nnz := c.NNZ()
+	fids := c.Fids(l)
+
+	if l == 0 {
+		rows := fids
+		ptr := c.LeafPtr(0)
+		nz := make([]int32, nnz)
+		for i := range nz {
+			nz[i] = int32(i)
+		}
+		pos := make([]int32, dim)
+		for i := range pos {
+			pos[i] = -1
+		}
+		for r, row := range rows {
+			pos[row] = int32(r)
+		}
+		return Mode{N: n, Rows: rows, Ptr: ptr, NZ: nz, Pos: pos}
 	}
-	// Scatter nonzero ids; next tracks the insertion cursor per row.
+
+	// Group this level's fibers by their slice index (stable, so fiber
+	// ids — and hence leaf spans — stay ascending within each row).
+	nf := len(fids)
+	counts := make([]int32, dim)
+	forder := make([]int32, nf)
+	groupByKey(fids, nil, forder, counts)
+
+	pos := make([]int32, dim)
+	rows := make([]int32, 0, min(dim, nf))
+	fptr := make([]int32, 1, min(dim, nf)+1)
+	prev := int32(0)
+	for i, end := range counts {
+		if end > prev {
+			pos[i] = int32(len(rows))
+			rows = append(rows, int32(i))
+			fptr = append(fptr, end)
+		} else {
+			pos[i] = -1
+		}
+		prev = end
+	}
+
 	nz := make([]int32, nnz)
-	next := make([]int32, len(rows))
-	copy(next, ptr[:len(rows)])
-	for id, ix := range idx {
-		r := pos[ix]
-		nz[next[r]] = int32(id)
-		next[r]++
+	ptr := make([]int32, len(rows)+1)
+	cursor := int32(0)
+	leaf := l == c.Order()-1
+	for r := 1; r <= len(rows); r++ {
+		for _, f := range forder[fptr[r-1]:fptr[r]] {
+			if leaf {
+				nz[cursor] = f
+				cursor++
+				continue
+			}
+			lo, hi := c.LeafPtr(l)[f], c.LeafPtr(l)[f+1]
+			for p := lo; p < hi; p++ {
+				nz[cursor] = p
+				cursor++
+			}
+		}
+		ptr[r] = cursor
 	}
 	return Mode{N: n, Rows: rows, Ptr: ptr, NZ: nz, Pos: pos}
 }
@@ -93,12 +164,13 @@ func buildMode(t *tensor.COO, n int) Mode {
 // 0..nnz-1 where every id lands in the row matching its mode index, and
 // Pos consistent with Rows. Used by tests and available to callers
 // ingesting untrusted structures.
-func (s *Structure) Validate(t *tensor.COO) error {
+func (s *Structure) Validate(t tensor.Sparse) error {
 	if len(s.Modes) != t.Order() {
 		return fmt.Errorf("symbolic: %d modes for order-%d tensor", len(s.Modes), t.Order())
 	}
 	for n := range s.Modes {
 		m := &s.Modes[n]
+		stream := t.ModeStream(n)
 		if m.N != n {
 			return fmt.Errorf("symbolic: mode %d labeled %d", n, m.N)
 		}
@@ -124,7 +196,7 @@ func (s *Structure) Validate(t *tensor.COO) error {
 					return fmt.Errorf("symbolic: mode %d nonzero id %d duplicated", n, id)
 				}
 				seen[id] = true
-				if t.Idx[n][id] != m.Rows[r] {
+				if stream[id] != m.Rows[r] {
 					return fmt.Errorf("symbolic: mode %d nonzero %d in wrong row", n, id)
 				}
 			}

@@ -114,12 +114,12 @@ func (t *COO) Norm(threads int) float64 {
 	return math.Sqrt(s)
 }
 
-// key returns a comparable linearized coordinate of nonzero i. It is
-// only valid when the product of dimensions fits in 64 bits, which the
-// constructor of SortDedup checks.
-func (t *COO) key(i int) uint64 {
+// key returns a comparable linearized coordinate of nonzero i under the
+// given mode ordering. It is only valid when the product of dimensions
+// fits in 64 bits, which SortDedupOrder checks.
+func (t *COO) key(i int, order []int) uint64 {
 	var k uint64
-	for m := range t.Dims {
+	for _, m := range order {
 		k = k*uint64(t.Dims[m]) + uint64(t.Idx[m][i])
 	}
 	return k
@@ -130,6 +130,22 @@ func (t *COO) key(i int) uint64 {
 // cancellation. Real-world tensor ingestion (repeated (user,item,time)
 // events) depends on this. It returns the receiver for chaining.
 func (t *COO) SortDedup() *COO {
+	order := make([]int, t.Order())
+	for m := range order {
+		order[m] = m
+	}
+	return t.SortDedupOrder(order)
+}
+
+// SortDedupOrder is SortDedup under a custom lexicographic mode
+// ordering: nonzeros are sorted by their order[0] index first, then
+// order[1], and so on. The deduplicated nonzero set is identical for
+// every ordering; only the storage order differs. The CSF constructor
+// uses this to lay nonzeros out in fiber order.
+func (t *COO) SortDedupOrder(order []int) *COO {
+	if len(order) != t.Order() {
+		panic("tensor: SortDedupOrder needs one mode per level")
+	}
 	n := t.NNZ()
 	if n == 0 {
 		return t
@@ -147,7 +163,7 @@ func (t *COO) SortDedup() *COO {
 	}
 	keys := make([]uint64, n)
 	for i := range keys {
-		keys[i] = t.key(i)
+		keys[i] = t.key(i, order)
 	}
 	sort.Slice(perm, func(a, b int) bool { return keys[perm[a]] < keys[perm[b]] })
 

@@ -1,0 +1,393 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"hypertensor/internal/par"
+)
+
+// CSF is a sparse tensor in compressed-sparse-fiber format: per
+// root-mode slice, a fiber tree whose levels follow a fixed mode
+// permutation. Level 0 holds one fiber per nonempty slice of the root
+// mode; a fiber at level l holds the distinct mode-perm[l] indices
+// appearing under its parent, and the last level holds the nonzeros
+// themselves. Each index shared by a run of nonzeros is stored once, so
+// the index memory is the fiber counts of the levels — typically far
+// below the N x nnz coordinate streams of COO — and the TTMc kernels
+// can hoist per-fiber work out of the per-nonzero loop by walking the
+// hierarchy instead of gather-scattering coordinates.
+//
+// The storage order of nonzeros is the lexicographic order under Perm,
+// which differs from the source COO order; symbolic structures built
+// from a CSF must be used with that CSF.
+type CSF struct {
+	dims []int
+	// perm[l] is the tensor mode stored at level l; level[m] inverts it.
+	perm  []int
+	level []int
+	// fids[l][f] is the mode-perm[l] index of the l-th-level fiber f.
+	// fids[N-1] is the leaf level with one entry per nonzero.
+	fids [][]int32
+	// ptr[l] (l < N-1) are row pointers from level-l fibers into level
+	// l+1: fiber f's children are fids[l+1][ptr[l][f]:ptr[l][f+1]]. At
+	// l = N-2 the children are leaf positions, so ptr[N-2] aliases
+	// leafPtr[N-2].
+	ptr [][]int32
+	// leafPtr[l] (l < N-1) maps level-l fibers to their leaf span:
+	// fiber f covers nonzeros [leafPtr[l][f], leafPtr[l][f+1]).
+	leafPtr [][]int32
+	val     []float64
+
+	// Lazily expanded per-mode index streams (conversion caches; they do
+	// not count toward IndexBytes).
+	streams    [][]int32
+	streamOnce []sync.Once
+}
+
+// CSFOptions configure CSF construction.
+type CSFOptions struct {
+	// ModeOrder is the storage mode permutation: ModeOrder[0] becomes
+	// the root level. nil selects shortest-mode-first (modes sorted by
+	// ascending size, ties by mode number), which puts the longest
+	// fibers at the top of the tree where they compress best.
+	ModeOrder []int
+	// Threads bounds construction parallelism; 0 uses GOMAXPROCS.
+	Threads int
+}
+
+// DefaultModeOrder returns the shortest-mode-first storage permutation
+// for the given mode sizes: modes sorted by ascending size, ties broken
+// by mode number.
+func DefaultModeOrder(dims []int) []int {
+	order := make([]int, len(dims))
+	for m := range order {
+		order[m] = m
+	}
+	sort.SliceStable(order, func(a, b int) bool { return dims[order[a]] < dims[order[b]] })
+	return order
+}
+
+// NewCSF builds a CSF tensor from a coordinate tensor. The input is not
+// mutated: construction clones it and runs the standard sort/dedup path
+// under the storage mode order, so duplicate coordinates are merged by
+// summation exactly as COO.SortDedup would. The per-level fiber
+// detection runs in parallel and is deterministic for any thread count.
+func NewCSF(x *COO, opts CSFOptions) *CSF {
+	order := x.Order()
+	perm := opts.ModeOrder
+	if perm == nil {
+		perm = DefaultModeOrder(x.Dims)
+	}
+	if len(perm) != order {
+		panic(fmt.Sprintf("tensor: CSF mode order has %d modes, tensor has %d", len(perm), order))
+	}
+	level := make([]int, order)
+	for m := range level {
+		level[m] = -1
+	}
+	for l, m := range perm {
+		if m < 0 || m >= order || level[m] != -1 {
+			panic(fmt.Sprintf("tensor: CSF mode order %v is not a permutation", perm))
+		}
+		level[m] = l
+	}
+	threads := par.DefaultThreads(opts.Threads)
+
+	c := x.Clone().SortDedupOrder(perm)
+	n := c.NNZ()
+	out := &CSF{
+		dims:       append([]int(nil), x.Dims...),
+		perm:       append([]int(nil), perm...),
+		level:      level,
+		fids:       make([][]int32, order),
+		streams:    make([][]int32, order),
+		streamOnce: make([]sync.Once, order),
+		val:        c.Val,
+	}
+	out.fids[order-1] = c.Idx[perm[order-1]]
+	if order == 1 {
+		return out
+	}
+	out.ptr = make([][]int32, order-1)
+	out.leafPtr = make([][]int32, order-1)
+
+	// chg[i] is the shallowest level whose index differs from nonzero
+	// i-1: a level-l fiber starts exactly at the positions with
+	// chg[i] <= l. After dedup every pair of neighbors differs
+	// somewhere, so the leaf level is the fallback.
+	chg := make([]int32, n)
+	par.ForWorker(n, threads, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i == 0 {
+				chg[0] = 0
+				continue
+			}
+			l := int32(order - 1)
+			for m := 0; m < order-1; m++ {
+				if c.Idx[perm[m]][i] != c.Idx[perm[m]][i-1] {
+					l = int32(m)
+					break
+				}
+			}
+			chg[i] = l
+		}
+	})
+
+	// Per level: count fiber starts per worker block, prefix, scatter.
+	// The static block split makes the result independent of the thread
+	// count.
+	starts := make([][]int32, order-1)
+	for l := 0; l < order-1; l++ {
+		lv := int32(l)
+		blockCount := make([]int, threads)
+		par.ForWorker(n, threads, func(w, lo, hi int) {
+			cnt := 0
+			for i := lo; i < hi; i++ {
+				if chg[i] <= lv {
+					cnt++
+				}
+			}
+			blockCount[w] = cnt
+		})
+		offsets := make([]int, threads+1)
+		for w := 0; w < threads; w++ {
+			offsets[w+1] = offsets[w] + blockCount[w]
+		}
+		st := make([]int32, offsets[threads])
+		par.ForWorker(n, threads, func(w, lo, hi int) {
+			p := offsets[w]
+			for i := lo; i < hi; i++ {
+				if chg[i] <= lv {
+					st[p] = int32(i)
+					p++
+				}
+			}
+		})
+		starts[l] = st
+
+		f := make([]int32, len(st))
+		col := c.Idx[perm[l]]
+		par.For(len(st), threads, 0, func(i int) { f[i] = col[st[i]] })
+		out.fids[l] = f
+
+		lp := make([]int32, len(st)+1)
+		copy(lp, st)
+		lp[len(st)] = int32(n)
+		out.leafPtr[l] = lp
+	}
+
+	// Child pointers: a level-l fiber's children at level l+1 are the
+	// run of level-(l+1) starts inside its span. Level-l starts are a
+	// subset of level-(l+1) starts, so a single merge locates them.
+	for l := 0; l < order-2; l++ {
+		child := starts[l+1]
+		pl := make([]int32, len(starts[l])+1)
+		j := 0
+		for f, s := range starts[l] {
+			for child[j] != s {
+				j++
+			}
+			pl[f] = int32(j)
+		}
+		pl[len(starts[l])] = int32(len(child))
+		out.ptr[l] = pl
+	}
+	out.ptr[order-2] = out.leafPtr[order-2]
+	return out
+}
+
+// Order returns the number of modes N.
+func (c *CSF) Order() int { return len(c.dims) }
+
+// Shape returns the mode sizes. The slice is owned by the tensor.
+func (c *CSF) Shape() []int { return c.dims }
+
+// NNZ returns the number of stored nonzeros.
+func (c *CSF) NNZ() int { return len(c.val) }
+
+// Perm returns the storage mode permutation (perm[0] is the root mode).
+func (c *CSF) Perm() []int { return c.perm }
+
+// Level returns the tree level at which mode m is stored.
+func (c *CSF) Level(m int) int { return c.level[m] }
+
+// NumFibers returns the fiber count of a level (the leaf level counts
+// nonzeros).
+func (c *CSF) NumFibers(l int) int { return len(c.fids[l]) }
+
+// Fids returns the fiber index array of a level.
+func (c *CSF) Fids(l int) []int32 { return c.fids[l] }
+
+// ChildPtr returns the level-l to level-(l+1) row pointers (l < N-1).
+func (c *CSF) ChildPtr(l int) []int32 { return c.ptr[l] }
+
+// LeafPtr returns the leaf spans of level-l fibers (l < N-1).
+func (c *CSF) LeafPtr(l int) []int32 { return c.leafPtr[l] }
+
+// LeafStart returns the first leaf position under the level-l fiber f.
+func (c *CSF) LeafStart(l, f int) int {
+	if l == c.Order()-1 {
+		return f
+	}
+	return int(c.leafPtr[l][f])
+}
+
+// FiberAt returns the level-l fiber covering leaf position i.
+func (c *CSF) FiberAt(l, i int) int {
+	if l == c.Order()-1 {
+		return i
+	}
+	lp := c.leafPtr[l]
+	return sort.Search(len(lp)-1, func(f int) bool { return lp[f+1] > int32(i) })
+}
+
+// Coord writes the coordinates of the nonzero at storage position i
+// into dst (length >= Order) and returns it.
+func (c *CSF) Coord(i int, dst []int) []int {
+	last := c.Order() - 1
+	for l := 0; l < last; l++ {
+		dst[c.perm[l]] = int(c.fids[l][c.FiberAt(l, i)])
+	}
+	dst[c.perm[last]] = int(c.fids[last][i])
+	return dst
+}
+
+// Value returns the value of the nonzero at storage position i.
+func (c *CSF) Value(i int) float64 { return c.val[i] }
+
+// Values returns the nonzero values in storage order.
+func (c *CSF) Values() []float64 { return c.val }
+
+// ModeStream expands (and caches) the mode-m index of every nonzero in
+// storage order. The leaf mode aliases the stored leaf level; other
+// modes replicate each fiber's index across its leaf span. Safe for
+// concurrent callers.
+func (c *CSF) ModeStream(m int) []int32 {
+	l := c.level[m]
+	if l == c.Order()-1 {
+		return c.fids[l]
+	}
+	c.streamOnce[m].Do(func() {
+		outS := make([]int32, c.NNZ())
+		lp := c.leafPtr[l]
+		f := c.fids[l]
+		par.For(len(f), 0, 0, func(i int) {
+			v := f[i]
+			for p := lp[i]; p < lp[i+1]; p++ {
+				outS[p] = v
+			}
+		})
+		c.streams[m] = outS
+	})
+	return c.streams[m]
+}
+
+// Norm returns the Frobenius norm, parallel over nonzeros.
+func (c *CSF) Norm(threads int) float64 {
+	threads = par.DefaultThreads(threads)
+	partial := make([]float64, threads)
+	par.ForWorker(c.NNZ(), threads, func(w, lo, hi int) {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += c.val[i] * c.val[i]
+		}
+		partial[w] += s
+	})
+	var s float64
+	for _, p := range partial {
+		s += p
+	}
+	return math.Sqrt(s)
+}
+
+// IndexBytes reports the compressed index storage: every fiber index
+// and pointer entry across the levels (ptr[N-2] aliases leafPtr[N-2]
+// and is counted once). The lazily expanded mode-stream caches are
+// conversion scratch and excluded.
+func (c *CSF) IndexBytes() int64 {
+	var entries int64
+	for _, f := range c.fids {
+		entries += int64(len(f))
+	}
+	for l := 0; l < len(c.leafPtr); l++ {
+		entries += int64(len(c.leafPtr[l]))
+	}
+	for l := 0; l < len(c.ptr)-1; l++ { // last level aliases leafPtr
+		entries += int64(len(c.ptr[l]))
+	}
+	return entries * 4
+}
+
+// ToCOO converts back to coordinate format (in CSF storage order).
+func (c *CSF) ToCOO() *COO {
+	out := NewCOO(c.dims, c.NNZ())
+	for m := range c.dims {
+		out.Idx[m] = append(out.Idx[m], c.ModeStream(m)...)
+	}
+	out.Val = append(out.Val, c.val...)
+	return out
+}
+
+// Validate checks the structural invariants: root fibers strictly
+// sorted, children strictly sorted within every fiber, pointers
+// monotone and spanning, and leaf spans nested consistently. Used by
+// tests and available to callers ingesting untrusted structures.
+func (c *CSF) Validate() error {
+	order := c.Order()
+	if order == 1 {
+		return nil
+	}
+	for f := 1; f < len(c.fids[0]); f++ {
+		if c.fids[0][f] <= c.fids[0][f-1] {
+			return fmt.Errorf("csf: root fibers not strictly sorted at %d", f)
+		}
+	}
+	for l := 0; l < order-1; l++ {
+		pl := c.ptr[l]
+		if len(pl) != len(c.fids[l])+1 {
+			return fmt.Errorf("csf: level %d ptr length %d for %d fibers", l, len(pl), len(c.fids[l]))
+		}
+		childCount := len(c.fids[l+1])
+		if int(pl[len(pl)-1]) != childCount || pl[0] != 0 {
+			return fmt.Errorf("csf: level %d ptr does not span its children", l)
+		}
+		for f := 0; f < len(c.fids[l]); f++ {
+			if pl[f] >= pl[f+1] {
+				return fmt.Errorf("csf: level %d fiber %d has no children", l, f)
+			}
+			for j := pl[f] + 1; j < pl[f+1]; j++ {
+				if c.fids[l+1][j] <= c.fids[l+1][j-1] {
+					return fmt.Errorf("csf: level %d fiber %d children not strictly sorted", l, f)
+				}
+			}
+		}
+		lp := c.leafPtr[l]
+		if len(lp) != len(c.fids[l])+1 || int(lp[len(lp)-1]) != c.NNZ() || lp[0] != 0 {
+			return fmt.Errorf("csf: level %d leaf spans inconsistent", l)
+		}
+		for f := 1; f < len(lp); f++ {
+			if lp[f] < lp[f-1] {
+				return fmt.Errorf("csf: level %d leaf spans not monotone", l)
+			}
+		}
+	}
+	for m, d := range c.dims {
+		l := c.level[m]
+		for _, ix := range c.fids[l] {
+			if ix < 0 || int(ix) >= d {
+				return fmt.Errorf("csf: mode %d index %d out of range [0,%d)", m, ix, d)
+			}
+		}
+	}
+	return nil
+}
+
+// String summarizes the tensor.
+func (c *CSF) String() string {
+	return fmt.Sprintf("CSF(dims=%v, nnz=%d, perm=%v)", c.dims, c.NNZ(), c.perm)
+}
+
+var _ Sparse = (*CSF)(nil)

@@ -1,0 +1,192 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func randomCOO(rng *rand.Rand, dims []int, nnz int) *COO {
+	x := NewCOO(dims, nnz)
+	coord := make([]int, len(dims))
+	for i := 0; i < nnz; i++ {
+		for m, d := range dims {
+			coord[m] = rng.Intn(d)
+		}
+		x.Append(coord, 1+rng.Float64())
+	}
+	return x
+}
+
+func TestCSFMatchesSortedCOO(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, dims := range [][]int{{6, 4}, {9, 7, 5}, {5, 4, 3, 6}} {
+		x := randomCOO(rng, dims, 120)
+		c := NewCSF(x, CSFOptions{})
+		if err := c.Validate(); err != nil {
+			t.Fatalf("dims %v: %v", dims, err)
+		}
+		ref := x.Clone().SortDedupOrder(c.Perm())
+		if c.NNZ() != ref.NNZ() {
+			t.Fatalf("dims %v: nnz %d vs %d", dims, c.NNZ(), ref.NNZ())
+		}
+		coord := make([]int, len(dims))
+		for i := 0; i < c.NNZ(); i++ {
+			c.Coord(i, coord)
+			for m := range dims {
+				if int32(coord[m]) != ref.Idx[m][i] {
+					t.Fatalf("dims %v nz %d: Coord %v vs ref", dims, i, coord)
+				}
+				if c.ModeStream(m)[i] != ref.Idx[m][i] {
+					t.Fatalf("dims %v nz %d mode %d: stream mismatch", dims, i, m)
+				}
+			}
+			if c.Value(i) != ref.Val[i] {
+				t.Fatalf("dims %v nz %d: value %v vs %v", dims, i, c.Value(i), ref.Val[i])
+			}
+		}
+		// Fiber counts: the root level has exactly one fiber per
+		// nonempty slice of the root mode.
+		if got, want := c.NumFibers(0), ref.NonEmptySlices(c.Perm()[0]); got != want {
+			t.Fatalf("dims %v: %d root fibers, %d nonempty slices", dims, got, want)
+		}
+		// Every level must be no larger than its child level and the
+		// leaf level must hold every nonzero.
+		for l := 0; l < c.Order()-1; l++ {
+			if c.NumFibers(l) > c.NumFibers(l+1) {
+				t.Fatalf("dims %v: level %d larger than level %d", dims, l, l+1)
+			}
+		}
+		if c.NumFibers(c.Order()-1) != c.NNZ() {
+			t.Fatalf("dims %v: leaf level incomplete", dims)
+		}
+	}
+}
+
+func TestCSFDedupEquivalence(t *testing.T) {
+	// Raw duplicate (and cancelling) entries must produce the same CSF
+	// as building from an already canonicalized tensor.
+	x := NewCOO([]int{4, 3, 5}, 0)
+	x.Append([]int{1, 2, 3}, 2)
+	x.Append([]int{0, 0, 0}, 1)
+	x.Append([]int{1, 2, 3}, 0.5)
+	x.Append([]int{3, 1, 4}, 1)
+	x.Append([]int{3, 1, 4}, -1) // cancels away
+	x.Append([]int{0, 0, 1}, 4)
+	a := NewCSF(x, CSFOptions{})
+	b := NewCSF(x.Clone().SortDedup(), CSFOptions{})
+	if !reflect.DeepEqual(a.Perm(), b.Perm()) {
+		t.Fatalf("perm differs: %v vs %v", a.Perm(), b.Perm())
+	}
+	for l := 0; l < a.Order(); l++ {
+		if !reflect.DeepEqual(a.Fids(l), b.Fids(l)) {
+			t.Fatalf("level %d fids differ", l)
+		}
+	}
+	if !reflect.DeepEqual(a.Values(), b.Values()) {
+		t.Fatalf("values differ: %v vs %v", a.Values(), b.Values())
+	}
+	if a.NNZ() != 3 {
+		t.Fatalf("cancellation not dropped: nnz=%d", a.NNZ())
+	}
+}
+
+func TestCSFEmptySlicesAndOrder2(t *testing.T) {
+	// Large empty gaps in every mode; order-2 exercises the minimal
+	// two-level tree where ChildPtr and LeafPtr coincide.
+	x := NewCOO([]int{100, 50}, 0)
+	x.Append([]int{99, 0}, 1)
+	x.Append([]int{0, 49}, 2)
+	x.Append([]int{99, 49}, 3)
+	c := NewCSF(x, CSFOptions{ModeOrder: []int{0, 1}})
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumFibers(0) != 2 || c.NNZ() != 3 {
+		t.Fatalf("fibers=%d nnz=%d", c.NumFibers(0), c.NNZ())
+	}
+	if !reflect.DeepEqual(c.Fids(0), []int32{0, 99}) {
+		t.Fatalf("root fids %v", c.Fids(0))
+	}
+	if !reflect.DeepEqual(c.ChildPtr(0), c.LeafPtr(0)) {
+		t.Fatalf("order-2 ChildPtr should alias LeafPtr")
+	}
+	// FiberAt maps leaves back to their root fiber.
+	for i := 0; i < c.NNZ(); i++ {
+		f := c.FiberAt(0, i)
+		if c.Fids(0)[f] != c.ModeStream(0)[i] {
+			t.Fatalf("FiberAt(%d) = %d inconsistent", i, f)
+		}
+	}
+}
+
+func TestCSFParallelBuildDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x := randomCOO(rng, []int{40, 30, 20, 8}, 3000)
+	base := NewCSF(x, CSFOptions{Threads: 1})
+	for _, threads := range []int{2, 3, 4, 8} {
+		c := NewCSF(x, CSFOptions{Threads: threads})
+		for l := 0; l < c.Order(); l++ {
+			if !reflect.DeepEqual(base.Fids(l), c.Fids(l)) {
+				t.Fatalf("threads=%d: level %d fids differ", threads, l)
+			}
+			if l < c.Order()-1 {
+				if !reflect.DeepEqual(base.ChildPtr(l), c.ChildPtr(l)) {
+					t.Fatalf("threads=%d: level %d ptr differs", threads, l)
+				}
+				if !reflect.DeepEqual(base.LeafPtr(l), c.LeafPtr(l)) {
+					t.Fatalf("threads=%d: level %d leafPtr differs", threads, l)
+				}
+			}
+		}
+		if !reflect.DeepEqual(base.Values(), c.Values()) {
+			t.Fatalf("threads=%d: values differ", threads)
+		}
+	}
+}
+
+func TestCSFModeOrderAndCompression(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Skewed shape: a short mode compresses the top of the tree.
+	x := randomCOO(rng, []int{4, 200, 150}, 2500)
+	c := NewCSF(x, CSFOptions{})
+	if got := c.Perm()[0]; got != 0 {
+		t.Fatalf("shortest-mode-first root = %d", got)
+	}
+	for m := range x.Dims {
+		if c.Perm()[c.Level(m)] != m {
+			t.Fatalf("Level/Perm inconsistent for mode %d", m)
+		}
+	}
+	dedup := x.Clone().SortDedup()
+	if c.IndexBytes() >= dedup.IndexBytes() {
+		t.Fatalf("CSF index bytes %d not below COO %d", c.IndexBytes(), dedup.IndexBytes())
+	}
+	// Custom ordering round-trips to the same tensor.
+	custom := NewCSF(x, CSFOptions{ModeOrder: []int{2, 0, 1}})
+	if err := custom.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	da := DenseFromCOO(c.ToCOO())
+	db := DenseFromCOO(custom.ToCOO())
+	for i := range da.Data {
+		if math.Abs(da.Data[i]-db.Data[i]) > 1e-12 {
+			t.Fatalf("mode orderings disagree at %d", i)
+		}
+	}
+}
+
+func TestCSFNormAndEmpty(t *testing.T) {
+	x := NewCOO([]int{3, 3}, 0)
+	empty := NewCSF(x, CSFOptions{})
+	if empty.NNZ() != 0 || empty.Norm(2) != 0 {
+		t.Fatal("empty CSF broken")
+	}
+	x.Append([]int{0, 1}, 3)
+	x.Append([]int{2, 2}, 4)
+	c := NewCSF(x, CSFOptions{})
+	if got := c.Norm(2); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("norm = %v", got)
+	}
+}

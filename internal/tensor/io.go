@@ -34,8 +34,15 @@ func WriteTNS(w io.Writer, t *COO) error {
 	return bw.Flush()
 }
 
+// maxIndex bounds mode sizes and coordinates: indices are stored as
+// int32 throughout the library.
+const maxIndex = 1 << 31
+
 // ReadTNS parses a .tns stream. If no dims header is present the mode
-// sizes are the maxima seen per mode.
+// sizes are the maxima seen per mode. Malformed input — short lines,
+// non-numeric fields, inconsistent arity, out-of-range or non-int32
+// indices, duplicate or bad headers — is rejected with an error naming
+// the offending line.
 func ReadTNS(r io.Reader) (*COO, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -43,7 +50,9 @@ func ReadTNS(r io.Reader) (*COO, error) {
 	var dims []int
 	var rows [][]int
 	var vals []float64
+	var lineOf []int
 	order := -1
+	dimsLine := 0
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -52,14 +61,33 @@ func ReadTNS(r io.Reader) (*COO, error) {
 			continue
 		}
 		if strings.HasPrefix(line, "#") {
-			if rest, ok := strings.CutPrefix(line, "# dims:"); ok {
-				for _, f := range strings.Fields(rest) {
-					d, err := strconv.Atoi(f)
-					if err != nil {
-						return nil, fmt.Errorf("tns line %d: bad dims header: %v", lineNo, err)
-					}
-					dims = append(dims, d)
+			rest, ok := strings.CutPrefix(line, "# dims:")
+			if !ok {
+				continue
+			}
+			if dims != nil {
+				return nil, fmt.Errorf("tns line %d: duplicate dims header (first on line %d)", lineNo, dimsLine)
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				return nil, fmt.Errorf("tns line %d: empty dims header", lineNo)
+			}
+			for _, f := range fields {
+				d, err := strconv.Atoi(f)
+				if err != nil {
+					return nil, fmt.Errorf("tns line %d: bad dims header entry %q: %v", lineNo, f, err)
 				}
+				if d <= 0 {
+					return nil, fmt.Errorf("tns line %d: mode size %d must be positive", lineNo, d)
+				}
+				if d >= maxIndex {
+					return nil, fmt.Errorf("tns line %d: mode size %d exceeds the int32 index range", lineNo, d)
+				}
+				dims = append(dims, d)
+			}
+			dimsLine = lineNo
+			if order != -1 && len(dims) != order {
+				return nil, fmt.Errorf("tns line %d: dims header has %d modes but data has %d", lineNo, len(dims), order)
 			}
 			continue
 		}
@@ -69,6 +97,10 @@ func ReadTNS(r io.Reader) (*COO, error) {
 			if order < 1 {
 				return nil, fmt.Errorf("tns line %d: need at least one coordinate and a value", lineNo)
 			}
+			if dims != nil && len(dims) != order {
+				return nil, fmt.Errorf("tns line %d: %d coordinates but dims header (line %d) has %d modes",
+					lineNo, order, dimsLine, len(dims))
+			}
 		}
 		if len(fields) != order+1 {
 			return nil, fmt.Errorf("tns line %d: expected %d fields, got %d", lineNo, order+1, len(fields))
@@ -77,22 +109,29 @@ func ReadTNS(r io.Reader) (*COO, error) {
 		for m := 0; m < order; m++ {
 			c, err := strconv.Atoi(fields[m])
 			if err != nil {
-				return nil, fmt.Errorf("tns line %d: bad coordinate: %v", lineNo, err)
+				return nil, fmt.Errorf("tns line %d: bad coordinate %q in mode %d: %v", lineNo, fields[m], m+1, err)
 			}
 			if c < 1 {
-				return nil, fmt.Errorf("tns line %d: coordinates are 1-based, got %d", lineNo, c)
+				return nil, fmt.Errorf("tns line %d: coordinates are 1-based, got %d in mode %d", lineNo, c, m+1)
+			}
+			if c >= maxIndex {
+				return nil, fmt.Errorf("tns line %d: coordinate %d in mode %d exceeds the int32 index range", lineNo, c, m+1)
+			}
+			if dims != nil && c > dims[m] {
+				return nil, fmt.Errorf("tns line %d: coordinate %d out of range [1,%d] in mode %d", lineNo, c, dims[m], m+1)
 			}
 			coord[m] = c - 1
 		}
 		v, err := strconv.ParseFloat(fields[order], 64)
 		if err != nil {
-			return nil, fmt.Errorf("tns line %d: bad value: %v", lineNo, err)
+			return nil, fmt.Errorf("tns line %d: bad value %q: %v", lineNo, fields[order], err)
 		}
 		rows = append(rows, coord)
 		vals = append(vals, v)
+		lineOf = append(lineOf, lineNo)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("tns line %d: %w", lineNo+1, err)
 	}
 	if order == -1 && dims == nil {
 		return nil, fmt.Errorf("tns: empty input")
@@ -106,13 +145,11 @@ func ReadTNS(r io.Reader) (*COO, error) {
 				}
 			}
 		}
-	} else if order != -1 && len(dims) != order {
-		return nil, fmt.Errorf("tns: dims header has %d modes but data has %d", len(dims), order)
 	}
 	t := NewCOO(dims, len(vals))
 	for i, c := range rows {
 		if err := t.AppendChecked(c, vals[i]); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("tns line %d: %w", lineOf[i], err)
 		}
 	}
 	return t, nil

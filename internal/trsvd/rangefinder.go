@@ -1,0 +1,63 @@
+package trsvd
+
+import (
+	"hypertensor/internal/dense"
+	"hypertensor/internal/tensor"
+)
+
+// RangeFinder computes S = X_(n)·Ω for a sparse tensor in any storage
+// format, with an implicit Gaussian sketch Ω of the huge ∏_{t≠n} I_t
+// column space: the sketch entries are generated on the fly per
+// (column, direction) with a hash, so the cost is O(nnz·k) and no
+// matricization is ever materialized. Orthonormalizing the result gives
+// the practical sparse stand-in for an HOSVD start (the exact HOSVD
+// would need singular vectors of matrices with ∏_{t≠n} I_t columns,
+// which §III.A.2 of the paper rules out). The tensor is reached only
+// through the tensor.Sparse mode streams, so COO and CSF tensors feed
+// the same operator; the result depends on the nonzero set and, up to
+// floating-point rounding, not on the storage order.
+func RangeFinder(x tensor.Sparse, mode, k int, seed int64) *dense.Matrix {
+	dims := x.Shape()
+	s := dense.NewMatrix(dims[mode], k)
+	order := x.Order()
+	streams := make([][]int32, order)
+	for m := 0; m < order; m++ {
+		streams[m] = x.ModeStream(m)
+	}
+	vals := x.Values()
+	for t := 0; t < x.NNZ(); t++ {
+		// Linearize the non-mode coordinates into the sketch column id.
+		var col int64
+		for m := 0; m < order; m++ {
+			if m == mode {
+				continue
+			}
+			col = col*int64(dims[m]) + int64(streams[m][t])
+		}
+		row := s.Row(int(streams[mode][t]))
+		v := vals[t]
+		for j := 0; j < k; j++ {
+			row[j] += v * GaussHash(seed, col, int64(j))
+		}
+	}
+	return s
+}
+
+// GaussHash returns a deterministic pseudo-Gaussian sample for the
+// sketch entry Ω[col, j]: the sum of four independent uniform(-1,1)
+// hashes (variance-normalized), light-tailed enough for a range finder.
+func GaussHash(seed, col, j int64) float64 {
+	var sum float64
+	base := uint64(seed)*0x9E3779B97F4A7C15 ^ uint64(col)*0xC2B2AE3D27D4EB4F ^ uint64(j)*0x165667B19E3779F9
+	for i := uint64(1); i <= 4; i++ {
+		z := base + i*0x9E3779B97F4A7C15
+		z ^= z >> 30
+		z *= 0xBF58476D1CE4E5B9
+		z ^= z >> 27
+		z *= 0x94D049BB133111EB
+		z ^= z >> 31
+		sum += 2*float64(z>>11)/float64(1<<53) - 1
+	}
+	// Var(uniform(-1,1)) = 1/3; sum of 4 has variance 4/3.
+	return sum * 0.8660254037844386 // * sqrt(3)/2
+}

@@ -35,7 +35,7 @@ import (
 // A DTree is built once per tensor (symbolic phase) and reused across
 // sweeps and rank configurations; it is not safe for concurrent use.
 type DTree struct {
-	x      *tensor.COO
+	x      tensor.Sparse
 	order  int
 	root   *dnode
 	nodes  []*dnode // topological order, parents before children
@@ -73,8 +73,11 @@ func (nd *dnode) isLeaf() bool { return nd.hi-nd.lo == 1 }
 // NewDTree builds the symbolic dimension tree for x: node structure and
 // the per-node update lists (groupings). No factor matrices are needed;
 // numeric values are computed lazily by TTMc. x must have order >= 2
-// and at least one nonzero.
-func NewDTree(x *tensor.COO) *DTree {
+// and at least one nonzero. Any storage format works: the tree operates
+// on the per-mode index streams, which a CSF tensor expands (and keeps)
+// on first use — the tree's own memoized nodes dominate its footprint
+// either way.
+func NewDTree(x tensor.Sparse) *DTree {
 	if x.Order() < 2 {
 		panic("ttm: DTree requires an order >= 2 tensor")
 	}
@@ -88,7 +91,7 @@ func NewDTree(x *tensor.COO) *DTree {
 	}
 	t.root = &dnode{lo: 0, hi: t.order, n: x.NNZ(), keys: make([][]int32, t.order)}
 	for m := 0; m < t.order; m++ {
-		t.root.keys[m] = x.Idx[m]
+		t.root.keys[m] = x.ModeStream(m)
 	}
 	t.nodes = append(t.nodes, t.root)
 	t.split(t.root)
@@ -295,7 +298,11 @@ func (t *DTree) contract(nd *dnode, dst []float64, u []*dense.Matrix, threads in
 		for _, m := range dropped[:len(dropped)-1] {
 			prefixLen *= t.ranks[m]
 		}
-		x := t.x
+		streams := make([][]int32, len(dropped))
+		for j, m := range dropped {
+			streams[j] = t.x.ModeStream(m)
+		}
+		vals := t.x.Values()
 		type scratch struct {
 			rows [][]float64
 			bufA []float64
@@ -318,10 +325,10 @@ func (t *DTree) contract(nd *dnode, dst []float64, u []*dense.Matrix, threads in
 					row[i] = 0
 				}
 				for _, id := range nd.groups.Group(g) {
-					for j, m := range dropped {
-						sc.rows[j] = u[m].Row(int(x.Idx[m][id]))
+					for j := range dropped {
+						sc.rows[j] = u[dropped[j]].Row(int(streams[j][id]))
 					}
-					accumKron(row, x.Val[id], sc.rows, sc.bufA, sc.bufB)
+					accumKron(row, vals[id], sc.rows, sc.bufA, sc.bufB)
 				}
 			}
 		})
