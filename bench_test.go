@@ -43,6 +43,26 @@ func BenchmarkTableII_StrongScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkScalingSweep keeps the htbench -scaling driver wired into
+// the CI benchmark smoke: it fails the pipeline if a sweep errors or a
+// dataset's fit trajectory stops being bitwise invariant across thread
+// counts.
+func BenchmarkScalingSweep(b *testing.B) {
+	o := benchOpts()
+	o.Reps = 1
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.Scaling(o, ScheduleBalanced, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range rep.Rows {
+			if !row.FitInvariant {
+				b.Fatalf("%s: fit not bitwise invariant across thread counts", row.Dataset)
+			}
+		}
+	}
+}
+
 func BenchmarkTableIII_CommStats(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.TableIII(benchOpts(), io.Discard); err != nil {

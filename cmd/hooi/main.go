@@ -19,6 +19,7 @@ import (
 
 	"hypertensor"
 	"hypertensor/internal/dist"
+	"hypertensor/internal/par"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 		iters   = flag.Int("iters", 20, "maximum ALS sweeps")
 		tol     = flag.Float64("tol", 1e-5, "fit-change stopping tolerance (negative disables)")
 		threads = flag.Int("threads", 0, "shared-memory threads (0 = GOMAXPROCS)")
+		sched   = flag.String("schedule", "balanced", "parallel loop schedule: balanced | dynamic | static")
 		algo    = flag.String("algo", "hooi", "algorithm: hooi | sthosvd | sthosvd+hooi")
 		initM   = flag.String("init", "random", "factor initialization: random | hosvd")
 		svd     = flag.String("svd", "lanczos", "TRSVD solver: lanczos | subspace | gram")
@@ -87,11 +89,16 @@ func main() {
 		fail(fmt.Errorf("unknown algo %q", *algo))
 	}
 
+	schedule, err := par.ParseSchedule(*sched)
+	if err != nil {
+		fail(err)
+	}
 	opts := hypertensor.Options{
 		Ranks:    ranks,
 		MaxIters: *iters,
 		Tol:      *tol,
 		Threads:  *threads,
+		Schedule: schedule,
 		Seed:     *seed,
 		Initial:  warmStart,
 	}
@@ -142,7 +149,7 @@ func main() {
 		dec.Timings.Convert, dec.Timings.Symbolic, dec.Timings.TTMc, dec.Timings.TRSVD, dec.Timings.Core)
 	fmt.Printf("storage: format=%s index=%d B (%.2f B/nnz)\n",
 		dec.Format, dec.IndexBytes, float64(dec.IndexBytes)/float64(x.NNZ()))
-	fmt.Printf("ttmc: strategy=%s flops=%d", *ttmc, dec.TTMcFlops)
+	fmt.Printf("ttmc: strategy=%s schedule=%s flops=%d", *ttmc, schedule, dec.TTMcFlops)
 	if *ttmc == "dtree" {
 		fmt.Printf(" (node recompute time %v)", dec.Timings.TTMcNodes)
 	}

@@ -1,11 +1,14 @@
 // Command htbench regenerates the paper's evaluation: Tables I–V and
-// the in-text MET comparison, at a configurable scale.
+// the in-text MET comparison, at a configurable scale, plus the
+// thread-scaling sweep the bench-regression CI job consumes.
 //
 // Examples:
 //
 //	htbench -all -scale 1 -iters 5
 //	htbench -table 2 -ps 1,2,4,8,16,32
 //	htbench -met
+//	htbench -scaling -threads 1,2,4,8 -json bench.json
+//	htbench -scaling -threads 1,2,4,8 -json bench.json -baseline testdata/scaling_baseline.json
 package main
 
 import (
@@ -16,24 +19,32 @@ import (
 	"strings"
 
 	"hypertensor/internal/bench"
+	"hypertensor/internal/par"
 )
 
 func main() {
 	var (
-		table  = flag.Int("table", 0, "regenerate one table (1-5)")
-		met    = flag.Bool("met", false, "run the MET single-core comparison")
-		dtree  = flag.Bool("dtree", false, "run the dimension-tree vs flat TTMc comparison")
-		format = flag.Bool("format", false, "run the CSF vs COO storage-format comparison")
-		all    = flag.Bool("all", false, "run every experiment")
-		scale  = flag.Float64("scale", 1.0, "dataset scale (1.0 ~ 1/500 of the paper's nonzeros)")
-		iters  = flag.Int("iters", 5, "HOOI sweeps per measurement (paper: 5)")
-		p      = flag.Int("p", 16, "simulated ranks for Tables III-IV (paper: 256)")
-		psIn   = flag.String("ps", "1,2,4,8,16", "rank sweep for Table II")
-		thrIn  = flag.String("threads", "1,2,4,8,16,32", "thread sweep for Table V")
-		seed   = flag.Int64("seed", 1, "seed for datasets and partitioners")
+		table   = flag.Int("table", 0, "regenerate one table (1-5)")
+		met     = flag.Bool("met", false, "run the MET single-core comparison")
+		dtree   = flag.Bool("dtree", false, "run the dimension-tree vs flat TTMc comparison")
+		format  = flag.Bool("format", false, "run the CSF vs COO storage-format comparison")
+		scaling = flag.Bool("scaling", false, "run the thread-scaling sweep (per-thread speedup table)")
+		schedIn = flag.String("sched", "balanced", "scaling sweep schedule: balanced | dynamic | static")
+		jsonOut = flag.String("json", "", "write the scaling report as machine-readable JSON to this path")
+		basePth = flag.String("baseline", "", "compare the scaling report against this baseline JSON; exit 1 on regression")
+		reps    = flag.Int("reps", 3, "scaling sweep repetitions per measurement (fastest kept)")
+		regTol  = flag.Float64("regtol", 0.10, "allowed fractional regression of madds/index bytes vs the baseline")
+		timeTol = flag.Float64("timetol", 0.10, "allowed fractional regression of sweep seconds vs a same-host baseline (<=0 disables)")
+		all     = flag.Bool("all", false, "run every experiment")
+		scale   = flag.Float64("scale", 1.0, "dataset scale (1.0 ~ 1/500 of the paper's nonzeros)")
+		iters   = flag.Int("iters", 5, "HOOI sweeps per measurement (paper: 5)")
+		p       = flag.Int("p", 16, "simulated ranks for Tables III-IV (paper: 256)")
+		psIn    = flag.String("ps", "1,2,4,8,16", "rank sweep for Table II")
+		thrIn   = flag.String("threads", "1,2,4,8,16,32", "thread sweep for Table V")
+		seed    = flag.Int64("seed", 1, "seed for datasets and partitioners")
 	)
 	flag.Parse()
-	if !*all && *table == 0 && !*met && !*dtree && !*format {
+	if !*all && *table == 0 && !*met && !*dtree && !*format && !*scaling {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -45,7 +56,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	o := bench.Options{Scale: *scale, Ps: ps, P: *p, Iters: *iters, Threads: threads, Seed: *seed}
+	o := bench.Options{Scale: *scale, Ps: ps, P: *p, Iters: *iters, Threads: threads, Reps: *reps, Seed: *seed}
 	out := os.Stdout
 
 	run := func(n int) {
@@ -68,6 +79,34 @@ func main() {
 		fmt.Fprintln(out)
 	}
 
+	runScaling := func() {
+		sched, err := par.ParseSchedule(*schedIn)
+		if err != nil {
+			fail(err)
+		}
+		rep, err := bench.Scaling(o, sched, out)
+		if err != nil {
+			fail(err)
+		}
+		if *jsonOut != "" {
+			if err := rep.WriteJSON(*jsonOut); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(out, "scaling report written to %s\n", *jsonOut)
+		}
+		if *basePth != "" {
+			base, err := bench.ReadScalingReport(*basePth)
+			if err != nil {
+				fail(err)
+			}
+			if err := bench.CompareScaling(base, rep, *regTol, *timeTol, out); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(out, "no regression against %s (madds/bytes tol %.0f%%, time tol %.0f%%)\n",
+				*basePth, *regTol*100, *timeTol*100)
+		}
+	}
+
 	if *all {
 		for n := 1; n <= 5; n++ {
 			run(n)
@@ -83,6 +122,8 @@ func main() {
 		if _, err := bench.FormatCompare(o, out); err != nil {
 			fail(err)
 		}
+		fmt.Fprintln(out)
+		runScaling()
 		return
 	}
 	if *table != 0 {
@@ -105,6 +146,9 @@ func main() {
 		if _, err := bench.FormatCompare(o, out); err != nil {
 			fail(err)
 		}
+	}
+	if *scaling {
+		runScaling()
 	}
 }
 

@@ -75,6 +75,9 @@ type (
 	// TTMcStrategy selects the TTMc evaluation path (TTMcFlat,
 	// TTMcDTree).
 	TTMcStrategy = core.TTMcStrategy
+	// Schedule selects the parallel loop scheduling discipline
+	// (ScheduleBalanced, ScheduleDynamic, ScheduleStatic).
+	Schedule = core.Schedule
 	// Partition is a distributed task assignment (rows and, for fine
 	// grain, nonzeros) for P ranks.
 	Partition = dist.Partition
@@ -110,6 +113,10 @@ const (
 
 	FormatCOO = core.FormatCOO
 	FormatCSF = core.FormatCSF
+
+	ScheduleBalanced = core.ScheduleBalanced
+	ScheduleDynamic  = core.ScheduleDynamic
+	ScheduleStatic   = core.ScheduleStatic
 
 	CoarseGrain = dist.Coarse
 	FineGrain   = dist.Fine

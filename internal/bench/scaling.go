@@ -1,0 +1,307 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"hypertensor/internal/core"
+	"hypertensor/internal/par"
+)
+
+// ScalingCell is one (dataset, thread count) measurement of the
+// shared-memory scaling sweep.
+type ScalingCell struct {
+	Threads  int     `json:"threads"`
+	SweepSec float64 `json:"sweep_sec"` // wall seconds per HOOI sweep (TTMc+TRSVD+core)
+	TTMcSec  float64 `json:"ttmc_sec"`  // TTMc share of the sweep
+	Speedup  float64 `json:"speedup"`   // sweep speedup vs the first thread count
+}
+
+// ScalingRow is the scaling sweep of one dataset. MaddsPerSweep and
+// IndexBytes are machine-independent and gated strictly by the CI
+// regression check; the timings are gated only against a baseline from
+// the same host class.
+type ScalingRow struct {
+	Dataset       string        `json:"dataset"`
+	Order         int           `json:"order"`
+	NNZ           int           `json:"nnz"`
+	MaddsPerSweep int64         `json:"madds_per_sweep"`
+	IndexBytes    int64         `json:"index_bytes"`
+	Fit           float64       `json:"fit"`
+	FitInvariant  bool          `json:"fit_invariant"` // fits bitwise equal across the thread sweep
+	Cells         []ScalingCell `json:"cells"`
+}
+
+// ScalingReport is the machine-readable output of `htbench -scaling
+// -json`: the artifact the bench-regression CI job uploads and compares
+// against the committed baseline.
+type ScalingReport struct {
+	Schema     int          `json:"schema"`
+	Host       string       `json:"host"` // GOOS/GOARCH/GOMAXPROCS fingerprint for the time gate
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Scale      float64      `json:"scale"`
+	Iters      int          `json:"iters"`
+	Schedule   string       `json:"schedule"`
+	Format     string       `json:"format"`
+	Rows       []ScalingRow `json:"rows"`
+}
+
+// scalingSchema versions the report layout for the CI comparison.
+const scalingSchema = 1
+
+// timeNoiseFloorSec is the smallest absolute sweep-time increase the
+// wall-clock gate treats as signal: min-of-Reps measurements of
+// sub-100ms sweeps still jitter by >10% on shared hosts, so a
+// percentage alone cannot gate them. A regression must exceed both the
+// fractional tolerance and this floor to fail the build.
+const timeNoiseFloorSec = 0.025
+
+func hostFingerprint() string {
+	fp := fmt.Sprintf("%s/%s/maxprocs=%d", runtime.GOOS, runtime.GOARCH, runtime.GOMAXPROCS(0))
+	if model := cpuModel(); model != "" {
+		fp += "/" + model
+	}
+	return fp
+}
+
+// cpuModel best-effort identifies the CPU so the wall-clock gate does
+// not arm between same-shape hosts of different speeds (a 4-core dev
+// box vs a 4-core CI runner). Empty when the platform does not expose
+// it; the fingerprint then degrades to OS/arch/maxprocs.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}
+
+// Scaling runs the shared-memory thread-scaling sweep on every preset
+// dataset with the given schedule: one HOOI measurement per thread
+// count on the CSF fast path, reporting seconds and speedup per sweep,
+// the TTMc share, the machine-independent madds-per-sweep count, and
+// whether the fit trajectory stayed bitwise identical across the whole
+// thread sweep (it must, for the static and balanced schedules — that
+// is the determinism contract of the runtime).
+func Scaling(o Options, sched par.Schedule, w io.Writer) (*ScalingReport, error) {
+	o = o.withDefaults()
+	rep := &ScalingReport{
+		Schema:     scalingSchema,
+		Host:       hostFingerprint(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      o.Scale,
+		Iters:      o.Iters,
+		Schedule:   sched.String(),
+		Format:     core.FormatCSF.String(),
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Thread scaling: seconds/sweep, schedule=%s, format=csf (host %s)",
+			sched, rep.Host),
+		Headers: []string{"Tensor", "#threads", "s/sweep", "ttmc s", "speedup", "madds/sweep", "fit-invariant"},
+	}
+	for _, name := range []string{"netflix", "nell", "delicious", "flickr"} {
+		x, err := dataset(name, o.Scale)
+		if err != nil {
+			return nil, err
+		}
+		ranks := ranksFor(x)
+		row := ScalingRow{Dataset: name, Order: x.Order(), NNZ: x.NNZ(), FitInvariant: true}
+		var fits []float64
+		for _, th := range o.Threads {
+			var res *core.Result
+			var cell ScalingCell
+			// Min-of-Reps: the fastest repetition is the one least
+			// disturbed by the OS scheduler, which is what a regression
+			// gate should compare.
+			for rep := 0; rep < o.Reps; rep++ {
+				r, err := core.Decompose(x, core.Options{
+					Ranks:    ranks,
+					MaxIters: o.Iters,
+					Tol:      -1,
+					Threads:  th,
+					Schedule: sched,
+					Format:   core.FormatCSF,
+					Seed:     o.Seed + 31,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("%s threads=%d: %w", name, th, err)
+				}
+				it := float64(r.Iters)
+				if res == nil || r.Timings.Total().Seconds()/it < cell.SweepSec {
+					res = r
+					cell = ScalingCell{
+						Threads:  th,
+						SweepSec: r.Timings.Total().Seconds() / it,
+						TTMcSec:  r.Timings.TTMc.Seconds() / it,
+					}
+				}
+			}
+			if base := firstCell(row.Cells); base != nil && cell.SweepSec > 0 {
+				cell.Speedup = base.SweepSec / cell.SweepSec
+			} else if cell.SweepSec > 0 {
+				cell.Speedup = 1
+			}
+			row.Cells = append(row.Cells, cell)
+			row.MaddsPerSweep = res.TTMcFlops / int64(res.Iters)
+			row.IndexBytes = res.IndexBytes
+			row.Fit = res.Fit
+			if fits == nil {
+				fits = res.FitHistory
+			} else {
+				for i := range fits {
+					if i >= len(res.FitHistory) || res.FitHistory[i] != fits[i] {
+						row.FitInvariant = false
+					}
+				}
+			}
+		}
+		rep.Rows = append(rep.Rows, row)
+		for i, cell := range row.Cells {
+			first := ""
+			madds := ""
+			inv := ""
+			if i == 0 {
+				first = name
+				madds = humanCount(row.MaddsPerSweep)
+				inv = fmt.Sprintf("%v", row.FitInvariant)
+			}
+			t.AddRow(first, fmt.Sprintf("%d", cell.Threads), secs(cell.SweepSec),
+				secs(cell.TTMcSec), fmt.Sprintf("%.2fx", cell.Speedup), madds, inv)
+		}
+	}
+	t.Render(w)
+	return rep, nil
+}
+
+func firstCell(cells []ScalingCell) *ScalingCell {
+	if len(cells) == 0 {
+		return nil
+	}
+	return &cells[0]
+}
+
+// WriteJSON writes the report to path (indented, trailing newline).
+func (r *ScalingReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadScalingReport loads a report written by WriteJSON.
+func ReadScalingReport(path string) (*ScalingReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r := &ScalingReport{}
+	if err := json.Unmarshal(data, r); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// CompareScaling checks cur against a committed baseline and returns an
+// error describing the first regression found:
+//
+//   - machine-independent gates, always applied: per-dataset TTMc
+//     madds-per-sweep and index bytes must not exceed the baseline by
+//     more than tol (fractional, e.g. 0.10), and the fit trajectory
+//     must have stayed bitwise invariant across the thread sweep;
+//   - the wall-clock gate: per-(dataset, threads) seconds-per-sweep
+//     must not exceed the baseline by more than timeTol AND by more
+//     than the absolute noise floor (timeNoiseFloorSec) — applied only
+//     when the two reports carry the same host fingerprint, because a
+//     baseline measured on different hardware says nothing about this
+//     machine's absolute times (the skip is reported on w).
+//
+// The configurations (scale, iters, schedule, schema) must match, so a
+// CI job cannot silently compare sweeps of different shapes.
+func CompareScaling(base, cur *ScalingReport, tol, timeTol float64, w io.Writer) error {
+	if base.Schema != cur.Schema {
+		return fmt.Errorf("bench: baseline schema %d vs current %d", base.Schema, cur.Schema)
+	}
+	if base.Scale != cur.Scale || base.Iters != cur.Iters || base.Schedule != cur.Schedule || base.Format != cur.Format {
+		return fmt.Errorf("bench: baseline config (scale=%g iters=%d sched=%s format=%s) does not match current (scale=%g iters=%d sched=%s format=%s)",
+			base.Scale, base.Iters, base.Schedule, base.Format, cur.Scale, cur.Iters, cur.Schedule, cur.Format)
+	}
+	timeGate := base.Host == cur.Host
+	if !timeGate {
+		fmt.Fprintf(w, "bench: baseline host %q != current %q; wall-clock gate skipped (madds/bytes/determinism gates still apply)\n",
+			base.Host, cur.Host)
+	}
+	baseRows := map[string]*ScalingRow{}
+	for i := range base.Rows {
+		baseRows[base.Rows[i].Dataset] = &base.Rows[i]
+	}
+	for i := range cur.Rows {
+		c := &cur.Rows[i]
+		b, ok := baseRows[c.Dataset]
+		if !ok {
+			continue // new dataset: nothing to regress against
+		}
+		delete(baseRows, c.Dataset)
+		curCells := map[int]bool{}
+		for _, cell := range c.Cells {
+			curCells[cell.Threads] = true
+		}
+		for _, bc := range b.Cells {
+			if !curCells[bc.Threads] {
+				return fmt.Errorf("bench: %s is missing the %d-thread cell present in the baseline (run the same -threads sweep)",
+					c.Dataset, bc.Threads)
+			}
+		}
+		if !c.FitInvariant {
+			return fmt.Errorf("bench: %s fit trajectory is no longer bitwise invariant across the thread sweep", c.Dataset)
+		}
+		if exceeds(float64(c.MaddsPerSweep), float64(b.MaddsPerSweep), tol) {
+			return fmt.Errorf("bench: %s TTMc madds/sweep regressed %d -> %d (> %.0f%%)",
+				c.Dataset, b.MaddsPerSweep, c.MaddsPerSweep, tol*100)
+		}
+		if exceeds(float64(c.IndexBytes), float64(b.IndexBytes), tol) {
+			return fmt.Errorf("bench: %s index bytes regressed %d -> %d (> %.0f%%)",
+				c.Dataset, b.IndexBytes, c.IndexBytes, tol*100)
+		}
+		if !timeGate || timeTol <= 0 {
+			continue
+		}
+		baseCells := map[int]ScalingCell{}
+		for _, cell := range b.Cells {
+			baseCells[cell.Threads] = cell
+		}
+		for _, cell := range c.Cells {
+			bc, ok := baseCells[cell.Threads]
+			if !ok {
+				continue
+			}
+			// Absolute deltas below the noise floor are indistinguishable
+			// from scheduler jitter even under min-of-Reps; sweeps must
+			// be run at a scale where a real regression clears it.
+			if cell.SweepSec-bc.SweepSec < timeNoiseFloorSec {
+				continue
+			}
+			if exceeds(cell.SweepSec, bc.SweepSec, timeTol) {
+				return fmt.Errorf("bench: %s @%d threads sweep time regressed %.4fs -> %.4fs (> %.0f%%)",
+					c.Dataset, cell.Threads, bc.SweepSec, cell.SweepSec, timeTol*100)
+			}
+		}
+	}
+	for name := range baseRows {
+		return fmt.Errorf("bench: baseline dataset %q missing from current report", name)
+	}
+	return nil
+}
+
+func exceeds(cur, base, tol float64) bool {
+	return cur > base*(1+tol)
+}

@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hypertensor/internal/par"
+)
+
+func TestScalingReport(t *testing.T) {
+	var buf bytes.Buffer
+	o := quickOpts()
+	o.Reps = 1
+	rep, err := Scaling(o, par.ScheduleBalanced, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("%d dataset rows", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if len(row.Cells) != len(o.Threads) {
+			t.Fatalf("%s: %d cells for %d thread counts", row.Dataset, len(row.Cells), len(o.Threads))
+		}
+		if row.MaddsPerSweep <= 0 || row.IndexBytes <= 0 {
+			t.Fatalf("%s: nonpositive machine-independent metrics", row.Dataset)
+		}
+		if !row.FitInvariant {
+			t.Fatalf("%s: fit not bitwise invariant across the thread sweep", row.Dataset)
+		}
+		for _, cell := range row.Cells {
+			if cell.SweepSec <= 0 {
+				t.Fatalf("%s @%d threads: nonpositive sweep time", row.Dataset, cell.Threads)
+			}
+		}
+	}
+	if !strings.Contains(buf.String(), "Thread scaling") {
+		t.Fatal("table output missing title")
+	}
+	if rep.Schedule != "balanced" {
+		t.Fatalf("schedule %q recorded", rep.Schedule)
+	}
+}
+
+func TestScalingJSONRoundTrip(t *testing.T) {
+	o := quickOpts()
+	o.Reps = 1
+	rep, err := Scaling(o, par.ScheduleBalanced, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "scaling.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadScalingReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != rep.Schema || len(got.Rows) != len(rep.Rows) ||
+		got.Rows[0].MaddsPerSweep != rep.Rows[0].MaddsPerSweep {
+		t.Fatal("JSON round trip lost data")
+	}
+	// A fresh run against its own serialized self must pass the gate.
+	var buf bytes.Buffer
+	if err := CompareScaling(got, rep, 0.10, 0.10, &buf); err != nil {
+		t.Fatalf("self-comparison regressed: %v", err)
+	}
+}
+
+func scalingFixture() *ScalingReport {
+	return &ScalingReport{
+		Schema: scalingSchema, Host: "test/amd64/maxprocs=8", GOMAXPROCS: 8,
+		Scale: 1, Iters: 3, Schedule: "balanced", Format: "csf",
+		Rows: []ScalingRow{{
+			Dataset: "netflix", Order: 3, NNZ: 1000,
+			MaddsPerSweep: 1000000, IndexBytes: 5000, Fit: 0.9, FitInvariant: true,
+			Cells: []ScalingCell{
+				{Threads: 1, SweepSec: 1.0, TTMcSec: 0.5, Speedup: 1},
+				{Threads: 8, SweepSec: 0.25, TTMcSec: 0.12, Speedup: 4},
+			},
+		}},
+	}
+}
+
+func TestCompareScalingGates(t *testing.T) {
+	var buf bytes.Buffer
+	base := scalingFixture()
+
+	ok := scalingFixture()
+	if err := CompareScaling(base, ok, 0.10, 0.10, &buf); err != nil {
+		t.Fatalf("identical reports flagged: %v", err)
+	}
+
+	madds := scalingFixture()
+	madds.Rows[0].MaddsPerSweep = 1200000 // +20%
+	if err := CompareScaling(base, madds, 0.10, 0.10, &buf); err == nil ||
+		!strings.Contains(err.Error(), "madds") {
+		t.Fatalf("madds regression not caught: %v", err)
+	}
+
+	bytesUp := scalingFixture()
+	bytesUp.Rows[0].IndexBytes = 6000 // +20%
+	if err := CompareScaling(base, bytesUp, 0.10, 0.10, &buf); err == nil ||
+		!strings.Contains(err.Error(), "index bytes") {
+		t.Fatalf("index-bytes regression not caught: %v", err)
+	}
+
+	slow := scalingFixture()
+	slow.Rows[0].Cells[1].SweepSec = 0.30 // +20% at 8 threads, above the noise floor
+	if err := CompareScaling(base, slow, 0.10, 0.10, &buf); err == nil ||
+		!strings.Contains(err.Error(), "sweep time") {
+		t.Fatalf("time regression not caught: %v", err)
+	}
+
+	// A large fractional but tiny absolute drift (sub-floor) is
+	// scheduler noise, not a regression.
+	tinyBase := scalingFixture()
+	tinyBase.Rows[0].Cells[1].SweepSec = 0.050
+	jitter := scalingFixture()
+	jitter.Rows[0].Cells[1].SweepSec = 0.060 // +20% but only +10ms
+	if err := CompareScaling(tinyBase, jitter, 0.10, 0.10, &buf); err != nil {
+		t.Fatalf("sub-noise-floor drift flagged: %v", err)
+	}
+
+	// The wall-clock gate must not fire across different hosts, and the
+	// skip must be reported.
+	buf.Reset()
+	slow.Host = "other/arm64/maxprocs=2"
+	if err := CompareScaling(base, slow, 0.10, 0.10, &buf); err != nil {
+		t.Fatalf("cross-host time gate fired: %v", err)
+	}
+	if !strings.Contains(buf.String(), "wall-clock gate skipped") {
+		t.Fatal("cross-host skip not reported")
+	}
+
+	nondet := scalingFixture()
+	nondet.Rows[0].FitInvariant = false
+	if err := CompareScaling(base, nondet, 0.10, 0.10, &buf); err == nil ||
+		!strings.Contains(err.Error(), "invariant") {
+		t.Fatalf("determinism regression not caught: %v", err)
+	}
+
+	fewer := scalingFixture()
+	fewer.Rows[0].Cells = fewer.Rows[0].Cells[:1] // dropped the 8-thread cell
+	if err := CompareScaling(base, fewer, 0.10, 0.10, &buf); err == nil ||
+		!strings.Contains(err.Error(), "8-thread cell") {
+		t.Fatalf("missing thread cell not caught: %v", err)
+	}
+
+	missing := scalingFixture()
+	missing.Rows = nil
+	if err := CompareScaling(base, missing, 0.10, 0.10, &buf); err == nil ||
+		!strings.Contains(err.Error(), "missing") {
+		t.Fatalf("missing dataset not caught: %v", err)
+	}
+
+	mismatch := scalingFixture()
+	mismatch.Scale = 2
+	if err := CompareScaling(base, mismatch, 0.10, 0.10, &buf); err == nil ||
+		!strings.Contains(err.Error(), "config") {
+		t.Fatalf("config mismatch not caught: %v", err)
+	}
+}
+
+// The committed CI baseline must stay loadable and structurally sound —
+// a malformed baseline would green-light every regression.
+func TestCommittedBaselineParses(t *testing.T) {
+	rep, err := ReadScalingReport(filepath.Join("testdata", "scaling_baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != scalingSchema {
+		t.Fatalf("baseline schema %d, code expects %d", rep.Schema, scalingSchema)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("baseline has %d dataset rows", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row.MaddsPerSweep <= 0 || len(row.Cells) == 0 || !row.FitInvariant {
+			t.Fatalf("baseline row %s malformed", row.Dataset)
+		}
+	}
+}

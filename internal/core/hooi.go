@@ -98,8 +98,10 @@ func Decompose(x *tensor.COO, optsIn Options) (*Result, error) {
 	switch {
 	case opts.TTMc == TTMcDTree:
 		tree = ttm.NewDTree(storage)
+		tree.SetSchedule(opts.Schedule)
 	case csf != nil && order >= 2:
 		fiber = ttm.NewCSFTTMc(csf)
+		fiber.SetSchedule(opts.Schedule)
 	case csf != nil:
 		flatX = csf.ToCOO()
 	}
@@ -123,7 +125,7 @@ func Decompose(x *tensor.COO, optsIn Options) (*Result, error) {
 			case fiber != nil:
 				fiber.TTMc(ys[n], n, factors, opts.Threads)
 			default:
-				ttm.TTMc(ys[n], flatX, sm, factors, opts.Threads)
+				ttm.TTMcSched(ys[n], flatX, sm, factors, opts.Threads, opts.Schedule)
 				res.TTMcFlops += ttm.Flops(flatX.NNZ(), ys[n].Cols)
 			}
 			res.Timings.TTMc += time.Since(t0)

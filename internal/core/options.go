@@ -12,7 +12,28 @@ import (
 	"fmt"
 
 	"hypertensor/internal/dense"
+	"hypertensor/internal/par"
 	"hypertensor/internal/tensor"
+)
+
+// Schedule selects how the parallel kernels distribute their loop
+// iterations across threads; it re-exports par.Schedule. All schedules
+// are owner-computes and produce bitwise-identical results — they
+// differ only in load balance and scheduling overhead.
+type Schedule = par.Schedule
+
+const (
+	// ScheduleBalanced (the default) partitions rows/fibers into
+	// per-worker chains of near-equal nonzero weight — prefix-sum
+	// chain-on-chain, or LPT where single slices dominate — and steals
+	// chunks for irregular tails. This is the paper's load-balance
+	// discipline: uniform chunking leaves whichever thread owns the
+	// heaviest slices running long after the rest go idle.
+	ScheduleBalanced = par.ScheduleBalanced
+	// ScheduleDynamic is chunked self-scheduling from a shared cursor.
+	ScheduleDynamic = par.ScheduleDynamic
+	// ScheduleStatic is uniform contiguous blocks, one per worker.
+	ScheduleStatic = par.ScheduleStatic
 )
 
 // InitMethod selects how the factor matrices are initialized (HOOI
@@ -105,6 +126,10 @@ type Options struct {
 	Tol float64
 	// Threads bounds shared-memory parallelism; 0 uses GOMAXPROCS.
 	Threads int
+	// Schedule selects the parallel loop scheduling discipline
+	// (ScheduleBalanced by default). Results are bitwise identical
+	// under every schedule and thread count.
+	Schedule Schedule
 	// Init selects the factor initialization.
 	Init InitMethod
 	// SVD selects the TRSVD solver.

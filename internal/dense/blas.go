@@ -70,15 +70,18 @@ func Gemv(a *Matrix, x, y []float64, threads int) {
 }
 
 // GemvT computes y = A^T*x: the matrix transpose-vector product (MTxV in
-// the paper). The parallel version splits rows among workers, each
-// accumulating into a private buffer that is reduced at the end, so no
-// locks are needed.
+// the paper). The parallel version splits rows into a fixed block grid
+// (par.NumReduceBlocks — a function of the row count only, never the
+// thread count), accumulates a private buffer per block, and reduces the
+// partials in block order. No locks are needed, and the result is
+// bitwise identical for every thread count, which keeps the HOOI fit
+// trajectory invariant under the -threads knob.
 func GemvT(a *Matrix, x, y []float64, threads int) {
 	if len(x) != a.Rows || len(y) != a.Cols {
 		panic("dense: GemvT shape mismatch")
 	}
-	threads = par.DefaultThreads(threads)
-	if threads <= 1 || a.Rows < 2*threads {
+	nb := par.NumReduceBlocks(a.Rows)
+	if nb <= 1 {
 		for j := range y {
 			y[j] = 0
 		}
@@ -87,21 +90,37 @@ func GemvT(a *Matrix, x, y []float64, threads int) {
 		}
 		return
 	}
-	partials := make([][]float64, threads)
-	par.ForWorker(a.Rows, threads, func(w, lo, hi int) {
-		buf := make([]float64, a.Cols)
-		for i := lo; i < hi; i++ {
-			Axpy(x[i], a.Row(i), buf)
-		}
-		partials[w] = buf
-	})
 	for j := range y {
 		y[j] = 0
 	}
-	for _, p := range partials {
-		if p != nil {
-			Axpy(1, p, y)
+	if par.DefaultThreads(threads) <= 1 {
+		// Serial fast path: one reused block buffer, combined into y in
+		// block order — the same association as the parallel partials
+		// below, so the result stays bitwise thread-count invariant.
+		buf := make([]float64, a.Cols)
+		for b := 0; b < nb; b++ {
+			lo, hi := par.Split(a.Rows, nb, b)
+			for j := range buf {
+				buf[j] = 0
+			}
+			for i := lo; i < hi; i++ {
+				Axpy(x[i], a.Row(i), buf)
+			}
+			Axpy(1, buf, y)
 		}
+		return
+	}
+	partials := make([][]float64, nb)
+	par.For(nb, threads, 1, func(b int) {
+		buf := make([]float64, a.Cols)
+		lo, hi := par.Split(a.Rows, nb, b)
+		for i := lo; i < hi; i++ {
+			Axpy(x[i], a.Row(i), buf)
+		}
+		partials[b] = buf
+	})
+	for _, p := range partials {
+		Axpy(1, p, y)
 	}
 }
 
@@ -129,14 +148,16 @@ func MatMul(a, b *Matrix, threads int) *Matrix {
 }
 
 // MatMulTA returns C = A^T*B (A is m x n, B is m x p, C is n x p),
-// parallel over column blocks of the output via per-worker partials.
+// parallel over a fixed grid of row blocks with per-block partials
+// reduced in block order — like GemvT, bitwise identical for every
+// thread count.
 func MatMulTA(a, b *Matrix, threads int) *Matrix {
 	if a.Rows != b.Rows {
 		panic("dense: MatMulTA shape mismatch")
 	}
 	c := NewMatrix(a.Cols, b.Cols)
-	threads = par.DefaultThreads(threads)
-	if threads <= 1 || a.Rows < 2*threads {
+	nb := par.NumReduceBlocks(a.Rows)
+	if nb <= 1 {
 		for i := 0; i < a.Rows; i++ {
 			arow, brow := a.Row(i), b.Row(i)
 			for j, av := range arow {
@@ -148,9 +169,30 @@ func MatMulTA(a, b *Matrix, threads int) *Matrix {
 		}
 		return c
 	}
-	partials := make([]*Matrix, threads)
-	par.ForWorker(a.Rows, threads, func(w, lo, hi int) {
+	if par.DefaultThreads(threads) <= 1 {
+		// Serial fast path: one reused partial, combined in block order
+		// (bitwise identical to the parallel partials below).
 		p := NewMatrix(a.Cols, b.Cols)
+		for blk := 0; blk < nb; blk++ {
+			lo, hi := par.Split(a.Rows, nb, blk)
+			p.Zero()
+			for i := lo; i < hi; i++ {
+				arow, brow := a.Row(i), b.Row(i)
+				for j, av := range arow {
+					if av == 0 {
+						continue
+					}
+					Axpy(av, brow, p.Row(j))
+				}
+			}
+			Axpy(1, p.Data, c.Data)
+		}
+		return c
+	}
+	partials := make([]*Matrix, nb)
+	par.For(nb, threads, 1, func(blk int) {
+		p := NewMatrix(a.Cols, b.Cols)
+		lo, hi := par.Split(a.Rows, nb, blk)
 		for i := lo; i < hi; i++ {
 			arow, brow := a.Row(i), b.Row(i)
 			for j, av := range arow {
@@ -160,12 +202,10 @@ func MatMulTA(a, b *Matrix, threads int) *Matrix {
 				Axpy(av, brow, p.Row(j))
 			}
 		}
-		partials[w] = p
+		partials[blk] = p
 	})
 	for _, p := range partials {
-		if p != nil {
-			Axpy(1, p.Data, c.Data)
-		}
+		Axpy(1, p.Data, c.Data)
 	}
 	return c
 }

@@ -1,13 +1,17 @@
-// Package par provides small shared-memory parallel looping primitives
-// used throughout the library. They stand in for the OpenMP parallel-for
-// constructs of the paper's C++ implementation: For mirrors
-// "#pragma omp parallel for schedule(dynamic)" and ForStatic mirrors the
-// static schedule.
+// Package par is the shared-memory parallel runtime used throughout the
+// library. It stands in for the OpenMP runtime of the paper's C++
+// implementation: For mirrors "#pragma omp parallel for
+// schedule(dynamic)", ForRange/ForWorker the static schedule, and the
+// Pool/Partition layer adds what OpenMP does not have built in —
+// weight-aware static partitioning (prefix-sum chain-on-chain and LPT
+// over per-fiber nonzero weights) with work-stealing for irregular
+// tails, on a persistent worker pool instead of goroutine-per-region
+// fan-out. SumBlocks and NumReduceBlocks provide parallel reductions
+// whose results are bitwise identical for every thread count.
 package par
 
 import (
 	"runtime"
-	"sync"
 	"sync/atomic"
 )
 
@@ -40,35 +44,38 @@ func For(n, threads, chunk int, body func(i int)) {
 		return
 	}
 	if chunk <= 0 {
-		// Aim for ~8 chunks per worker to amortize the atomic
-		// increment while preserving balance.
-		chunk = n / (threads * 8)
-		if chunk < 1 {
-			chunk = 1
-		}
+		chunk = chunkFor(n, threads)
 	}
 	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(threads)
-	for w := 0; w < threads; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				start := int(cursor.Add(int64(chunk))) - chunk
-				if start >= n {
-					return
-				}
-				end := start + chunk
-				if end > n {
-					end = n
-				}
-				for i := start; i < end; i++ {
-					body(i)
-				}
+	sharedPool(threads).Run(threads, func(int) {
+		for {
+			start := int(cursor.Add(int64(chunk))) - chunk
+			if start >= n {
+				return
 			}
-		}()
+			end := start + chunk
+			if end > n {
+				end = n
+			}
+			for i := start; i < end; i++ {
+				body(i)
+			}
+		}
+	})
+}
+
+// chunkFor is the dynamic-schedule chunk heuristic: aim for ~8 chunks
+// per worker to amortize the atomic increment while preserving balance.
+// The ceiling division caps the total chunk count at threads*8 even
+// when n is barely larger — the old floor heuristic degenerated to
+// chunk=1 there, turning the loop into one atomic claim per iteration.
+func chunkFor(n, threads int) int {
+	target := threads * 8
+	chunk := (n + target - 1) / target
+	if chunk < 1 {
+		chunk = 1
 	}
-	wg.Wait()
+	return chunk
 }
 
 // ForRange runs body(lo, hi) over a static partition of [0, n) into at
@@ -87,18 +94,12 @@ func ForRange(n, threads int, body func(lo, hi int)) {
 		body(0, n)
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(threads)
-	for w := 0; w < threads; w++ {
+	sharedPool(threads).Run(threads, func(w int) {
 		lo, hi := Split(n, threads, w)
-		go func(lo, hi int) {
-			defer wg.Done()
-			if lo < hi {
-				body(lo, hi)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+		if lo < hi {
+			body(lo, hi)
+		}
+	})
 }
 
 // ForWorker runs body(worker, lo, hi) like ForRange but also passes the
@@ -116,18 +117,12 @@ func ForWorker(n, threads int, body func(worker, lo, hi int)) {
 		body(0, 0, n)
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(threads)
-	for w := 0; w < threads; w++ {
+	sharedPool(threads).Run(threads, func(w int) {
 		lo, hi := Split(n, threads, w)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			if lo < hi {
-				body(w, lo, hi)
-			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
+		if lo < hi {
+			body(w, lo, hi)
+		}
+	})
 }
 
 // ForDynamicWorker combines dynamic chunk scheduling with worker ids:
@@ -147,31 +142,22 @@ func ForDynamicWorker(n, threads, chunk int, body func(worker, lo, hi int)) {
 		return
 	}
 	if chunk <= 0 {
-		chunk = n / (threads * 8)
-		if chunk < 1 {
-			chunk = 1
-		}
+		chunk = chunkFor(n, threads)
 	}
 	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(threads)
-	for w := 0; w < threads; w++ {
-		go func(worker int) {
-			defer wg.Done()
-			for {
-				start := int(cursor.Add(int64(chunk))) - chunk
-				if start >= n {
-					return
-				}
-				end := start + chunk
-				if end > n {
-					end = n
-				}
-				body(worker, start, end)
+	sharedPool(threads).Run(threads, func(worker int) {
+		for {
+			start := int(cursor.Add(int64(chunk))) - chunk
+			if start >= n {
+				return
 			}
-		}(w)
-	}
-	wg.Wait()
+			end := start + chunk
+			if end > n {
+				end = n
+			}
+			body(worker, start, end)
+		}
+	})
 }
 
 // Split returns the half-open range [lo, hi) of the w-th of p nearly

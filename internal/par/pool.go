@@ -1,0 +1,151 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a persistent worker pool: a fixed set of goroutines that park
+// on a task channel between parallel regions, replacing the
+// goroutine-per-region fan-out the package-level loops used to perform.
+// Spawning a goroutine is cheap but not free (stack allocation and
+// scheduler wakeup per worker per region); a HOOI sweep enters hundreds
+// of parallel regions, so the pool amortizes that cost to one channel
+// handoff per worker per region and keeps the workers hot on their OS
+// threads between regions.
+//
+// A Pool is safe for concurrent use. A region that finds the pool busy
+// (another region is running, or the caller asks for more workers than
+// the pool holds) falls back to plain goroutine fan-out, so nested
+// parallelism can never deadlock the pool.
+type Pool struct {
+	threads int
+	tasks   []chan task
+	// busy is held for the duration of one parallel region; TryLock
+	// failure routes overlapping or nested regions to the fallback.
+	busy   sync.Mutex
+	closed bool
+}
+
+type task struct {
+	fn func(worker int)
+	wg *sync.WaitGroup
+}
+
+// NewPool starts a pool of the given number of workers (non-positive
+// selects GOMAXPROCS). The workers idle on channel receives until Run
+// hands them a region body; they exit on Close.
+func NewPool(threads int) *Pool {
+	threads = DefaultThreads(threads)
+	p := &Pool{threads: threads, tasks: make([]chan task, threads)}
+	for w := 0; w < threads; w++ {
+		ch := make(chan task)
+		p.tasks[w] = ch
+		go func(w int, ch chan task) {
+			for t := range ch {
+				t.fn(w)
+				t.wg.Done()
+			}
+		}(w, ch)
+	}
+	return p
+}
+
+// Threads returns the worker count the pool was built with.
+func (p *Pool) Threads() int { return p.threads }
+
+// Run executes fn(w) once for every worker id w in [0, threads),
+// returning when all invocations finish. When the pool is idle and
+// large enough the bodies run on the persistent workers; otherwise —
+// nested regions, concurrent regions, or threads > Threads() — fresh
+// goroutines are spawned so the call always completes.
+func (p *Pool) Run(threads int, fn func(worker int)) {
+	if threads <= 1 {
+		fn(0)
+		return
+	}
+	if p != nil && p.tryRun(threads, fn) {
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for w := 0; w < threads; w++ {
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// tryRun runs the region on the pool workers, or reports false when the
+// pool is busy, closed, or too small.
+func (p *Pool) tryRun(threads int, fn func(worker int)) bool {
+	if threads > p.threads || !p.busy.TryLock() {
+		return false
+	}
+	defer p.busy.Unlock()
+	if p.closed {
+		return false
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	t := task{fn: fn, wg: &wg}
+	for w := 0; w < threads; w++ {
+		p.tasks[w] <- t
+	}
+	wg.Wait()
+	return true
+}
+
+// Close terminates the pool workers. It waits for an in-flight region
+// to finish; regions submitted afterwards run on the fallback path.
+// Close is idempotent.
+func (p *Pool) Close() {
+	p.busy.Lock()
+	defer p.busy.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for _, ch := range p.tasks {
+		close(ch)
+	}
+}
+
+var (
+	sharedMu sync.Mutex
+	shared   *Pool
+)
+
+// sharedPool returns the process-wide pool every package-level loop
+// runs on, growing it when a caller asks for more workers than it
+// currently holds. The displaced pool is drained asynchronously — its
+// workers exit once any in-flight region completes — because Close
+// blocks on that region, and a nested par call made from inside it
+// must be able to take sharedMu and reach the new pool; closing under
+// the lock would deadlock exactly the nested case the pool promises to
+// survive.
+func sharedPool(threads int) *Pool {
+	sharedMu.Lock()
+	if shared != nil && shared.threads >= threads {
+		p := shared
+		sharedMu.Unlock()
+		return p
+	}
+	if g := runtime.GOMAXPROCS(0); threads < g {
+		threads = g
+	}
+	old := shared
+	shared = NewPool(threads)
+	p := shared
+	sharedMu.Unlock()
+	if old != nil {
+		go old.Close()
+	}
+	return p
+}
+
+// SharedPool exposes the process-wide pool (sized at least GOMAXPROCS),
+// for callers that want to run regions on it directly.
+func SharedPool() *Pool { return sharedPool(0) }

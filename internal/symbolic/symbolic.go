@@ -27,6 +27,11 @@ type Mode struct {
 	// slice is empty. Sized Dims[n]; int32 keeps it compact for the
 	// multi-million-index modes of the 4-mode datasets.
 	Pos []int32
+
+	// chainBounds caches the balanced chain partition of the rows for
+	// chainThreads workers (see Chains).
+	chainBounds  []int32
+	chainThreads int
 }
 
 // NumRows returns |J_n|, the number of nonempty slices.
@@ -34,6 +39,29 @@ func (m *Mode) NumRows() int { return len(m.Rows) }
 
 // RowNZ returns the nonzero ids of the r-th nonempty slice.
 func (m *Mode) RowNZ(r int) []int32 { return m.NZ[m.Ptr[r]:m.Ptr[r+1]] }
+
+// RowWeights returns the per-row nonzero counts — the TTMc cost of each
+// row, which the balanced schedule partitions over.
+func (m *Mode) RowWeights() []int64 {
+	w := make([]int64, m.NumRows())
+	for r := range w {
+		w[r] = int64(m.Ptr[r+1] - m.Ptr[r])
+	}
+	return w
+}
+
+// Chains returns the balanced chain partition of the mode's rows for
+// the given worker count (par.PartitionChains over RowWeights), cached
+// so every HOOI sweep after the first reuses it. Not safe for
+// concurrent callers with different thread counts; the shared-memory
+// HOOI drives one mode at a time.
+func (m *Mode) Chains(threads int) []int32 {
+	if m.chainBounds == nil || m.chainThreads != threads {
+		m.chainBounds = par.PartitionChains(m.RowWeights(), threads)
+		m.chainThreads = threads
+	}
+	return m.chainBounds
+}
 
 // Structure bundles the per-mode symbolic data for a tensor.
 type Structure struct {

@@ -96,22 +96,16 @@ func (t *COO) Clone() *COO {
 	return out
 }
 
-// Norm returns the Frobenius norm of the tensor, parallel over nonzeros.
+// Norm returns the Frobenius norm of the tensor, parallel over nonzeros
+// with a fixed-block reduction (bitwise identical for any thread count).
 func (t *COO) Norm(threads int) float64 {
-	threads = par.DefaultThreads(threads)
-	partial := make([]float64, threads)
-	par.ForWorker(t.NNZ(), threads, func(w, lo, hi int) {
+	return math.Sqrt(par.SumBlocks(t.NNZ(), threads, func(lo, hi int) float64 {
 		var s float64
 		for i := lo; i < hi; i++ {
 			s += t.Val[i] * t.Val[i]
 		}
-		partial[w] += s
-	})
-	var s float64
-	for _, p := range partial {
-		s += p
-	}
-	return math.Sqrt(s)
+		return s
+	}))
 }
 
 // key returns a comparable linearized coordinate of nonzero i under the

@@ -227,6 +227,26 @@ func (c *CSF) ChildPtr(l int) []int32 { return c.ptr[l] }
 // LeafPtr returns the leaf spans of level-l fibers (l < N-1).
 func (c *CSF) LeafPtr(l int) []int32 { return c.leafPtr[l] }
 
+// FiberWeights returns the number of nonzeros under every level-l
+// fiber — the per-fiber cost weights the balanced TTMc schedule
+// partitions over (par.PartitionChains / par.PartitionLPT). The leaf
+// level's weights are all 1.
+func (c *CSF) FiberWeights(l int) []int64 {
+	if l == c.Order()-1 {
+		w := make([]int64, c.NNZ())
+		for i := range w {
+			w[i] = 1
+		}
+		return w
+	}
+	lp := c.leafPtr[l]
+	w := make([]int64, len(lp)-1)
+	for f := range w {
+		w[f] = int64(lp[f+1] - lp[f])
+	}
+	return w
+}
+
 // LeafStart returns the first leaf position under the level-l fiber f.
 func (c *CSF) LeafStart(l, f int) int {
 	if l == c.Order()-1 {
@@ -285,22 +305,16 @@ func (c *CSF) ModeStream(m int) []int32 {
 	return c.streams[m]
 }
 
-// Norm returns the Frobenius norm, parallel over nonzeros.
+// Norm returns the Frobenius norm, parallel over nonzeros with a
+// fixed-block reduction (bitwise identical for any thread count).
 func (c *CSF) Norm(threads int) float64 {
-	threads = par.DefaultThreads(threads)
-	partial := make([]float64, threads)
-	par.ForWorker(c.NNZ(), threads, func(w, lo, hi int) {
+	return math.Sqrt(par.SumBlocks(c.NNZ(), threads, func(lo, hi int) float64 {
 		var s float64
 		for i := lo; i < hi; i++ {
 			s += c.val[i] * c.val[i]
 		}
-		partial[w] += s
-	})
-	var s float64
-	for _, p := range partial {
-		s += p
-	}
-	return math.Sqrt(s)
+		return s
+	}))
 }
 
 // IndexBytes reports the compressed index storage: every fiber index

@@ -39,6 +39,69 @@ type CSFTTMc struct {
 	// blkA/blkB are the ping-pong upward-sweep block buffers.
 	blkA, blkB []float64
 	flops      int64
+
+	// sched is the scheduling discipline of the parallel loops; the
+	// balanced default precomputes the partitions below.
+	sched par.Schedule
+	// partThreads is the worker count the cached partitions were built
+	// for; a different thread count rebuilds them.
+	partThreads int
+	// levelBounds[l] chains the level-l fibers by their nnz weights
+	// (the upward-sweep loop); emitParts[n] is the LPT assignment of
+	// mode n's output rows by fiber count (the emission loop).
+	levelBounds [][]int32
+	emitParts   [][][]int32
+}
+
+// SetSchedule selects the scheduling discipline for subsequent kernel
+// calls: balanced (weight-aware chains/LPT with stealing, the default),
+// dynamic (chunked self-scheduling), or static (uniform blocks). The
+// numeric results are bitwise identical under every schedule; only load
+// balance differs.
+func (k *CSFTTMc) SetSchedule(s par.Schedule) { k.sched = s }
+
+// resetParts drops the cached partitions when the thread count changes.
+func (k *CSFTTMc) resetParts(threads int) {
+	if k.partThreads == threads {
+		return
+	}
+	k.partThreads = threads
+	k.levelBounds = make([][]int32, k.order)
+	k.emitParts = make([][][]int32, k.order)
+}
+
+// boundsFor returns (building on first use) the balanced chain
+// partition of level l's fibers, weighted by the nonzeros under each
+// fiber — the precomputed partition the upward sweep runs on.
+func (k *CSFTTMc) boundsFor(l, threads int) []int32 {
+	k.resetParts(threads)
+	if k.levelBounds[l] == nil {
+		k.levelBounds[l] = par.PartitionChains(k.x.FiberWeights(l), threads)
+	}
+	return k.levelBounds[l]
+}
+
+// partsFor returns (building on first use) the LPT assignment of mode
+// n's output rows, weighted by each row's fiber count. Emission cost is
+// per fiber, and slice fiber counts are the most skewed weights in the
+// pipeline (hot slices own orders of magnitude more fibers), which is
+// exactly where LPT beats contiguous chains.
+func (k *CSFTTMc) partsFor(n, threads int) [][]int32 {
+	k.resetParts(threads)
+	if k.emitParts[n] == nil {
+		g := k.groups[n]
+		w := make([]int64, g.NumGroups())
+		for r := range w {
+			w[r] = int64(len(g.Group(r)))
+		}
+		k.emitParts[n] = par.PartitionLPT(w, threads)
+	}
+	return k.emitParts[n]
+}
+
+// runLevel dispatches one upward-sweep fiber loop under the schedule.
+func (k *CSFTTMc) runLevel(l, nf, threads int, body func(worker, lo, hi int)) {
+	runRows(k.sched, nf, threads, func() []int32 { return k.boundsFor(l, threads) }, body)
 }
 
 // NewCSFTTMc builds the symbolic side of the engine: per-mode fiber
@@ -195,7 +258,7 @@ func (k *CSFTTMc) sweepUp(y *dense.Matrix, n int, u []*dense.Matrix, threads int
 		ptr := c.ChildPtr(l)
 		if l == k.order-2 {
 			// Children are the nonzeros themselves.
-			par.ForDynamicWorker(nf, threads, 0, func(w, lo, hi int) {
+			k.runLevel(l, nf, threads, func(w, lo, hi int) {
 				for f := lo; f < hi; f++ {
 					blk := dst[f*outB : (f+1)*outB]
 					for i := range blk {
@@ -220,7 +283,7 @@ func (k *CSFTTMc) sweepUp(y *dense.Matrix, n int, u []*dense.Matrix, threads int
 			childB := bsz[l+1]
 			fids1 := c.Fids(l + 1)
 			prev := cur
-			par.ForDynamicWorker(nf, threads, 0, func(w, lo, hi int) {
+			k.runLevel(l, nf, threads, func(w, lo, hi int) {
 				for f := lo; f < hi; f++ {
 					blk := dst[f*outB : (f+1)*outB]
 					for i := range blk {
@@ -344,56 +407,82 @@ func (k *CSFTTMc) emit(y *dense.Matrix, rows []int32, n int, below []float64, u 
 		above []float64
 	}
 	scratches := make([]*scratch, threads)
-	par.ForDynamicWorker(nRows, threads, 0, func(w, lo, hi int) {
+	getScratch := func(w int) *scratch {
 		sc := scratches[w]
 		if sc == nil {
 			sc = &scratch{rows: make([][]float64, nAnc), above: make([]float64, aboveSize)}
 			scratches[w] = sc
 		}
-		for j := lo; j < hi; j++ {
-			r := j
-			if rows != nil {
-				r = int(rows[j])
+		return sc
+	}
+	doRow := func(sc *scratch, j int) {
+		r := j
+		if rows != nil {
+			r = int(rows[j])
+		}
+		row := y.Row(j)
+		for i := range row {
+			row[i] = 0
+		}
+		for _, f := range g.Group(r) {
+			leafPos := c.LeafStart(ln, int(f))
+			for i, la := range k.anc[n] {
+				af := c.FiberAt(la, leafPos)
+				sc.rows[i] = u[perm[la]].Row(int(c.Fids(la)[af]))
 			}
-			row := y.Row(j)
-			for i := range row {
-				row[i] = 0
-			}
-			for _, f := range g.Group(r) {
-				leafPos := c.LeafStart(ln, int(f))
-				for i, la := range k.anc[n] {
-					af := c.FiberAt(la, leafPos)
-					sc.rows[i] = u[perm[la]].Row(int(c.Fids(la)[af]))
-				}
-				KronRows(sc.rows, sc.above)
-				if leafMode {
-					v := vals[f]
-					if aboveContig {
-						dense.Axpy(v, sc.above, row)
-					} else {
-						for ai, av := range sc.above {
-							row[posA[ai]] += v * av
-						}
+			KronRows(sc.rows, sc.above)
+			if leafMode {
+				v := vals[f]
+				if aboveContig {
+					dense.Axpy(v, sc.above, row)
+				} else {
+					for ai, av := range sc.above {
+						row[posA[ai]] += v * av
 					}
+				}
+				continue
+			}
+			blk := below[int(f)*belowB : (int(f)+1)*belowB]
+			for ai, av := range sc.above {
+				if av == 0 {
 					continue
 				}
-				blk := below[int(f)*belowB : (int(f)+1)*belowB]
-				for ai, av := range sc.above {
-					if av == 0 {
-						continue
-					}
-					base := posA[ai]
-					if belowContig {
-						dense.Axpy(av, blk, row[base:int(base)+belowB])
-					} else {
-						for b, bv := range blk {
-							row[base+posB[b]] += av * bv
-						}
+				base := posA[ai]
+				if belowContig {
+					dense.Axpy(av, blk, row[base:int(base)+belowB])
+				} else {
+					for b, bv := range blk {
+						row[base+posB[b]] += av * bv
 					}
 				}
 			}
 		}
-	})
+	}
+	if k.sched == par.ScheduleBalanced && rows == nil && threads > 1 && nRows > 1 {
+		// Full-mode emission rides the precomputed LPT row assignment:
+		// slice fiber counts are the most skewed weights in the
+		// pipeline, so contiguous chains can strand one worker with the
+		// hot slices.
+		par.RunParts(k.partsFor(n, threads), func(w, item int) { doRow(getScratch(w), item) })
+	} else {
+		chains := func() []int32 {
+			wts := make([]int64, nRows)
+			for j := range wts {
+				r := j
+				if rows != nil {
+					r = int(rows[j])
+				}
+				wts[j] = int64(len(g.Group(r)))
+			}
+			return par.PartitionChains(wts, threads)
+		}
+		runRows(k.sched, nRows, threads, chains, func(w, lo, hi int) {
+			sc := getScratch(w)
+			for j := lo; j < hi; j++ {
+				doRow(sc, j)
+			}
+		})
+	}
 	if rows == nil {
 		k.flops += int64(k.x.NumFibers(ln)) * int64(aboveSize*belowB)
 	} else {

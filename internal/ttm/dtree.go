@@ -47,7 +47,15 @@ type DTree struct {
 	// nodeTime accumulates wall time spent recomputing internal nodes
 	// (the memoized share of TTMc); leaf emission is the remainder.
 	nodeTime time.Duration
+	// sched is the scheduling discipline of the node-recompute loops.
+	sched par.Schedule
 }
+
+// SetSchedule selects the scheduling discipline for subsequent TTMc
+// calls: balanced (weight-aware chains over each node's per-entry group
+// sizes, with stealing — the default), dynamic, or static. Results are
+// bitwise identical under every schedule.
+func (t *DTree) SetSchedule(s par.Schedule) { t.sched = s }
 
 // dnode is one tree node.
 type dnode struct {
@@ -66,6 +74,25 @@ type dnode struct {
 	val       []float64
 	valid     bool
 	computes  int
+	// bounds caches the balanced chain partition of the node's entries
+	// (weighted by group size) for boundsThreads workers.
+	bounds        []int32
+	boundsThreads int
+}
+
+// chains returns (building on first use) the balanced chain partition
+// of the node's entries, weighted by each entry's update-list length —
+// the precomputed partition the balanced recompute loop runs on.
+func (nd *dnode) chains(threads int) []int32 {
+	if nd.bounds == nil || nd.boundsThreads != threads {
+		w := make([]int64, nd.n)
+		for g := range w {
+			w[g] = int64(nd.groups.Ptr[g+1] - nd.groups.Ptr[g])
+		}
+		nd.bounds = par.PartitionChains(w, threads)
+		nd.boundsThreads = threads
+	}
+	return nd.bounds
 }
 
 func (nd *dnode) isLeaf() bool { return nd.hi-nd.lo == 1 }
@@ -309,7 +336,7 @@ func (t *DTree) contract(nd *dnode, dst []float64, u []*dense.Matrix, threads in
 			bufB []float64
 		}
 		scratches := make([]*scratch, threads)
-		par.ForDynamicWorker(nd.n, threads, 0, func(w, lo, hi int) {
+		runRows(t.sched, nd.n, threads, func() []int32 { return nd.chains(threads) }, func(w, lo, hi int) {
 			sc := scratches[w]
 			if sc == nil {
 				sc = &scratch{
@@ -360,7 +387,7 @@ func (t *DTree) contract(nd *dnode, dst []float64, u []*dense.Matrix, threads in
 		kron []float64
 	}
 	scratches := make([]*scratch, threads)
-	par.ForDynamicWorker(nd.n, threads, 0, func(w, lo, hi int) {
+	runRows(t.sched, nd.n, threads, func() []int32 { return nd.chains(threads) }, func(w, lo, hi int) {
 		sc := scratches[w]
 		if sc == nil {
 			sc = &scratch{rows: make([][]float64, nDrop), kron: make([]float64, d)}

@@ -20,8 +20,41 @@ import (
 // lines 5-8): each row is owned by exactly one worker so no locks are
 // needed, and the accumulation order within a row is fixed by the
 // symbolic structure, making the result bitwise deterministic for any
-// thread count.
+// thread count. TTMcSched selects other schedules.
 func TTMc(y *dense.Matrix, x *tensor.COO, sm *symbolic.Mode, u []*dense.Matrix, threads int) {
+	TTMcSched(y, x, sm, u, threads, par.ScheduleDynamic)
+}
+
+// runRows executes an owner-computes row loop over [0, n) under the
+// given schedule: uniform static blocks, chunked dynamic
+// self-scheduling, or balanced chains with work-stealing (chains() is
+// only consulted for the balanced schedule, so callers can defer the
+// partition computation). All schedules give every row exactly one
+// owner, so the results are bitwise identical.
+func runRows(sched par.Schedule, n, threads int, chains func() []int32, body func(worker, lo, hi int)) {
+	if threads <= 1 || n <= 1 {
+		if n > 0 {
+			body(0, 0, n)
+		}
+		return
+	}
+	switch sched {
+	case par.ScheduleStatic:
+		par.ForWorker(n, threads, body)
+	case par.ScheduleDynamic:
+		par.ForDynamicWorker(n, threads, 0, body)
+	default:
+		par.RunChains(chains(), threads, body)
+	}
+}
+
+// TTMcSched is TTMc under an explicit schedule. The balanced schedule
+// partitions the rows into per-worker chains of near-equal nonzero
+// weight (cached on the symbolic mode) and steals chunks for irregular
+// tails — the load-balance discipline the paper's scaling results rest
+// on, where uniform chunking leaves the worker that owns the heaviest
+// slices running long after the rest are idle.
+func TTMcSched(y *dense.Matrix, x *tensor.COO, sm *symbolic.Mode, u []*dense.Matrix, threads int, sched par.Schedule) {
 	k := RowSize(u, sm.N)
 	if y.Rows != sm.NumRows() || y.Cols != k {
 		panic("ttm: TTMc output shape mismatch")
@@ -48,34 +81,35 @@ func TTMc(y *dense.Matrix, x *tensor.COO, sm *symbolic.Mode, u []*dense.Matrix, 
 		bufB []float64
 	}
 	scratches := make([]*scratch, threads)
-	par.ForDynamicWorker(sm.NumRows(), threads, 0, func(w, lo, hi int) {
-		sc := scratches[w]
-		if sc == nil {
-			sc = &scratch{
-				rows: make([][]float64, nOther),
-				bufA: make([]float64, prefixLen),
-				bufB: make([]float64, prefixLen),
-			}
-			scratches[w] = sc
-		}
-		for r := lo; r < hi; r++ {
-			row := y.Row(r)
-			for i := range row {
-				row[i] = 0
-			}
-			for _, id := range sm.RowNZ(r) {
-				j := 0
-				for t := 0; t < order; t++ {
-					if t == sm.N {
-						continue
-					}
-					sc.rows[j] = u[t].Row(int(x.Idx[t][id]))
-					j++
+	runRows(sched, sm.NumRows(), threads, func() []int32 { return sm.Chains(threads) },
+		func(w, lo, hi int) {
+			sc := scratches[w]
+			if sc == nil {
+				sc = &scratch{
+					rows: make([][]float64, nOther),
+					bufA: make([]float64, prefixLen),
+					bufB: make([]float64, prefixLen),
 				}
-				accumKron(row, x.Val[id], sc.rows, sc.bufA, sc.bufB)
+				scratches[w] = sc
 			}
-		}
-	})
+			for r := lo; r < hi; r++ {
+				row := y.Row(r)
+				for i := range row {
+					row[i] = 0
+				}
+				for _, id := range sm.RowNZ(r) {
+					j := 0
+					for t := 0; t < order; t++ {
+						if t == sm.N {
+							continue
+						}
+						sc.rows[j] = u[t].Row(int(x.Idx[t][id]))
+						j++
+					}
+					accumKron(row, x.Val[id], sc.rows, sc.bufA, sc.bufB)
+				}
+			}
+		})
 }
 
 // TTMcRows computes the TTMc result only for the symbolic row positions
@@ -85,6 +119,13 @@ func TTMc(y *dense.Matrix, x *tensor.COO, sm *symbolic.Mode, u []*dense.Matrix, 
 // (Algorithm 4 lines 3-4, 9-12) from a local tensor that also stores
 // nonzeros owned through other modes.
 func TTMcRows(y *dense.Matrix, x *tensor.COO, sm *symbolic.Mode, rows []int32, u []*dense.Matrix, threads int) {
+	TTMcRowsSched(y, x, sm, rows, u, threads, par.ScheduleDynamic)
+}
+
+// TTMcRowsSched is TTMcRows under an explicit schedule. The balanced
+// schedule chains over the selected rows' nonzero weights (computed per
+// call — subsets vary, so there is nothing to cache).
+func TTMcRowsSched(y *dense.Matrix, x *tensor.COO, sm *symbolic.Mode, rows []int32, u []*dense.Matrix, threads int, sched par.Schedule) {
 	k := RowSize(u, sm.N)
 	if y.Rows != len(rows) || y.Cols != k {
 		panic("ttm: TTMcRows output shape mismatch")
@@ -108,7 +149,14 @@ func TTMcRows(y *dense.Matrix, x *tensor.COO, sm *symbolic.Mode, rows []int32, u
 		bufB []float64
 	}
 	scratches := make([]*scratch, threads)
-	par.ForDynamicWorker(len(rows), threads, 0, func(w, lo, hi int) {
+	chains := func() []int32 {
+		w := make([]int64, len(rows))
+		for j, r := range rows {
+			w[j] = int64(sm.Ptr[r+1] - sm.Ptr[r])
+		}
+		return par.PartitionChains(w, threads)
+	}
+	runRows(sched, len(rows), threads, chains, func(w, lo, hi int) {
 		sc := scratches[w]
 		if sc == nil {
 			sc = &scratch{
