@@ -136,6 +136,7 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown storage format %q", *format))
 	}
+	opts.MeasureAllocs = !*quiet
 	dec, err := hypertensor.Decompose(x, opts)
 	if err != nil {
 		fail(err)
@@ -145,8 +146,9 @@ func main() {
 		return
 	}
 	fmt.Println(hypertensor.Summary(dec))
-	fmt.Printf("timings: convert=%v symbolic=%v ttmc=%v trsvd=%v core=%v\n",
-		dec.Timings.Convert, dec.Timings.Symbolic, dec.Timings.TTMc, dec.Timings.TRSVD, dec.Timings.Core)
+	fmt.Printf("timings: convert=%v symbolic=%v ttmc=%v trsvd=%v core=%v (steady-state allocs/sweep %d)\n",
+		dec.Timings.Convert, dec.Timings.Symbolic, dec.Timings.TTMc, dec.Timings.TRSVD, dec.Timings.Core,
+		dec.AllocsPerSweep)
 	fmt.Printf("storage: format=%s index=%d B (%.2f B/nnz)\n",
 		dec.Format, dec.IndexBytes, float64(dec.IndexBytes)/float64(x.NNZ()))
 	fmt.Printf("ttmc: strategy=%s schedule=%s flops=%d", *ttmc, schedule, dec.TTMcFlops)

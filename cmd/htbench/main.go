@@ -1,6 +1,10 @@
 // Command htbench regenerates the paper's evaluation: Tables I–V and
 // the in-text MET comparison, at a configurable scale, plus the
-// thread-scaling sweep the bench-regression CI job consumes.
+// thread-scaling sweep the bench-regression CI job consumes. The
+// scaling report records, per dataset, the machine-independent TTMc
+// madds/sweep, index bytes, and steady-state allocs/sweep (measured at
+// the 1-thread cell), and per thread count the sweep seconds with the
+// TTMc and TRSVD phase split.
 //
 // Examples:
 //

@@ -40,6 +40,13 @@ func Decompose(x *tensor.COO, optsIn core.Options) (*core.Result, error) {
 
 	res := &core.Result{}
 	prevFit := math.Inf(-1)
+	// One TRSVD workspace per mode, like core.Decompose: the baseline's
+	// relative timings should not be skewed by per-call allocations the
+	// main path no longer performs.
+	svdWork := make([]*trsvd.Workspace, order)
+	for n := range svdWork {
+		svdWork[n] = trsvd.NewWorkspace()
+	}
 	for iter := 0; iter < opts.MaxIters; iter++ {
 		var lastRows []int32
 		var lastY *dense.Matrix
@@ -48,6 +55,7 @@ func Decompose(x *tensor.COO, optsIn core.Options) (*core.Result, error) {
 			op := &trsvd.DenseOperator{A: y, Threads: opts.Threads}
 			sres, err := trsvd.Lanczos(op, opts.Ranks[n], trsvd.Options{
 				Seed: opts.Seed + 7919*(int64(iter)*int64(order)+int64(n)),
+				Work: svdWork[n],
 			})
 			if err != nil {
 				return nil, fmt.Errorf("baseline: TRSVD failed in mode %d: %w", n, err)

@@ -18,22 +18,29 @@ type ScalingCell struct {
 	Threads  int     `json:"threads"`
 	SweepSec float64 `json:"sweep_sec"` // wall seconds per HOOI sweep (TTMc+TRSVD+core)
 	TTMcSec  float64 `json:"ttmc_sec"`  // TTMc share of the sweep
+	TRSVDSec float64 `json:"trsvd_sec"` // TRSVD share of the sweep (the post-dtree hot phase)
 	Speedup  float64 `json:"speedup"`   // sweep speedup vs the first thread count
 }
 
-// ScalingRow is the scaling sweep of one dataset. MaddsPerSweep and
-// IndexBytes are machine-independent and gated strictly by the CI
-// regression check; the timings are gated only against a baseline from
-// the same host class.
+// ScalingRow is the scaling sweep of one dataset. MaddsPerSweep,
+// IndexBytes, and AllocsPerSweep are (near-)machine-independent and
+// gated by the CI regression check; the timings are gated only against
+// a baseline from the same host class.
 type ScalingRow struct {
-	Dataset       string        `json:"dataset"`
-	Order         int           `json:"order"`
-	NNZ           int           `json:"nnz"`
-	MaddsPerSweep int64         `json:"madds_per_sweep"`
-	IndexBytes    int64         `json:"index_bytes"`
-	Fit           float64       `json:"fit"`
-	FitInvariant  bool          `json:"fit_invariant"` // fits bitwise equal across the thread sweep
-	Cells         []ScalingCell `json:"cells"`
+	Dataset       string `json:"dataset"`
+	Order         int    `json:"order"`
+	NNZ           int    `json:"nnz"`
+	MaddsPerSweep int64  `json:"madds_per_sweep"`
+	IndexBytes    int64  `json:"index_bytes"`
+	// AllocsPerSweep is the steady-state heap allocation count per HOOI
+	// sweep, measured at the single-thread cell (parallel regions there
+	// run inline, so the count carries no scheduler or sync.Pool
+	// jitter) and minimized over repetitions. It gates the
+	// zero-allocation contract of the dense/TRSVD workspaces.
+	AllocsPerSweep int64         `json:"allocs_per_sweep"`
+	Fit            float64       `json:"fit"`
+	FitInvariant   bool          `json:"fit_invariant"` // fits bitwise equal across the thread sweep
+	Cells          []ScalingCell `json:"cells"`
 }
 
 // ScalingReport is the machine-readable output of `htbench -scaling
@@ -51,7 +58,8 @@ type ScalingReport struct {
 }
 
 // scalingSchema versions the report layout for the CI comparison.
-const scalingSchema = 1
+// Schema 2 added trsvd_sec per cell and allocs_per_sweep per row.
+const scalingSchema = 2
 
 // timeNoiseFloorSec is the smallest absolute sweep-time increase the
 // wall-clock gate treats as signal: min-of-Reps measurements of
@@ -59,6 +67,11 @@ const scalingSchema = 1
 // percentage alone cannot gate them. A regression must exceed both the
 // fractional tolerance and this floor to fail the build.
 const timeNoiseFloorSec = 0.025
+
+// allocNoiseFloor is the absolute allocs-per-sweep slack of the
+// allocation gate: GC timing can empty a sync.Pool mid-sweep and force
+// a few refills, so counts this close to the baseline are not signal.
+const allocNoiseFloor = 64
 
 func hostFingerprint() string {
 	fp := fmt.Sprintf("%s/%s/maxprocs=%d", runtime.GOOS, runtime.GOARCH, runtime.GOMAXPROCS(0))
@@ -106,7 +119,7 @@ func Scaling(o Options, sched par.Schedule, w io.Writer) (*ScalingReport, error)
 	t := &Table{
 		Title: fmt.Sprintf("Thread scaling: seconds/sweep, schedule=%s, format=csf (host %s)",
 			sched, rep.Host),
-		Headers: []string{"Tensor", "#threads", "s/sweep", "ttmc s", "speedup", "madds/sweep", "fit-invariant"},
+		Headers: []string{"Tensor", "#threads", "s/sweep", "ttmc s", "trsvd s", "speedup", "madds/sweep", "allocs/sweep", "fit-invariant"},
 	}
 	for _, name := range []string{"netflix", "nell", "delicious", "flickr"} {
 		x, err := dataset(name, o.Scale)
@@ -124,16 +137,21 @@ func Scaling(o Options, sched par.Schedule, w io.Writer) (*ScalingReport, error)
 			// gate should compare.
 			for rep := 0; rep < o.Reps; rep++ {
 				r, err := core.Decompose(x, core.Options{
-					Ranks:    ranks,
-					MaxIters: o.Iters,
-					Tol:      -1,
-					Threads:  th,
-					Schedule: sched,
-					Format:   core.FormatCSF,
-					Seed:     o.Seed + 31,
+					Ranks:         ranks,
+					MaxIters:      o.Iters,
+					Tol:           -1,
+					Threads:       th,
+					Schedule:      sched,
+					Format:        core.FormatCSF,
+					Seed:          o.Seed + 31,
+					MeasureAllocs: th == 1,
 				})
 				if err != nil {
 					return nil, fmt.Errorf("%s threads=%d: %w", name, th, err)
+				}
+				if th == 1 && r.AllocsPerSweep > 0 &&
+					(row.AllocsPerSweep == 0 || r.AllocsPerSweep < row.AllocsPerSweep) {
+					row.AllocsPerSweep = r.AllocsPerSweep
 				}
 				it := float64(r.Iters)
 				if res == nil || r.Timings.Total().Seconds()/it < cell.SweepSec {
@@ -142,6 +160,7 @@ func Scaling(o Options, sched par.Schedule, w io.Writer) (*ScalingReport, error)
 						Threads:  th,
 						SweepSec: r.Timings.Total().Seconds() / it,
 						TTMcSec:  r.Timings.TTMc.Seconds() / it,
+						TRSVDSec: r.Timings.TRSVD.Seconds() / it,
 					}
 				}
 			}
@@ -168,14 +187,16 @@ func Scaling(o Options, sched par.Schedule, w io.Writer) (*ScalingReport, error)
 		for i, cell := range row.Cells {
 			first := ""
 			madds := ""
+			allocs := ""
 			inv := ""
 			if i == 0 {
 				first = name
 				madds = humanCount(row.MaddsPerSweep)
+				allocs = fmt.Sprintf("%d", row.AllocsPerSweep)
 				inv = fmt.Sprintf("%v", row.FitInvariant)
 			}
 			t.AddRow(first, fmt.Sprintf("%d", cell.Threads), secs(cell.SweepSec),
-				secs(cell.TTMcSec), fmt.Sprintf("%.2fx", cell.Speedup), madds, inv)
+				secs(cell.TTMcSec), secs(cell.TRSVDSec), fmt.Sprintf("%.2fx", cell.Speedup), madds, allocs, inv)
 		}
 	}
 	t.Render(w)
@@ -216,8 +237,10 @@ func ReadScalingReport(path string) (*ScalingReport, error) {
 //
 //   - machine-independent gates, always applied: per-dataset TTMc
 //     madds-per-sweep and index bytes must not exceed the baseline by
-//     more than tol (fractional, e.g. 0.10), and the fit trajectory
-//     must have stayed bitwise invariant across the thread sweep;
+//     more than tol (fractional, e.g. 0.10), steady-state allocations
+//     per sweep must not exceed the baseline by more than tol plus an
+//     absolute slack of allocNoiseFloor, and the fit trajectory must
+//     have stayed bitwise invariant across the thread sweep;
 //   - the wall-clock gate: per-(dataset, threads) seconds-per-sweep
 //     must not exceed the baseline by more than timeTol AND by more
 //     than the absolute noise floor (timeNoiseFloorSec) — applied only
@@ -271,6 +294,20 @@ func CompareScaling(base, cur *ScalingReport, tol, timeTol float64, w io.Writer)
 		if exceeds(float64(c.IndexBytes), float64(b.IndexBytes), tol) {
 			return fmt.Errorf("bench: %s index bytes regressed %d -> %d (> %.0f%%)",
 				c.Dataset, b.IndexBytes, c.IndexBytes, tol*100)
+		}
+		// The allocation gate covers the steady-state zero-allocation
+		// contract of the sweep workspaces. A small absolute slack
+		// absorbs GC-driven sync.Pool refills; beyond that, a growing
+		// count means a kernel started allocating per call again. A
+		// current report that stopped measuring the metric (no 1-thread
+		// cell in the sweep) must fail rather than trivially pass.
+		if b.AllocsPerSweep > 0 && c.AllocsPerSweep <= 0 {
+			return fmt.Errorf("bench: %s no longer reports allocs/sweep (baseline %d); run the sweep with a 1-thread cell",
+				c.Dataset, b.AllocsPerSweep)
+		}
+		if b.AllocsPerSweep > 0 && c.AllocsPerSweep > int64(float64(b.AllocsPerSweep)*(1+tol))+allocNoiseFloor {
+			return fmt.Errorf("bench: %s steady-state allocs/sweep regressed %d -> %d (> %.0f%% + %d)",
+				c.Dataset, b.AllocsPerSweep, c.AllocsPerSweep, tol*100, allocNoiseFloor)
 		}
 		if !timeGate || timeTol <= 0 {
 			continue

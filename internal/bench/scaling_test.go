@@ -27,12 +27,18 @@ func TestScalingReport(t *testing.T) {
 		if row.MaddsPerSweep <= 0 || row.IndexBytes <= 0 {
 			t.Fatalf("%s: nonpositive machine-independent metrics", row.Dataset)
 		}
+		if row.AllocsPerSweep <= 0 {
+			t.Fatalf("%s: steady-state allocs/sweep not measured", row.Dataset)
+		}
 		if !row.FitInvariant {
 			t.Fatalf("%s: fit not bitwise invariant across the thread sweep", row.Dataset)
 		}
 		for _, cell := range row.Cells {
 			if cell.SweepSec <= 0 {
 				t.Fatalf("%s @%d threads: nonpositive sweep time", row.Dataset, cell.Threads)
+			}
+			if cell.TRSVDSec <= 0 || cell.TRSVDSec >= cell.SweepSec {
+				t.Fatalf("%s @%d threads: TRSVD share %v outside (0, sweep)", row.Dataset, cell.Threads, cell.TRSVDSec)
 			}
 		}
 	}
@@ -76,10 +82,11 @@ func scalingFixture() *ScalingReport {
 		Scale: 1, Iters: 3, Schedule: "balanced", Format: "csf",
 		Rows: []ScalingRow{{
 			Dataset: "netflix", Order: 3, NNZ: 1000,
-			MaddsPerSweep: 1000000, IndexBytes: 5000, Fit: 0.9, FitInvariant: true,
+			MaddsPerSweep: 1000000, IndexBytes: 5000, AllocsPerSweep: 100,
+			Fit: 0.9, FitInvariant: true,
 			Cells: []ScalingCell{
-				{Threads: 1, SweepSec: 1.0, TTMcSec: 0.5, Speedup: 1},
-				{Threads: 8, SweepSec: 0.25, TTMcSec: 0.12, Speedup: 4},
+				{Threads: 1, SweepSec: 1.0, TTMcSec: 0.5, TRSVDSec: 0.4, Speedup: 1},
+				{Threads: 8, SweepSec: 0.25, TTMcSec: 0.12, TRSVDSec: 0.1, Speedup: 4},
 			},
 		}},
 	}
@@ -136,6 +143,27 @@ func TestCompareScalingGates(t *testing.T) {
 		t.Fatal("cross-host skip not reported")
 	}
 
+	allocsUp := scalingFixture()
+	allocsUp.Rows[0].AllocsPerSweep = 600 // +500, past 10% + the 64-alloc slack
+	if err := CompareScaling(base, allocsUp, 0.10, 0.10, &buf); err == nil ||
+		!strings.Contains(err.Error(), "allocs/sweep") {
+		t.Fatalf("alloc regression not caught: %v", err)
+	}
+
+	// Pool-refill jitter within the absolute slack is not a regression.
+	allocsJitter := scalingFixture()
+	allocsJitter.Rows[0].AllocsPerSweep = 160 // +60%: over tol but within +64
+	if err := CompareScaling(base, allocsJitter, 0.10, 0.10, &buf); err != nil {
+		t.Fatalf("sub-slack alloc drift flagged: %v", err)
+	}
+
+	allocsGone := scalingFixture()
+	allocsGone.Rows[0].AllocsPerSweep = 0 // metric no longer measured
+	if err := CompareScaling(base, allocsGone, 0.10, 0.10, &buf); err == nil ||
+		!strings.Contains(err.Error(), "allocs/sweep") {
+		t.Fatalf("unmeasured alloc metric not caught: %v", err)
+	}
+
 	nondet := scalingFixture()
 	nondet.Rows[0].FitInvariant = false
 	if err := CompareScaling(base, nondet, 0.10, 0.10, &buf); err == nil ||
@@ -179,7 +207,7 @@ func TestCommittedBaselineParses(t *testing.T) {
 		t.Fatalf("baseline has %d dataset rows", len(rep.Rows))
 	}
 	for _, row := range rep.Rows {
-		if row.MaddsPerSweep <= 0 || len(row.Cells) == 0 || !row.FitInvariant {
+		if row.MaddsPerSweep <= 0 || row.AllocsPerSweep <= 0 || len(row.Cells) == 0 || !row.FitInvariant {
 			t.Fatalf("baseline row %s malformed", row.Dataset)
 		}
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"hypertensor/internal/dense"
@@ -28,7 +29,9 @@ type Timings struct {
 	Core      time.Duration
 }
 
-// Total returns the summed iteration time (excluding Symbolic).
+// Total returns the summed iteration time: TTMc + TRSVD + Core. The
+// one-time Symbolic and Convert phases are both excluded — Total is the
+// recurring per-sweep cost, not the end-to-end wall time.
 func (t Timings) Total() time.Duration { return t.TTMc + t.TRSVD + t.Core }
 
 // Result is a computed Tucker decomposition [[G; U_1, ..., U_N]].
@@ -56,6 +59,11 @@ type Result struct {
 	// IndexBytes is the index storage of that layout (COO: N x nnz x 4
 	// bytes; CSF: the compressed fiber levels and pointers).
 	IndexBytes int64
+	// AllocsPerSweep is the steady-state heap allocation count per ALS
+	// sweep (the first sweep, which grows the workspace arenas, is
+	// excluded). Only measured when Options.MeasureAllocs is set; zero
+	// otherwise.
+	AllocsPerSweep int64
 }
 
 // Decompose runs the shared-memory parallel HOOI algorithm
@@ -109,12 +117,26 @@ func Decompose(x *tensor.COO, optsIn Options) (*Result, error) {
 
 	factors := initFactors(x, opts)
 	ys := make([]*dense.Matrix, order)
+	// One TRSVD workspace arena per mode, allocated once: each mode's
+	// solver sees the same operator shape every sweep, so after the
+	// first sweep grows the buffers the iteration loops allocate
+	// (almost) nothing.
+	svdWork := make([]*trsvd.Workspace, order)
 	for n := 0; n < order; n++ {
 		ys[n] = dense.NewMatrix(sym.Modes[n].NumRows(), ttm.RowSize(factors, n))
+		svdWork[n] = trsvd.NewWorkspace()
 	}
 
+	var memBase runtime.MemStats
+	allocFrom := -1
 	prevFit := math.Inf(-1)
 	for iter := 0; iter < opts.MaxIters; iter++ {
+		if opts.MeasureAllocs && allocFrom < 0 && (iter == 1 || opts.MaxIters == 1) {
+			// Steady state starts once the sweep-1 arena growth is done
+			// (or immediately when there is only one sweep to measure).
+			runtime.ReadMemStats(&memBase)
+			allocFrom = iter
+		}
 		for n := 0; n < order; n++ {
 			sm := &sym.Modes[n]
 
@@ -131,7 +153,7 @@ func Decompose(x *tensor.COO, optsIn Options) (*Result, error) {
 			res.Timings.TTMc += time.Since(t0)
 
 			t0 = time.Now()
-			uc, err := truncatedSVD(ys[n], opts.Ranks[n], opts, int64(iter)*int64(order)+int64(n))
+			uc, err := truncatedSVD(ys[n], opts.Ranks[n], opts, int64(iter)*int64(order)+int64(n), svdWork[n])
 			if err != nil {
 				return nil, fmt.Errorf("core: TRSVD failed in mode %d: %w", n, err)
 			}
@@ -157,6 +179,11 @@ func Decompose(x *tensor.COO, optsIn Options) (*Result, error) {
 		}
 		prevFit = fit
 	}
+	if allocFrom >= 0 && res.Iters > allocFrom {
+		var memEnd runtime.MemStats
+		runtime.ReadMemStats(&memEnd)
+		res.AllocsPerSweep = int64(memEnd.Mallocs-memBase.Mallocs) / int64(res.Iters-allocFrom)
+	}
 	if tree != nil {
 		res.TTMcFlops = tree.Flops()
 		res.Timings.TTMcNodes = tree.NodeTime()
@@ -170,9 +197,9 @@ func Decompose(x *tensor.COO, optsIn Options) (*Result, error) {
 
 // truncatedSVD dispatches to the selected TRSVD solver on the compacted
 // matricized tensor, returning its |J_n| x R_n left singular vector
-// block.
-func truncatedSVD(y *dense.Matrix, k int, opts Options, step int64) (*dense.Matrix, error) {
-	sopts := trsvd.Options{Seed: opts.Seed + 7919*step}
+// block. ws is the mode's reusable workspace arena.
+func truncatedSVD(y *dense.Matrix, k int, opts Options, step int64, ws *trsvd.Workspace) (*dense.Matrix, error) {
+	sopts := trsvd.Options{Seed: opts.Seed + 7919*step, Work: ws}
 	switch opts.SVD {
 	case SVDSubspace:
 		r, err := trsvd.SubspaceIteration(&trsvd.DenseOperator{A: y, Threads: opts.Threads}, k, sopts)
@@ -181,7 +208,7 @@ func truncatedSVD(y *dense.Matrix, k int, opts Options, step int64) (*dense.Matr
 		}
 		return r.U, nil
 	case SVDGram:
-		r, err := trsvd.GramSVD(y, k, opts.Threads)
+		r, err := trsvd.GramSVD(y, k, opts.Threads, sopts)
 		if err != nil {
 			return nil, err
 		}

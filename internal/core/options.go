@@ -146,6 +146,10 @@ type Options struct {
 	CSFModeOrder []int
 	// Seed makes the whole decomposition deterministic.
 	Seed int64
+	// MeasureAllocs records the steady-state heap allocation count per
+	// sweep in Result.AllocsPerSweep (two runtime.ReadMemStats calls per
+	// decomposition). Off by default; the benchmark harness turns it on.
+	MeasureAllocs bool
 	// Initial optionally supplies explicit initial factor matrices
 	// (I_n x R_n), overriding Init — used for warm starts and for
 	// equivalence testing against the distributed algorithm. The

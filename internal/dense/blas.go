@@ -2,11 +2,25 @@ package dense
 
 import (
 	"math"
+	"sync"
 
 	"hypertensor/internal/par"
 )
 
-// Dot returns the inner product of x and y, which must have equal length.
+// serialCutoff is the multiply-add count below which the level-2/3
+// kernels skip the parallel runtime and run inline: a pool region costs
+// a couple of microseconds of channel handoff plus a closure allocation,
+// which dwarfs the arithmetic of the small projected problems the TRSVD
+// solvers generate in bulk. The serial paths reuse the same fixed block
+// association as the parallel ones, so the cutoff never changes results.
+const serialCutoff = 1 << 15
+
+// Dot returns the inner product of x and y, which must have equal
+// length. The body must stay within the compiler inlining budget — the
+// TTMc kernels call it once per nonzero on rank-length vectors, where
+// the call overhead would dominate — so the 4-way unrolled variant is
+// the separate DotUnrolled, which long-vector call sites pick
+// explicitly.
 func Dot(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic("dense: Dot length mismatch")
@@ -18,7 +32,38 @@ func Dot(x, y []float64) float64 {
 	return s
 }
 
-// Axpy computes y += alpha*x elementwise.
+// DotUnrolled is the 4-way unrolled dot product: four independent
+// accumulators break the add-latency dependency chain and combine in a
+// fixed order, winning ~15-30% on vectors longer than a few dozen
+// elements. The association differs from Dot, so a kernel must use one
+// variant consistently wherever bitwise reproducibility across code
+// paths matters.
+func DotUnrolled(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("dense: Dot length mismatch")
+	}
+	n := len(y)
+	x = x[:n]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		x4 := x[i : i+4 : i+4]
+		y4 := y[i : i+4 : i+4]
+		s0 += x4[0] * y4[0]
+		s1 += x4[1] * y4[1]
+		s2 += x4[2] * y4[2]
+		s3 += x4[3] * y4[3]
+	}
+	var t float64
+	for ; i < n; i++ {
+		t += x[i] * y[i]
+	}
+	return ((s0 + s1) + (s2 + s3)) + t
+}
+
+// Axpy computes y += alpha*x elementwise. Like Dot it stays small
+// enough to inline into the per-nonzero TTMc loops; AxpyUnrolled is the
+// long-vector variant (identical bits — the update is elementwise).
 func Axpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic("dense: Axpy length mismatch")
@@ -28,6 +73,31 @@ func Axpy(alpha float64, x, y []float64) {
 	}
 	for i, v := range x {
 		y[i] += alpha * v
+	}
+}
+
+// AxpyUnrolled is the 4-way unrolled in-place update y += alpha*x,
+// bitwise identical to Axpy (elementwise operation, no reassociation)
+// and faster on vectors longer than a few dozen elements.
+func AxpyUnrolled(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("dense: Axpy length mismatch")
+	}
+	if alpha == 0 {
+		return
+	}
+	n := len(y)
+	x = x[:n]
+	for i := 0; i+4 <= n; i += 4 {
+		x4 := x[i : i+4 : i+4]
+		y4 := y[i : i+4 : i+4]
+		y4[0] += alpha * x4[0]
+		y4[1] += alpha * x4[1]
+		y4[2] += alpha * x4[2]
+		y4[3] += alpha * x4[3]
+	}
+	for i := n &^ 3; i < n; i++ {
+		y[i] += alpha * x[i]
 	}
 }
 
@@ -57,173 +127,330 @@ func Nrm2(x []float64) float64 {
 }
 
 // Gemv computes y = A*x for a row-major matrix (BLAS2 kernel of the
-// shared-memory TRSVD). threads <= 1 runs sequentially.
+// shared-memory TRSVD). threads <= 1, or a problem below the serial
+// cutoff, runs inline; either way row i is the same Dot, so the result
+// is bitwise identical for every thread count.
 func Gemv(a *Matrix, x, y []float64, threads int) {
 	if len(x) != a.Cols || len(y) != a.Rows {
 		panic("dense: Gemv shape mismatch")
 	}
-	par.ForRange(a.Rows, threads, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			y[i] = Dot(a.Row(i), x)
-		}
-	})
+	if a.Rows*a.Cols < serialCutoff {
+		threads = 1
+	}
+	if par.DefaultThreads(threads) <= 1 {
+		gemvRows(y, a, x, 0, a.Rows)
+		return
+	}
+	g := gemvRunPool.Get().(*gemvRun)
+	g.a, g.x, g.y = a, x, y
+	par.ForRangeBody(a.Rows, threads, g)
+	*g = gemvRun{}
+	gemvRunPool.Put(g)
 }
 
-// GemvT computes y = A^T*x: the matrix transpose-vector product (MTxV in
-// the paper). The parallel version splits rows into a fixed block grid
+// gemvRun is the pooled region body of the parallel Gemv: submitting
+// it by interface keeps a steady-state GEMV region allocation-free (a
+// closure would allocate per call).
+type gemvRun struct {
+	a    *Matrix
+	x, y []float64
+}
+
+func (g *gemvRun) Range(lo, hi int) { gemvRows(g.y, g.a, g.x, lo, hi) }
+
+var gemvRunPool = sync.Pool{New: func() any { return new(gemvRun) }}
+
+// GemvInto is Gemv with the destination first, mirroring the other
+// *Into kernels: y = A*x written into caller-owned storage.
+func GemvInto(y []float64, a *Matrix, x []float64, threads int) { Gemv(a, x, y, threads) }
+
+// gemvRows computes y[lo:hi] = A[lo:hi,:]*x with a two-row register
+// tile. Each row's dot product uses exactly Dot's single-accumulator
+// association (dot2 pairs rows only to share the streaming pass over
+// x), so the value of y[i] does not depend on where the tile or thread
+// boundaries fall.
+func gemvRows(y []float64, a *Matrix, x []float64, lo, hi int) {
+	i := lo
+	for ; i+2 <= hi; i += 2 {
+		y[i], y[i+1] = dot2(a.Row(i), a.Row(i+1), x)
+	}
+	for ; i < hi; i++ {
+		y[i] = Dot(a.Row(i), x)
+	}
+}
+
+// GemvT computes y = A^T*x: the matrix transpose-vector product (MTxV
+// in the paper). The row range is cut into a fixed block grid
 // (par.NumReduceBlocks — a function of the row count only, never the
-// thread count), accumulates a private buffer per block, and reduces the
-// partials in block order. No locks are needed, and the result is
-// bitwise identical for every thread count, which keeps the HOOI fit
-// trajectory invariant under the -threads knob.
+// thread count), each block accumulates a private buffer, and the
+// partials combine in block order. No locks are needed, and the result
+// is bitwise identical for every thread count, which keeps the HOOI fit
+// trajectory invariant under the -threads knob. The block buffers come
+// from a pool shared with the other reduction kernels, so steady-state
+// calls allocate nothing.
 func GemvT(a *Matrix, x, y []float64, threads int) {
 	if len(x) != a.Rows || len(y) != a.Cols {
 		panic("dense: GemvT shape mismatch")
 	}
-	nb := par.NumReduceBlocks(a.Rows)
-	if nb <= 1 {
-		for j := range y {
-			y[j] = 0
-		}
-		for i := 0; i < a.Rows; i++ {
-			Axpy(x[i], a.Row(i), y)
-		}
-		return
-	}
 	for j := range y {
 		y[j] = 0
+	}
+	nb := par.NumReduceBlocks(a.Rows)
+	if nb <= 1 {
+		gemvtBlock(y, a, x, 0, a.Rows)
+		return
+	}
+	if a.Rows*a.Cols < serialCutoff {
+		threads = 1
 	}
 	if par.DefaultThreads(threads) <= 1 {
 		// Serial fast path: one reused block buffer, combined into y in
 		// block order — the same association as the parallel partials
 		// below, so the result stays bitwise thread-count invariant.
-		buf := make([]float64, a.Cols)
+		sc := getScratch(a.Cols)
+		buf := sc.data
 		for b := 0; b < nb; b++ {
 			lo, hi := par.Split(a.Rows, nb, b)
 			for j := range buf {
 				buf[j] = 0
 			}
-			for i := lo; i < hi; i++ {
-				Axpy(x[i], a.Row(i), buf)
-			}
-			Axpy(1, buf, y)
+			gemvtBlock(buf, a, x, lo, hi)
+			AxpyUnrolled(1, buf, y)
 		}
+		sc.release()
 		return
 	}
-	partials := make([][]float64, nb)
-	par.For(nb, threads, 1, func(b int) {
-		buf := make([]float64, a.Cols)
-		lo, hi := par.Split(a.Rows, nb, b)
-		for i := lo; i < hi; i++ {
-			Axpy(x[i], a.Row(i), buf)
-		}
-		partials[b] = buf
-	})
-	for _, p := range partials {
-		Axpy(1, p, y)
+	sc := getScratch(nb * a.Cols)
+	partials := sc.data
+	for i := range partials {
+		partials[i] = 0
+	}
+	g := gemvtRunPool.Get().(*gemvtRun)
+	g.a, g.x, g.partials, g.nb = a, x, partials, nb
+	par.ForBody(nb, threads, 1, g)
+	*g = gemvtRun{}
+	gemvtRunPool.Put(g)
+	for b := 0; b < nb; b++ {
+		AxpyUnrolled(1, partials[b*a.Cols:(b+1)*a.Cols], y)
+	}
+	sc.release()
+}
+
+// gemvtRun is the pooled region body of the parallel GemvT block grid.
+type gemvtRun struct {
+	a           *Matrix
+	x, partials []float64
+	nb          int
+}
+
+func (g *gemvtRun) Index(b int) {
+	lo, hi := par.Split(g.a.Rows, g.nb, b)
+	gemvtBlock(g.partials[b*g.a.Cols:(b+1)*g.a.Cols], g.a, g.x, lo, hi)
+}
+
+var gemvtRunPool = sync.Pool{New: func() any { return new(gemvtRun) }}
+
+// GemvTInto is GemvT with the destination first: y = A^T*x.
+func GemvTInto(y []float64, a *Matrix, x []float64, threads int) { GemvT(a, x, y, threads) }
+
+// gemvtBlock accumulates y += A[lo:hi,:]^T * x[lo:hi] with a four-row
+// register tile; element j is updated in ascending row order exactly
+// like a sequence of Axpy calls, so tiling never changes the value.
+func gemvtBlock(y []float64, a *Matrix, x []float64, lo, hi int) {
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		axpy4(x[i], x[i+1], x[i+2], x[i+3],
+			a.Row(i), a.Row(i+1), a.Row(i+2), a.Row(i+3), y)
+	}
+	for ; i < hi; i++ {
+		Axpy(x[i], a.Row(i), y)
 	}
 }
 
-// MatMul returns C = A*B computed with a cache-friendly i-k-j loop,
-// parallel over rows of A. It is the BLAS3 kernel used to form the core
-// tensor G = U^T * Y.
+// MatMul returns C = A*B; see MatMulInto.
 func MatMul(a, b *Matrix, threads int) *Matrix {
+	c := NewMatrix(a.Rows, b.Cols)
+	MatMulInto(c, a, b, threads)
+	return c
+}
+
+// MatMulInto computes C = A*B into caller-owned storage (overwriting
+// c), parallel over rows of A with a register-tiled, panel-blocked
+// inner kernel. Element (i, j) always accumulates over k in ascending
+// order, so the result is bitwise identical for every thread count. It
+// is the BLAS3 kernel behind the core-tensor formation and the block
+// TRSVD operator applications.
+func MatMulInto(c, a, b *Matrix, threads int) {
 	if a.Cols != b.Rows {
 		panic("dense: MatMul shape mismatch")
 	}
-	c := NewMatrix(a.Rows, b.Cols)
-	par.ForRange(a.Rows, threads, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			crow := c.Row(i)
-			for k, av := range arow {
-				if av == 0 {
-					continue
-				}
-				Axpy(av, b.Row(k), crow)
-			}
-		}
-	})
+	if c.Rows != a.Rows || c.Cols != b.Cols {
+		panic("dense: MatMul destination shape mismatch")
+	}
+	c.Zero()
+	if a.Rows*a.Cols*b.Cols < serialCutoff {
+		threads = 1
+	}
+	if par.DefaultThreads(threads) <= 1 {
+		matMulRows(c, a, b, 0, a.Rows)
+		return
+	}
+	m := matMulRunPool.Get().(*matMulRun)
+	m.c, m.a, m.b = c, a, b
+	par.ForRangeBody(a.Rows, threads, m)
+	*m = matMulRun{}
+	matMulRunPool.Put(m)
+}
+
+// matMulRun is the pooled region body of the parallel GEMM.
+type matMulRun struct{ c, a, b *Matrix }
+
+func (m *matMulRun) Range(lo, hi int) { matMulRows(m.c, m.a, m.b, lo, hi) }
+
+var matMulRunPool = sync.Pool{New: func() any { return new(matMulRun) }}
+
+// MatMulTA returns C = A^T*B; see MatMulTAInto.
+func MatMulTA(a, b *Matrix, threads int) *Matrix {
+	c := NewMatrix(a.Cols, b.Cols)
+	MatMulTAInto(c, a, b, threads)
 	return c
 }
 
-// MatMulTA returns C = A^T*B (A is m x n, B is m x p, C is n x p),
-// parallel over a fixed grid of row blocks with per-block partials
-// reduced in block order — like GemvT, bitwise identical for every
-// thread count.
-func MatMulTA(a, b *Matrix, threads int) *Matrix {
+// MatMulTAInto computes C = A^T*B (A is m x n, B is m x p, C is n x p)
+// into caller-owned storage, parallel over a fixed grid of row blocks
+// with pooled per-block partials reduced in block order — like GemvT,
+// bitwise identical for every thread count and allocation-free in
+// steady state.
+func MatMulTAInto(c, a, b *Matrix, threads int) {
 	if a.Rows != b.Rows {
 		panic("dense: MatMulTA shape mismatch")
 	}
-	c := NewMatrix(a.Cols, b.Cols)
+	if c.Rows != a.Cols || c.Cols != b.Cols {
+		panic("dense: MatMulTA destination shape mismatch")
+	}
+	c.Zero()
 	nb := par.NumReduceBlocks(a.Rows)
 	if nb <= 1 {
-		for i := 0; i < a.Rows; i++ {
-			arow, brow := a.Row(i), b.Row(i)
-			for j, av := range arow {
-				if av == 0 {
-					continue
-				}
-				Axpy(av, brow, c.Row(j))
-			}
-		}
-		return c
+		matMulTABlock(c.Data, a, b, 0, a.Rows)
+		return
 	}
+	if a.Rows*a.Cols*b.Cols < serialCutoff {
+		threads = 1
+	}
+	width := a.Cols * b.Cols
 	if par.DefaultThreads(threads) <= 1 {
 		// Serial fast path: one reused partial, combined in block order
 		// (bitwise identical to the parallel partials below).
-		p := NewMatrix(a.Cols, b.Cols)
+		sc := getScratch(width)
+		p := sc.data
 		for blk := 0; blk < nb; blk++ {
 			lo, hi := par.Split(a.Rows, nb, blk)
-			p.Zero()
-			for i := lo; i < hi; i++ {
-				arow, brow := a.Row(i), b.Row(i)
-				for j, av := range arow {
-					if av == 0 {
-						continue
-					}
-					Axpy(av, brow, p.Row(j))
-				}
+			for i := range p {
+				p[i] = 0
 			}
-			Axpy(1, p.Data, c.Data)
+			matMulTABlock(p, a, b, lo, hi)
+			AxpyUnrolled(1, p, c.Data)
 		}
-		return c
+		sc.release()
+		return
 	}
-	partials := make([]*Matrix, nb)
-	par.For(nb, threads, 1, func(blk int) {
-		p := NewMatrix(a.Cols, b.Cols)
-		lo, hi := par.Split(a.Rows, nb, blk)
-		for i := lo; i < hi; i++ {
-			arow, brow := a.Row(i), b.Row(i)
-			for j, av := range arow {
-				if av == 0 {
-					continue
-				}
-				Axpy(av, brow, p.Row(j))
-			}
-		}
-		partials[blk] = p
-	})
-	for _, p := range partials {
-		Axpy(1, p.Data, c.Data)
+	sc := getScratch(nb * width)
+	partials := sc.data
+	for i := range partials {
+		partials[i] = 0
 	}
-	return c
+	m := matMulTARunPool.Get().(*matMulTARun)
+	m.a, m.b, m.partials, m.nb, m.width = a, b, partials, nb, width
+	par.ForBody(nb, threads, 1, m)
+	*m = matMulTARun{}
+	matMulTARunPool.Put(m)
+	for blk := 0; blk < nb; blk++ {
+		AxpyUnrolled(1, partials[blk*width:(blk+1)*width], c.Data)
+	}
+	sc.release()
 }
 
-// MatMulTB returns C = A*B^T (A is m x n, B is p x n, C is m x p).
+// matMulTARun is the pooled region body of the parallel MatMulTA block
+// grid.
+type matMulTARun struct {
+	a, b      *Matrix
+	partials  []float64
+	nb, width int
+}
+
+func (m *matMulTARun) Index(blk int) {
+	lo, hi := par.Split(m.a.Rows, m.nb, blk)
+	matMulTABlock(m.partials[blk*m.width:(blk+1)*m.width], m.a, m.b, lo, hi)
+}
+
+var matMulTARunPool = sync.Pool{New: func() any { return new(matMulTARun) }}
+
+// matMulTABlock accumulates p += A[lo:hi,:]^T * B[lo:hi,:] where p is a
+// row-major a.Cols x b.Cols buffer. Rows are consumed in a four-row
+// register tile; each destination element accumulates in ascending row
+// order, identical to the untiled loop.
+func matMulTABlock(p []float64, a, b *Matrix, lo, hi int) {
+	bc := b.Cols
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		a0, a1, a2, a3 := a.Row(i), a.Row(i+1), a.Row(i+2), a.Row(i+3)
+		b0, b1, b2, b3 := b.Row(i), b.Row(i+1), b.Row(i+2), b.Row(i+3)
+		for j := 0; j < a.Cols; j++ {
+			axpy4(a0[j], a1[j], a2[j], a3[j], b0, b1, b2, b3, p[j*bc:(j+1)*bc])
+		}
+	}
+	for ; i < hi; i++ {
+		arow, brow := a.Row(i), b.Row(i)
+		for j, av := range arow {
+			if av == 0 {
+				continue
+			}
+			Axpy(av, brow, p[j*bc:(j+1)*bc])
+		}
+	}
+}
+
+// MatMulTB returns C = A*B^T (A is m x n, B is p x n, C is m x p),
+// parallel over rows of A with a two-row dot-product tile.
 func MatMulTB(a, b *Matrix, threads int) *Matrix {
 	if a.Cols != b.Cols {
 		panic("dense: MatMulTB shape mismatch")
 	}
 	c := NewMatrix(a.Rows, b.Rows)
-	par.ForRange(a.Rows, threads, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			crow := c.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				crow[j] = Dot(arow, b.Row(j))
-			}
-		}
-	})
+	if a.Rows*a.Cols*b.Rows < serialCutoff {
+		threads = 1
+	}
+	if par.DefaultThreads(threads) <= 1 {
+		matMulTBRows(c, a, b, 0, a.Rows)
+		return c
+	}
+	m := matMulTBRunPool.Get().(*matMulTBRun)
+	m.c, m.a, m.b = c, a, b
+	par.ForRangeBody(a.Rows, threads, m)
+	*m = matMulTBRun{}
+	matMulTBRunPool.Put(m)
 	return c
+}
+
+// matMulTBRun is the pooled region body of the parallel MatMulTB.
+type matMulTBRun struct{ c, a, b *Matrix }
+
+func (m *matMulTBRun) Range(lo, hi int) { matMulTBRows(m.c, m.a, m.b, lo, hi) }
+
+var matMulTBRunPool = sync.Pool{New: func() any { return new(matMulTBRun) }}
+
+// matMulTBRows computes C[lo:hi,:] = A[lo:hi,:]*B^T with a two-row
+// dot-product tile per B row pair.
+func matMulTBRows(c, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		j := 0
+		for ; j+2 <= b.Rows; j += 2 {
+			crow[j], crow[j+1] = dot2(b.Row(j), b.Row(j+1), arow)
+		}
+		for ; j < b.Rows; j++ {
+			crow[j] = Dot(arow, b.Row(j))
+		}
+	}
 }

@@ -2,8 +2,20 @@ package dense
 
 import (
 	"math"
-	"sort"
 )
+
+// SVDWork holds the scratch buffers of the one-sided Jacobi SVD so
+// tight loops (the per-iteration Ritz checks inside the Lanczos TRSVD)
+// can factor small projected matrices without allocating. The zero
+// value is ready to use; buffers grow on demand and are reused. The
+// matrices returned by (*SVDWork).SVD are owned by the workspace and
+// are overwritten by the next call — copy what must survive. A
+// workspace is not safe for concurrent use.
+type SVDWork struct {
+	t, w, vcols, u, v *Matrix
+	s, nrms, lastRow  []float64
+	idx               []int
+}
 
 // SVD computes a thin singular value decomposition a = U * diag(s) * V^T
 // using the one-sided Jacobi method. For a of shape m x n it returns
@@ -13,19 +25,108 @@ import (
 // stable, and highly accurate for the small-to-medium problems this
 // library needs it for: the projected bidiagonal systems inside the
 // Lanczos TRSVD (k <= a few dozen) and reference solutions in tests. It
-// stands in for the LAPACK xGESVD the paper links against.
+// stands in for the LAPACK xGESVD the paper links against. The returned
+// matrices are freshly allocated; use an SVDWork to amortize the
+// scratch across many small factorizations.
 func SVD(a *Matrix) (u *Matrix, s []float64, v *Matrix) {
+	var wk SVDWork
+	return wk.SVD(a)
+}
+
+// SVD is the workspace-backed variant of the package-level SVD: same
+// results, but all scratch and the returned factors live in the
+// workspace and are reused by the next call.
+func (wk *SVDWork) SVD(a *Matrix) (u *Matrix, s []float64, v *Matrix) {
 	if a.Rows < a.Cols {
 		// Work on the transpose and swap the factors.
-		vt, st, ut := SVD(a.T())
+		wk.t = transposeInto(wk.t, a)
+		vt, st, ut := wk.svdTall(wk.t)
 		return ut, st, vt
 	}
+	return wk.svdTall(a)
+}
+
+// svdTall runs one-sided Jacobi on a with a.Rows >= a.Cols.
+func (wk *SVDWork) svdTall(a *Matrix) (*Matrix, []float64, *Matrix) {
 	m, n := a.Rows, a.Cols
 	// Column-major working copy: w.Row(j) is column j of a. V is
 	// accumulated column-major too: vcols.Row(j) is column j of V.
-	w := a.T()
-	vcols := Identity(n)
+	wk.w = transposeInto(wk.w, a)
+	w := wk.w
+	wk.vcols = identityInto(wk.vcols, n)
+	vcols := wk.vcols
+	jacobiSweeps(w, vcols)
 
+	// Singular values are the column norms, sorted descending (stable).
+	wk.nrms = ReuseVec(wk.nrms, n)
+	idx := wk.sortIdx(n)
+	for j := 0; j < n; j++ {
+		wk.nrms[j] = Nrm2(w.Row(j))
+	}
+	sortByNormDesc(idx, wk.nrms)
+
+	wk.u = ReuseMatrix(wk.u, m, n)
+	wk.v = ReuseMatrix(wk.v, n, n)
+	wk.s = ReuseVec(wk.s, n)
+	u, v, s := wk.u, wk.v, wk.s
+	for out, j := range idx {
+		nrm := wk.nrms[j]
+		s[out] = nrm
+		src := w.Row(j)
+		if nrm > 0 {
+			for i := 0; i < m; i++ {
+				u.Set(i, out, src[i]/nrm)
+			}
+		}
+		// Null directions keep a zero column; callers that need an
+		// orthonormal basis use Orthonormalize on the result.
+		vsrc := vcols.Row(j)
+		for i := 0; i < n; i++ {
+			v.Set(i, out, vsrc[i])
+		}
+	}
+	return u, s, v
+}
+
+// SingularValuesLastRow computes only the singular values of a (m >= n,
+// descending) and the last row of U — exactly what the Lanczos Ritz
+// residual test consumes every iteration. It runs the same one-sided
+// Jacobi sweeps as SVD but skips forming U and V (an O(n*(m+n)) saving
+// per call on the hot per-iteration path). Both returned slices are
+// workspace-owned.
+func (wk *SVDWork) SingularValuesLastRow(a *Matrix) (s, last []float64) {
+	if a.Rows < a.Cols {
+		panic("dense: SingularValuesLastRow requires rows >= cols")
+	}
+	m, n := a.Rows, a.Cols
+	wk.w = transposeInto(wk.w, a)
+	w := wk.w
+	jacobiSweeps(w, nil)
+
+	wk.nrms = ReuseVec(wk.nrms, n)
+	idx := wk.sortIdx(n)
+	for j := 0; j < n; j++ {
+		wk.nrms[j] = Nrm2(w.Row(j))
+	}
+	sortByNormDesc(idx, wk.nrms)
+
+	wk.s = ReuseVec(wk.s, n)
+	wk.lastRow = ReuseVec(wk.lastRow, n)
+	for out, j := range idx {
+		nrm := wk.nrms[j]
+		wk.s[out] = nrm
+		if nrm > 0 {
+			wk.lastRow[out] = w.Row(j)[m-1] / nrm
+		}
+	}
+	return wk.s, wk.lastRow
+}
+
+// jacobiSweeps runs one-sided Jacobi rotations on the column-major
+// working copy w until the off-diagonal Gram mass vanishes, co-rotating
+// vcols (the V accumulator) when non-nil.
+func jacobiSweeps(w, vcols *Matrix) {
+	n := w.Rows
 	const maxSweeps = 60
 	eps := 1e-15
 	for sweep := 0; sweep < maxSweeps; sweep++ {
@@ -55,46 +156,64 @@ func SVD(a *Matrix) (u *Matrix, s []float64, v *Matrix) {
 				c := 1 / math.Sqrt(1+t*t)
 				sn := c * t
 				rotate(cp, cq, c, sn)
-				rotate(vcols.Row(p), vcols.Row(q), c, sn)
+				if vcols != nil {
+					rotate(vcols.Row(p), vcols.Row(q), c, sn)
+				}
 			}
 		}
 		if off == 0 {
 			break
 		}
 	}
+}
 
-	// Singular values are the column norms; U columns are normalized.
-	type col struct {
-		idx int
-		nrm float64
+// sortIdx returns the workspace index buffer [0, n) ready for sorting.
+func (wk *SVDWork) sortIdx(n int) []int {
+	if cap(wk.idx) < n {
+		wk.idx = make([]int, n)
 	}
-	cols := make([]col, n)
-	for j := 0; j < n; j++ {
-		cols[j] = col{j, Nrm2(w.Row(j))}
+	idx := wk.idx[:n]
+	for j := range idx {
+		idx[j] = j
 	}
-	sort.SliceStable(cols, func(i, j int) bool { return cols[i].nrm > cols[j].nrm })
+	return idx
+}
 
-	u = NewMatrix(m, n)
-	v = NewMatrix(n, n)
-	s = make([]float64, n)
-	for out, cj := range cols {
-		s[out] = cj.nrm
-		src := w.Row(cj.idx)
-		if cj.nrm > 0 {
-			for i := 0; i < m; i++ {
-				u.Set(i, out, src[i]/cj.nrm)
-			}
-		} else {
-			// Null direction: keep a zero column; callers that need an
-			// orthonormal basis use Orthonormalize on the result.
-			u.Set(out%m, out, 0)
+// sortByNormDesc stably insertion-sorts idx by descending nrms (n is at
+// most a few hundred here, and the reflection-based sort.SliceStable
+// would allocate on every call).
+func sortByNormDesc(idx []int, nrms []float64) {
+	for i := 1; i < len(idx); i++ {
+		id := idx[i]
+		nr := nrms[id]
+		j := i - 1
+		for ; j >= 0 && nrms[idx[j]] < nr; j-- {
+			idx[j+1] = idx[j]
 		}
-		vsrc := vcols.Row(cj.idx)
-		for i := 0; i < n; i++ {
-			v.Set(i, out, vsrc[i])
+		idx[j+1] = id
+	}
+}
+
+// transposeInto writes a^T into dst, reusing its storage when large
+// enough. Uninitialized reuse is safe: the loop writes every element.
+func transposeInto(dst, a *Matrix) *Matrix {
+	dst = ReuseMatrixUninit(dst, a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		for j, v := range row {
+			dst.Data[j*dst.Cols+i] = v
 		}
 	}
-	return u, s, v
+	return dst
+}
+
+// identityInto writes the n x n identity into dst, reusing its storage.
+func identityInto(dst *Matrix, n int) *Matrix {
+	dst = ReuseMatrix(dst, n, n)
+	for i := 0; i < n; i++ {
+		dst.Set(i, i, 1)
+	}
+	return dst
 }
 
 // rotate applies the Givens rotation [c s; -s c] to the column pair

@@ -236,6 +236,9 @@ type rankState struct {
 	lsym    *symbolic.Structure
 	factors []*dense.Matrix
 	modes   []rankMode
+	// svdWork holds one reusable TRSVD workspace per mode (each rank is
+	// its own goroutine, so per-rank arenas are required, not shared).
+	svdWork []*trsvd.Workspace
 }
 
 // rankMode is one mode's precomputed plans and buffers.
@@ -264,9 +267,11 @@ func newRankState(c *mpi.Comm, x *tensor.COO, part *Partition, gsym *symbolic.St
 		dims: x.Dims, ranks: ranks, part: part,
 		factors: make([]*dense.Matrix, order),
 		modes:   make([]rankMode, order),
+		svdWork: make([]*trsvd.Workspace, order),
 	}
 	for n := range rk.factors {
 		rk.factors[n] = initial[n].Clone()
+		rk.svdWork[n] = trsvd.NewWorkspace()
 	}
 
 	// Local tensor: owned nonzeros (fine) or every nonzero of an owned
@@ -391,7 +396,7 @@ func (rk *rankState) ttmc(n int) {
 func (rk *rankState) trsvd(n int, seed int64) {
 	m := &rk.modes[n]
 	op := &rowDistOperator{a: m.yOwn, c: rk.c, gids: m.gids, tmp: make([]float64, m.yOwn.Cols)}
-	sres, err := trsvd.Lanczos(op, rk.ranks[n], trsvd.Options{Seed: seed})
+	sres, err := trsvd.Lanczos(op, rk.ranks[n], trsvd.Options{Seed: seed, Work: rk.svdWork[n]})
 	if err != nil {
 		panic(fmt.Sprintf("dist: TRSVD failed in mode %d: %v", n, err))
 	}

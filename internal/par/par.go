@@ -12,6 +12,7 @@ package par
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 )
 
@@ -76,6 +77,115 @@ func chunkFor(n, threads int) int {
 		chunk = 1
 	}
 	return chunk
+}
+
+// RangeBody is a parallel range-loop body passed by interface; see
+// ForRangeBody.
+type RangeBody interface {
+	// Range processes the contiguous index range [lo, hi).
+	Range(lo, hi int)
+}
+
+// rangeRun adapts a RangeBody to the pool's Worker interface; pooled so
+// a region submission allocates nothing.
+type rangeRun struct {
+	n, threads int
+	body       RangeBody
+}
+
+func (r *rangeRun) Work(w int) {
+	lo, hi := Split(r.n, r.threads, w)
+	if lo < hi {
+		r.body.Range(lo, hi)
+	}
+}
+
+var rangeRunPool = sync.Pool{New: func() any { return new(rangeRun) }}
+
+// ForRangeBody is ForRange for an interface body: same static
+// partition, but the region enters the pool through pooled runner
+// objects instead of closures, so a steady-state call performs no heap
+// allocation. Kernels that run thousands of small parallel regions per
+// sweep (the TRSVD operator applications) use this form.
+func ForRangeBody(n, threads int, body RangeBody) {
+	if n <= 0 {
+		return
+	}
+	threads = DefaultThreads(threads)
+	if threads > n {
+		threads = n
+	}
+	if threads <= 1 {
+		body.Range(0, n)
+		return
+	}
+	r := rangeRunPool.Get().(*rangeRun)
+	r.n, r.threads, r.body = n, threads, body
+	sharedPool(threads).RunWorker(threads, r)
+	r.body = nil
+	rangeRunPool.Put(r)
+}
+
+// IndexBody is a parallel index-loop body passed by interface; see
+// ForBody.
+type IndexBody interface {
+	// Index processes iteration i.
+	Index(i int)
+}
+
+// indexRun adapts an IndexBody to the Worker interface with the same
+// chunked self-scheduling as For; pooled like rangeRun.
+type indexRun struct {
+	n, chunk int
+	cursor   atomic.Int64
+	body     IndexBody
+}
+
+func (r *indexRun) Work(int) {
+	for {
+		start := int(r.cursor.Add(int64(r.chunk))) - r.chunk
+		if start >= r.n {
+			return
+		}
+		end := start + r.chunk
+		if end > r.n {
+			end = r.n
+		}
+		for i := start; i < end; i++ {
+			r.body.Index(i)
+		}
+	}
+}
+
+var indexRunPool = sync.Pool{New: func() any { return new(indexRun) }}
+
+// ForBody is For for an interface body: chunked dynamic
+// self-scheduling with pooled runner objects, allocation-free in steady
+// state. The deterministic block reductions (GemvT, MatMulTA) run their
+// fixed block grids through it.
+func ForBody(n, threads, chunk int, body IndexBody) {
+	if n <= 0 {
+		return
+	}
+	threads = DefaultThreads(threads)
+	if threads > n {
+		threads = n
+	}
+	if threads <= 1 {
+		for i := 0; i < n; i++ {
+			body.Index(i)
+		}
+		return
+	}
+	if chunk <= 0 {
+		chunk = chunkFor(n, threads)
+	}
+	r := indexRunPool.Get().(*indexRun)
+	r.n, r.chunk, r.body = n, chunk, body
+	r.cursor.Store(0)
+	sharedPool(threads).RunWorker(threads, r)
+	r.body = nil
+	indexRunPool.Put(r)
 }
 
 // ForRange runs body(lo, hi) over a static partition of [0, n) into at

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -130,5 +131,111 @@ func BenchmarkForDynamic(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		For(len(x), 0, 0, func(j int) { x[j] = float64(j) * 1.5 })
+	}
+}
+
+// rangeCollector records which contiguous ranges its Range method saw.
+type rangeCollector struct {
+	mu     sync.Mutex
+	seen   []bool
+	visits int
+}
+
+func (rc *rangeCollector) Range(lo, hi int) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.visits++
+	for i := lo; i < hi; i++ {
+		if rc.seen[i] {
+			panic("index covered twice")
+		}
+		rc.seen[i] = true
+	}
+}
+
+type indexCollector struct {
+	hits []atomic.Int64
+}
+
+func (ic *indexCollector) Index(i int) { ic.hits[i].Add(1) }
+
+// ForRangeBody and ForBody must cover every index exactly once for any
+// thread count, including the inline single-thread path and n < threads.
+func TestForBodyVariantsCoverExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 97, 1000} {
+		for _, threads := range []int{1, 2, 4, 9} {
+			rc := &rangeCollector{seen: make([]bool, n)}
+			ForRangeBody(n, threads, rc)
+			for i, ok := range rc.seen {
+				if !ok {
+					t.Fatalf("ForRangeBody n=%d threads=%d: index %d missed", n, threads, i)
+				}
+			}
+			ic := &indexCollector{hits: make([]atomic.Int64, n)}
+			ForBody(n, threads, 0, ic)
+			for i := range ic.hits {
+				if got := ic.hits[i].Load(); got != 1 {
+					t.Fatalf("ForBody n=%d threads=%d: index %d ran %d times", n, threads, i, got)
+				}
+			}
+		}
+	}
+}
+
+// The pooled runner objects must make steady-state region submission
+// allocation-free (the reason ForRangeBody exists).
+func TestForRangeBodyDoesNotAllocate(t *testing.T) {
+	rc := &rangeCollector{seen: make([]bool, 64)}
+	ForRangeBody(64, 4, rc) // warm the shared pool and runner pools
+	allocs := testing.AllocsPerRun(50, func() {
+		for i := range rc.seen {
+			rc.seen[i] = false
+		}
+		ForRangeBody(64, 4, rc)
+	})
+	if allocs > 1 {
+		t.Fatalf("ForRangeBody allocates %v per region; want 0", allocs)
+	}
+}
+
+type workerCounter struct {
+	calls []atomic.Int64
+}
+
+func (wc *workerCounter) Work(w int) { wc.calls[w].Add(1) }
+
+// RunWorker must invoke Work exactly once per worker id, both on the
+// pool and on the fallback path (nested region while the pool is busy).
+func TestRunWorkerPoolAndFallback(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	wc := &workerCounter{calls: make([]atomic.Int64, 4)}
+	p.RunWorker(4, wc)
+	for w := range wc.calls {
+		if got := wc.calls[w].Load(); got != 1 {
+			t.Fatalf("worker %d ran %d times", w, got)
+		}
+	}
+	// Nested: the outer region holds the pool busy, so the inner one
+	// must complete on spawned goroutines.
+	inner := &workerCounter{calls: make([]atomic.Int64, 3)}
+	done := make(chan struct{})
+	p.Run(2, func(w int) {
+		if w == 0 {
+			p.RunWorker(3, inner)
+			close(done)
+		}
+	})
+	<-done
+	for w := range inner.calls {
+		if got := inner.calls[w].Load(); got != 1 {
+			t.Fatalf("nested worker %d ran %d times", w, got)
+		}
+	}
+	// threads <= 1 runs inline.
+	solo := &workerCounter{calls: make([]atomic.Int64, 1)}
+	p.RunWorker(1, solo)
+	if solo.calls[0].Load() != 1 {
+		t.Fatal("single-thread RunWorker did not run inline")
 	}
 }

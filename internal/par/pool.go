@@ -25,11 +25,27 @@ type Pool struct {
 	// failure routes overlapping or nested regions to the fallback.
 	busy   sync.Mutex
 	closed bool
+	// wg is reused across regions (busy serializes them), so a region
+	// costs no WaitGroup allocation. A HOOI sweep enters hundreds of
+	// regions; the solver workspaces got kernel allocations to zero, so
+	// region bookkeeping was the remaining steady-state heap traffic.
+	wg sync.WaitGroup
 }
 
 type task struct {
 	fn func(worker int)
+	w  Worker
 	wg *sync.WaitGroup
+}
+
+// Worker is a parallel region body passed by interface. Pooled runner
+// objects implementing Worker let hot kernels enter regions without the
+// closure allocation a func value costs: converting a pointer to an
+// interface does not allocate, so a region submitted through RunWorker
+// with a pooled runner touches the heap not at all.
+type Worker interface {
+	// Work runs the region body for worker id w in [0, threads).
+	Work(w int)
 }
 
 // NewPool starts a pool of the given number of workers (non-positive
@@ -43,7 +59,11 @@ func NewPool(threads int) *Pool {
 		p.tasks[w] = ch
 		go func(w int, ch chan task) {
 			for t := range ch {
-				t.fn(w)
+				if t.fn != nil {
+					t.fn(w)
+				} else {
+					t.w.Work(w)
+				}
 				t.wg.Done()
 			}
 		}(w, ch)
@@ -64,7 +84,7 @@ func (p *Pool) Run(threads int, fn func(worker int)) {
 		fn(0)
 		return
 	}
-	if p != nil && p.tryRun(threads, fn) {
+	if p != nil && p.tryRun(threads, task{fn: fn}) {
 		return
 	}
 	var wg sync.WaitGroup
@@ -78,9 +98,32 @@ func (p *Pool) Run(threads int, fn func(worker int)) {
 	wg.Wait()
 }
 
+// RunWorker is Run for an interface body: it executes w.Work(id) once
+// for every worker id in [0, threads). With a pooled Worker object this
+// submits a region without any heap allocation (see Worker).
+func (p *Pool) RunWorker(threads int, w Worker) {
+	if threads <= 1 {
+		w.Work(0)
+		return
+	}
+	if p != nil && p.tryRun(threads, task{w: w}) {
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for id := 0; id < threads; id++ {
+		go func(id int) {
+			defer wg.Done()
+			w.Work(id)
+		}(id)
+	}
+	wg.Wait()
+}
+
 // tryRun runs the region on the pool workers, or reports false when the
-// pool is busy, closed, or too small.
-func (p *Pool) tryRun(threads int, fn func(worker int)) bool {
+// pool is busy, closed, or too small. t carries the body (fn or w); its
+// wg field is overwritten with the pool's reusable WaitGroup.
+func (p *Pool) tryRun(threads int, t task) bool {
 	if threads > p.threads || !p.busy.TryLock() {
 		return false
 	}
@@ -88,13 +131,12 @@ func (p *Pool) tryRun(threads int, fn func(worker int)) bool {
 	if p.closed {
 		return false
 	}
-	var wg sync.WaitGroup
-	wg.Add(threads)
-	t := task{fn: fn, wg: &wg}
+	p.wg.Add(threads)
+	t.wg = &p.wg
 	for w := 0; w < threads; w++ {
 		p.tasks[w] <- t
 	}
-	wg.Wait()
+	p.wg.Wait()
 	return true
 }
 

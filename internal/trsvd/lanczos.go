@@ -17,17 +17,24 @@ type Options struct {
 	Tol float64
 	// Seed makes start vectors (and any basis completion) deterministic.
 	Seed int64
+	// Work optionally supplies a reusable Workspace so repeated solver
+	// calls (one per mode per HOOI sweep) allocate nothing in steady
+	// state. nil allocates scratch per call. A workspace must not be
+	// shared between concurrent solver calls.
+	Work *Workspace
 }
 
 // Result holds the leading singular triplets computed by a solver.
 type Result struct {
 	// U has LocalRows rows and k columns: this rank's rows of the k
-	// leading left singular vectors.
+	// leading left singular vectors. It is freshly allocated, never
+	// workspace-owned.
 	U *dense.Matrix
 	// Sigma are the corresponding singular value estimates, descending.
 	Sigma []float64
-	// MatVecs counts operator applications (MatVec + MatTVec), the
-	// communication-bearing steps in the distributed setting.
+	// MatVecs counts operator applications (MatVec + MatTVec, one per
+	// column for the block applications), the communication-bearing
+	// steps in the distributed setting.
 	MatVecs int
 	// Converged reports whether all k residuals met the tolerance
 	// before MaxDim was reached. HOOI tolerates approximate vectors, so
@@ -67,6 +74,13 @@ func (o Options) tol() float64 {
 // (invariant subspace found) the Krylov space is restarted with a fresh
 // deterministic vector orthogonal to the current basis, so
 // rank-deficient matrices still yield a full orthonormal basis.
+//
+// The Krylov bases live in workspace matrices (one row per basis
+// vector), reorthogonalization runs two-pass classical Gram–Schmidt
+// against the whole basis (one coefficient sweep, one update sweep —
+// both streaming over contiguous rows), and the per-iteration Ritz
+// check reuses the workspace SVD, so an iteration allocates nothing
+// beyond the operator applications.
 func Lanczos(op Operator, k int, opts Options) (*Result, error) {
 	cols := op.Cols()
 	if k <= 0 {
@@ -78,26 +92,39 @@ func Lanczos(op Operator, k int, opts Options) (*Result, error) {
 	rows := op.LocalRows()
 	maxDim := opts.maxDim(k, cols)
 	tol := opts.tol()
+	ws := opts.work()
+	threads := opThreads(op)
 
-	// Krylov bases: V (col space, replicated) and U (row space, local).
-	vBasis := make([][]float64, 0, maxDim)
-	uBasis := make([][]float64, 0, maxDim)
-	alphas := make([]float64, 0, maxDim)
-	betas := make([]float64, 0, maxDim) // betas[j] couples v_{j+1} with u_j
+	// Krylov bases: V (col space, replicated) and U (row space, local),
+	// one basis vector per matrix row. Uninitialized reuse is safe —
+	// row s is fully written (hashUnit / copy) before anything reads
+	// it, and only rows < s are ever read — and skips megabytes of
+	// memset per solve on large modes.
+	vb := dense.ReuseMatrixUninit(ws.vb, maxDim, cols)
+	ws.vb = vb
+	ub := dense.ReuseMatrixUninit(ws.ub, maxDim, rows)
+	ws.ub = ub
+	alphas := dense.ReuseVec(ws.alphas, maxDim)
+	ws.alphas = alphas
+	betas := dense.ReuseVec(ws.betas, maxDim) // betas[j] couples v_{j+1} with u_j
+	ws.betas = betas
+	coeff := dense.ReuseVec(ws.coeff, maxDim)
+	ws.coeff = coeff
+	tmpV := dense.ReuseVec(ws.vecCols, cols)
+	ws.vecCols = tmpV
+	tmpU := dense.ReuseVec(ws.vecRows, rows)
+	ws.vecRows = tmpU
 
 	res := &Result{}
 	colID := func(i int) int64 { return int64(i) }
 
 	// Start vector in the column space.
-	v := make([]float64, cols)
+	v := vb.Row(0)
 	hashUnit(v, opts.Seed+1, colID)
 	normalizeCols(v)
 
-	u := make([]float64, rows)
-	tmpU := make([]float64, rows)
-	tmpV := make([]float64, cols)
-
 	// First step: u_1 = A v_1 / alpha_1.
+	u := ub.Row(0)
 	op.MatVec(v, u)
 	res.MatVecs++
 	alpha := math.Sqrt(op.RowDot(u, u))
@@ -109,22 +136,24 @@ func Lanczos(op Operator, k int, opts Options) (*Result, error) {
 	} else {
 		scal(1/alpha, u)
 	}
-	vBasis = append(vBasis, clone(v))
-	uBasis = append(uBasis, clone(u))
-	alphas = append(alphas, alpha)
+	alphas[0] = alpha
+	s := 1
 
-	for len(vBasis) < maxDim {
-		s := len(vBasis)
+	for s < maxDim {
 		// r = A^T u_s - alpha_s v_s, reorthogonalized against V.
-		op.MatTVec(uBasis[s-1], tmpV)
+		op.MatTVec(ub.Row(s-1), tmpV)
 		res.MatVecs++
-		dense.Axpy(-alphas[s-1], vBasis[s-1], tmpV)
-		reorthCols(tmpV, vBasis)
+		dense.Axpy(-alphas[s-1], vb.Row(s-1), tmpV)
+		reorthCols(tmpV, ws, s, threads)
 		beta := dense.Nrm2(tmpV)
 		// Ritz residual test with the fresh coupling beta: for the SVD
 		// B_s = P Σ Qᵀ of the current bidiagonal, the residual of the
-		// i-th triplet is beta * |P(s-1, i)|.
-		if s >= k && ritzResidualsOK(alphas, betas, beta, k, tol) {
+		// i-th triplet is beta * |P(s-1, i)|. The projected SVD costs
+		// O(s³), so once the basis can hold k triplets the test runs
+		// every other step — at worst two extra matvecs before a
+		// convergence that would have been caught one step earlier,
+		// against half the projected-SVD work on the common path.
+		if s >= k && (s-k)%2 == 0 && ritzResidualsOK(alphas[:s], betas[:s-1], beta, k, tol, ws) {
 			res.Converged = true
 			break
 		}
@@ -133,7 +162,7 @@ func Lanczos(op Operator, k int, opts Options) (*Result, error) {
 			// orthogonal to the existing V basis.
 			restartSeed++
 			hashUnit(tmpV, restartSeed, colID)
-			reorthCols(tmpV, vBasis)
+			reorthCols(tmpV, ws, s, threads)
 			nrm := dense.Nrm2(tmpV)
 			if nrm <= 1e-12 {
 				break // column space exhausted
@@ -143,15 +172,15 @@ func Lanczos(op Operator, k int, opts Options) (*Result, error) {
 		} else {
 			scal(1/beta, tmpV)
 		}
-		vNext := clone(tmpV)
+		copy(vb.Row(s), tmpV)
 
 		// p = A v_{s+1} - beta_s u_s, reorthogonalized against U.
-		op.MatVec(vNext, tmpU)
+		op.MatVec(vb.Row(s), tmpU)
 		res.MatVecs++
 		if beta != 0 {
-			axpyLocal(-beta, uBasis[s-1], tmpU)
+			axpyLocal(-beta, ub.Row(s-1), tmpU)
 		}
-		reorthRows(op, tmpU, uBasis)
+		reorthRows(op, tmpU, ub, s, coeff)
 		alphaNext := math.Sqrt(op.RowDot(tmpU, tmpU))
 		if alphaNext > 1e-300 {
 			scal(1/alphaNext, tmpU)
@@ -159,13 +188,13 @@ func Lanczos(op Operator, k int, opts Options) (*Result, error) {
 			alphaNext = 0
 			zero(tmpU)
 		}
-		vBasis = append(vBasis, vNext)
-		uBasis = append(uBasis, clone(tmpU))
-		betas = append(betas, beta)
-		alphas = append(alphas, alphaNext)
+		copy(ub.Row(s), tmpU)
+		betas[s-1] = beta
+		alphas[s] = alphaNext
+		s++
 	}
 
-	u2, sigma := ritzExtract(op, uBasis, alphas, betas, k, opts)
+	u2, sigma := ritzExtract(op, ub, s, alphas[:s], betas[:s-1], k, opts, ws)
 	res.U = u2
 	res.Sigma = sigma
 	return res, nil
@@ -174,26 +203,29 @@ func Lanczos(op Operator, k int, opts Options) (*Result, error) {
 // ritzResidualsOK solves the projected SVD of the bidiagonal built from
 // alphas (length s) and betas (length s-1) and checks the residual bound
 // nextBeta * |P(s-1, i)| <= tol * sigma_max for the k leading triplets.
-func ritzResidualsOK(alphas, betas []float64, nextBeta float64, k int, tol float64) bool {
+func ritzResidualsOK(alphas, betas []float64, nextBeta float64, k int, tol float64, ws *Workspace) bool {
 	s := len(alphas)
-	b := bidiagonal(alphas, betas)
-	p, sig, _ := dense.SVD(b)
+	b := bidiagonalInto(ws, alphas, betas)
+	// Only sigma_max and the last row of P are needed, so skip forming
+	// the full U and V of the projected SVD.
+	sig, last := ws.svd.SingularValuesLastRow(b)
 	if sig[0] == 0 {
 		return true // zero operator: trivially converged
 	}
 	for i := 0; i < k && i < s; i++ {
-		if nextBeta*math.Abs(p.At(s-1, i)) > tol*sig[0] {
+		if nextBeta*math.Abs(last[i]) > tol*sig[0] {
 			return false
 		}
 	}
 	return true
 }
 
-// bidiagonal assembles the small upper-bidiagonal matrix B from the
-// recurrence coefficients.
-func bidiagonal(alphas, betas []float64) *dense.Matrix {
+// bidiagonalInto assembles the small upper-bidiagonal matrix B from the
+// recurrence coefficients in workspace storage.
+func bidiagonalInto(ws *Workspace, alphas, betas []float64) *dense.Matrix {
 	s := len(alphas)
-	b := dense.NewMatrix(s, s)
+	b := dense.ReuseMatrix(ws.bidiag, s, s)
+	ws.bidiag = b
 	for i := 0; i < s; i++ {
 		b.Set(i, i, alphas[i])
 		if i+1 < s {
@@ -206,19 +238,20 @@ func bidiagonal(alphas, betas []float64) *dense.Matrix {
 // ritzExtract forms the k leading left singular vector approximations
 // U_loc = [u_1 ... u_s] * P(:, :k) and completes the basis
 // deterministically if the numerical rank fell short of k. The returned
-// matrix always has exactly k columns.
-func ritzExtract(op Operator, uBasis [][]float64, alphas, betas []float64, k int, opts Options) (*dense.Matrix, []float64) {
-	s := len(uBasis)
+// matrix always has exactly k columns and is freshly allocated.
+func ritzExtract(op Operator, ub *dense.Matrix, s int, alphas, betas []float64, k int, opts Options, ws *Workspace) (*dense.Matrix, []float64) {
 	rows := op.LocalRows()
-	b := bidiagonal(alphas, betas)
-	p, sig, _ := dense.SVD(b)
+	b := bidiagonalInto(ws, alphas, betas)
+	p, sig, _ := ws.svd.SVD(b)
 	u := dense.NewMatrix(rows, k)
 	sigma := make([]float64, k)
+	col := dense.ReuseVec(ws.col, rows)
+	ws.col = col
 	for j := 0; j < k && j < s; j++ {
-		col := make([]float64, rows)
+		zero(col)
 		for t := 0; t < s; t++ {
 			if w := p.At(t, j); w != 0 {
-				axpyLocal(w, uBasis[t], col)
+				axpyLocal(w, ub.Row(t), col)
 			}
 		}
 		for i := 0; i < rows; i++ {
@@ -226,7 +259,7 @@ func ritzExtract(op Operator, uBasis [][]float64, alphas, betas []float64, k int
 		}
 		sigma[j] = sig[j]
 	}
-	completeBasis(op, u, sigma, opts)
+	completeBasis(op, u, sigma, opts, ws)
 	return u, sigma
 }
 
@@ -235,13 +268,16 @@ func ritzExtract(op Operator, uBasis [][]float64, alphas, betas []float64, k int
 // directions orthogonalized against the other columns via RowDot-based
 // modified Gram-Schmidt, so u always has orthonormal columns. Global row
 // ids (when available) make the completion consistent across ranks.
-func completeBasis(op Operator, u *dense.Matrix, sigma []float64, opts Options) {
+func completeBasis(op Operator, u *dense.Matrix, sigma []float64, opts Options, ws *Workspace) {
 	rows := u.Rows
 	rowID := func(i int) int64 { return int64(i) }
 	if g, ok := op.(GlobalRowIDer); ok {
 		rowID = func(i int) int64 { return g.GlobalRow(i) }
 	}
-	col := make([]float64, rows)
+	col := dense.ReuseVec(ws.col, rows)
+	ws.col = col
+	other := dense.ReuseVec(ws.other, rows)
+	ws.other = other
 	for j := 0; j < u.Cols; j++ {
 		for i := 0; i < rows; i++ {
 			col[i] = u.At(i, j)
@@ -257,7 +293,6 @@ func completeBasis(op Operator, u *dense.Matrix, sigma []float64, opts Options) 
 				if jj == j {
 					continue
 				}
-				other := make([]float64, rows)
 				for i := 0; i < rows; i++ {
 					other[i] = u.At(i, jj)
 				}
@@ -280,14 +315,25 @@ func completeBasis(op Operator, u *dense.Matrix, sigma []float64, opts Options) 
 }
 
 // reorthCols orthogonalizes v (replicated column-space vector) against
-// the basis with one round of modified Gram-Schmidt (sufficient with the
-// small subspaces used here; a second pass runs when the norm drops).
-func reorthCols(v []float64, basis [][]float64) {
+// the first s rows of the workspace V basis with classical Gram-Schmidt:
+// all coefficients in one GEMV sweep, then one fused update sweep. A
+// second pass runs when the norm drops (CGS2), which is as robust as
+// the modified variant for the small subspaces used here and twice as
+// cache-friendly. threads is the solver's thread budget (opThreads).
+func reorthCols(v []float64, ws *Workspace, s, threads int) {
+	if s == 0 {
+		return
+	}
+	vb := ws.vb
+	view := &ws.vbView
+	view.Rows, view.Cols = s, vb.Cols
+	view.Data = vb.Data[:s*vb.Cols]
+	coeff := ws.coeff[:s]
 	for pass := 0; pass < 2; pass++ {
 		before := dense.Nrm2(v)
-		for _, b := range basis {
-			d := dense.Dot(v, b)
-			dense.Axpy(-d, b, v)
+		dense.GemvInto(coeff, view, v, threads)
+		for t := 0; t < s; t++ {
+			dense.Axpy(-coeff[t], vb.Row(t), v)
 		}
 		if dense.Nrm2(v) > 0.7*before {
 			return
@@ -295,22 +341,26 @@ func reorthCols(v []float64, basis [][]float64) {
 	}
 }
 
-// reorthRows orthogonalizes u (row-space vector) against the basis using
-// the operator's global RowDot.
-func reorthRows(op Operator, u []float64, basis [][]float64) {
+// reorthRows orthogonalizes u (row-space vector) against the first s
+// rows of the U basis using the operator's global RowDot, classical
+// Gram-Schmidt with a conditional second pass like reorthCols.
+func reorthRows(op Operator, u []float64, basis *dense.Matrix, s int, coeff []float64) {
+	if s == 0 {
+		return
+	}
 	for pass := 0; pass < 2; pass++ {
 		before := math.Sqrt(op.RowDot(u, u))
-		for _, b := range basis {
-			d := op.RowDot(u, b)
-			axpyLocal(-d, b, u)
+		for t := 0; t < s; t++ {
+			coeff[t] = op.RowDot(u, basis.Row(t))
+		}
+		for t := 0; t < s; t++ {
+			dense.Axpy(-coeff[t], basis.Row(t), u)
 		}
 		if math.Sqrt(op.RowDot(u, u)) > 0.7*before || before == 0 {
 			return
 		}
 	}
 }
-
-func clone(x []float64) []float64 { return append([]float64(nil), x...) }
 
 func zero(x []float64) {
 	for i := range x {

@@ -171,12 +171,12 @@ func TestSubspaceIterationErrors(t *testing.T) {
 func TestGramSVDMatchesDenseSVD(t *testing.T) {
 	rng := rand.New(rand.NewSource(43))
 	a := dense.RandomNormal(120, 12, rng)
-	res, err := GramSVD(a, 4, 1)
+	res, err := GramSVD(a, 4, 1, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	checkLeftVectors(t, a, res.U, res.Sigma, 4, 1e-6)
-	if _, err := GramSVD(a, 0, 1); err == nil {
+	if _, err := GramSVD(a, 0, 1, Options{}); err == nil {
 		t.Fatal("k = 0 accepted")
 	}
 }
@@ -199,7 +199,7 @@ func TestSolversAgreeProperty(t *testing.T) {
 		k := 2
 		lan, err1 := Lanczos(&DenseOperator{A: a}, k, Options{Seed: seed})
 		sub, err2 := SubspaceIteration(&DenseOperator{A: a}, k, Options{Seed: seed})
-		gram, err3 := GramSVD(a, k, 1)
+		gram, err3 := GramSVD(a, k, 1, Options{Seed: seed})
 		if err1 != nil || err2 != nil || err3 != nil {
 			return false
 		}

@@ -66,14 +66,102 @@ func (o *DenseOperator) MatVec(x, y []float64) { dense.Gemv(o.A, x, y, o.Threads
 // MatTVec computes x = Aᵀ y with the threaded transposed GEMV kernel.
 func (o *DenseOperator) MatTVec(y, x []float64) { dense.GemvT(o.A, y, x, o.Threads) }
 
-// RowDot is a plain local dot product.
-func (o *DenseOperator) RowDot(a, b []float64) float64 { return dense.Dot(a, b) }
+// RowDot is a plain local dot product over this rank's rows — long
+// vectors, so the 4-way unrolled kernel pays. Every row-space inner
+// product in the solvers goes through RowDot, keeping one association
+// per solver run.
+func (o *DenseOperator) RowDot(a, b []float64) float64 { return dense.DotUnrolled(a, b) }
 
 // GlobalRow is the identity in the shared-memory case.
 func (o *DenseOperator) GlobalRow(local int) int64 { return int64(local) }
 
+// MatMat computes Y = A·W in one BLAS3 pass (register-tiled GEMM)
+// instead of W.Cols separate GEMVs.
+func (o *DenseOperator) MatMat(w, y *dense.Matrix) { dense.MatMulInto(y, o.A, w, o.Threads) }
+
+// MatTMat computes Z = Aᵀ·Y in one BLAS3 pass with the fixed-block
+// deterministic reduction.
+func (o *DenseOperator) MatTMat(y, z *dense.Matrix) { dense.MatMulTAInto(z, o.A, y, o.Threads) }
+
 var _ Operator = (*DenseOperator)(nil)
 var _ GlobalRowIDer = (*DenseOperator)(nil)
+var _ BlockOperator = (*DenseOperator)(nil)
+
+// BlockOperator is an optional Operator extension for applying the
+// operator to a whole panel at once. The blocked solvers
+// (SubspaceIteration, the panel helpers) use it when available — one
+// BLAS3 pass over A per panel instead of one BLAS2 pass per column —
+// and otherwise fall back to a column loop over MatVec/MatTVec, so
+// plain distributed operators keep working unchanged.
+type BlockOperator interface {
+	// MatMat computes Y = A·W with W cols x b (replicated) and Y
+	// LocalRows x b (local).
+	MatMat(w, y *dense.Matrix)
+	// MatTMat computes Z = Aᵀ·Y with Y LocalRows x b (local) and Z
+	// cols x b; distributed implementations reduce Z across ranks so
+	// every rank receives the identical panel.
+	MatTMat(y, z *dense.Matrix)
+}
+
+// opThreads returns the operator's shared-memory thread budget for the
+// solver's own dense work (reorthogonalization sweeps): DenseOperator
+// carries one explicitly; any other operator (the distributed ones,
+// whose rank goroutines each run a solver concurrently) gets 1 so SPMD
+// ranks never oversubscribe the machine through the fallback spawner.
+func opThreads(op Operator) int {
+	if d, ok := op.(*DenseOperator); ok {
+		return d.Threads
+	}
+	return 1
+}
+
+// opMatMat computes y = A·w, through BlockOperator when the operator
+// supports it and by columns otherwise. matvecs is advanced by the
+// column count either way, so solver operation counts stay comparable
+// across operator kinds.
+func opMatMat(op Operator, w, y *dense.Matrix, ws *Workspace, matvecs *int) {
+	*matvecs += w.Cols
+	if b, ok := op.(BlockOperator); ok {
+		b.MatMat(w, y)
+		return
+	}
+	x := dense.ReuseVec(ws.colIn, w.Rows)
+	ws.colIn = x
+	out := dense.ReuseVec(ws.colOut, y.Rows)
+	ws.colOut = out
+	for j := 0; j < w.Cols; j++ {
+		for i := 0; i < w.Rows; i++ {
+			x[i] = w.At(i, j)
+		}
+		op.MatVec(x, out)
+		for i := 0; i < y.Rows; i++ {
+			y.Set(i, j, out[i])
+		}
+	}
+}
+
+// opMatTMat computes z = Aᵀ·y, blocked when possible, by columns
+// otherwise.
+func opMatTMat(op Operator, y, z *dense.Matrix, ws *Workspace, matvecs *int) {
+	*matvecs += y.Cols
+	if b, ok := op.(BlockOperator); ok {
+		b.MatTMat(y, z)
+		return
+	}
+	in := dense.ReuseVec(ws.colOut, y.Rows)
+	ws.colOut = in
+	out := dense.ReuseVec(ws.colIn, z.Rows)
+	ws.colIn = out
+	for j := 0; j < y.Cols; j++ {
+		for i := 0; i < y.Rows; i++ {
+			in[i] = y.At(i, j)
+		}
+		op.MatTVec(in, out)
+		for i := 0; i < z.Rows; i++ {
+			z.Set(i, j, out[i])
+		}
+	}
+}
 
 // hashUnit fills v with deterministic pseudo-random values derived from
 // (seed, id(i)) and is used to (re)start Krylov spaces and complete

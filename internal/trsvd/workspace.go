@@ -1,0 +1,50 @@
+package trsvd
+
+import "hypertensor/internal/dense"
+
+// Workspace holds every buffer the iterative solvers need between
+// calls: Krylov bases, block panels, projected matrices, reduction
+// scratch, and the small-SVD workspace. HOOI calls a TRSVD solver once
+// per mode per sweep on matrices whose shapes repeat exactly, so a
+// workspace threaded through Options.Work makes the steady-state sweep
+// allocate (almost) nothing — only the returned Result.U is fresh.
+//
+// The zero value is ready to use; buffers grow on demand and are kept
+// at high-water size. A workspace is not safe for concurrent use: give
+// each goroutine (each simulated rank, each benchmark worker) its own.
+type Workspace struct {
+	svd dense.SVDWork
+
+	// Lanczos: Krylov bases stored as matrix rows, recurrence
+	// coefficients, reorthogonalization coefficients, and the projected
+	// bidiagonal.
+	vb, ub        *dense.Matrix
+	vbView        dense.Matrix
+	alphas, betas []float64
+	coeff         []float64
+	bidiag        *dense.Matrix
+	vecRows       []float64
+	vecCols       []float64
+
+	// Block panels (subspace iteration, operator fallbacks, Gram).
+	panelW, panelW2 *dense.Matrix
+	panelY, panelZ  *dense.Matrix
+	gram, vk, bt    *dense.Matrix
+	colIn, colOut   []float64
+
+	// Small vectors shared by ritz extraction and basis completion.
+	col, other, sig, prevSig []float64
+}
+
+// NewWorkspace returns an empty workspace ready for Options.Work.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// work returns the caller-supplied workspace, or a throwaway one so
+// the solvers run identically (just with allocations) when none is
+// given.
+func (o Options) work() *Workspace {
+	if o.Work != nil {
+		return o.Work
+	}
+	return &Workspace{}
+}
