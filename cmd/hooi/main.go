@@ -7,10 +7,19 @@
 //	hooi -input x.tns -ranks 10,10,10 -iters 20 -tol 1e-5
 //	hooi -input x.tns -ranks 10,10,10 -format csf
 //	hooi -input x.tns -ranks 5,5,5,5 -format csf -ttmc dtree
+//	hooi -input x.tns -ranks 10,10,10 -ttmc dtree -update delta.tns
 //	hooi -input x.tns -ranks 5,5,5,5 -dist 16 -grain fine -method hp
+//
+// With -update the tool converges once, then ingests the delta
+// tensor(s) through the resident engine's incremental path and reports,
+// per update, the sweeps to re-converge, the TTMc madds actually
+// executed (dirty dimension-tree entries only) against the recompute-
+// everything flat-sweep cost, and finally |Δfit| against a from-scratch
+// solve of the fully merged tensor.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +48,8 @@ func main() {
 		distP   = flag.Int("dist", 0, "run distributed with this many simulated ranks (0 = shared memory)")
 		grain   = flag.String("grain", "fine", "distributed task grain: fine | coarse")
 		method  = flag.String("method", "hp", "distributed placement: hp | rd | bl")
+		update  = flag.String("update", "", "comma-separated delta tensors (.tns) to ingest incrementally after the initial convergence")
+		updates = flag.Int("updates", 1, "how many times to replay the -update delta list")
 		quiet   = flag.Bool("q", false, "print only the final fit")
 	)
 	flag.Parse()
@@ -59,6 +70,9 @@ func main() {
 	}
 
 	if *distP > 0 {
+		if *update != "" {
+			fail(fmt.Errorf("-update is a shared-memory engine feature; it cannot be combined with -dist"))
+		}
 		runDistributed(x, ranks, *distP, *grain, *method, *iters, *tol, *seed, *quiet)
 		return
 	}
@@ -137,9 +151,18 @@ func main() {
 		fail(fmt.Errorf("unknown storage format %q", *format))
 	}
 	opts.MeasureAllocs = !*quiet
-	dec, err := hypertensor.Decompose(x, opts)
+	plan, err := hypertensor.NewPlan(x, opts)
 	if err != nil {
 		fail(err)
+	}
+	eng := hypertensor.NewEngine(plan)
+	dec, err := eng.Run(context.Background())
+	if err != nil {
+		fail(err)
+	}
+	if *update != "" {
+		runUpdates(eng, x, dec, opts, *update, *updates, *quiet)
+		return
 	}
 	if *quiet {
 		fmt.Printf("%.8f\n", dec.Fit)
@@ -159,6 +182,89 @@ func main() {
 	for i, f := range dec.FitHistory {
 		fmt.Printf("  sweep %2d: fit %.8f\n", i+1, f)
 	}
+}
+
+// runUpdates streams the delta files through the resident engine and
+// reports the incremental-path accounting, then compares the terminal
+// fit against a from-scratch solve of the fully merged tensor.
+func runUpdates(eng *hypertensor.Engine, x *hypertensor.SparseTensor, initial *hypertensor.Decomposition,
+	opts hypertensor.Options, updateList string, rounds int, quiet bool) {
+	paths := strings.Split(updateList, ",")
+	if rounds < 1 {
+		rounds = 1
+	}
+	if !quiet {
+		fmt.Printf("initial: fit %.8f after %d sweeps\n", initial.Fit, initial.Iters)
+	}
+	// The mirror exercises the standalone COO.Merge path and feeds the
+	// from-scratch comparison at the end; quiet mode skips both.
+	var mirror *hypertensor.SparseTensor
+	if !quiet {
+		mirror = x.Clone()
+	}
+	var last *hypertensor.Decomposition = initial
+	step := 0
+	for round := 0; round < rounds; round++ {
+		for _, path := range paths {
+			delta, err := hypertensor.ReadTensorFile(strings.TrimSpace(path))
+			if err != nil {
+				fail(err)
+			}
+			if mirror != nil {
+				if _, err := mirror.Merge(delta); err != nil {
+					fail(err)
+				}
+			}
+			last, err = eng.Update(delta)
+			if err != nil {
+				fail(err)
+			}
+			step++
+			if quiet {
+				continue
+			}
+			if last.UpdateSweeps == 0 {
+				// A non-positive -iters budget runs no sweeps at all;
+				// there is no per-sweep cost to report.
+				fmt.Printf("update %d (%s): +%d nnz ingested, no re-convergence sweeps ran (iters budget %d)\n",
+					step, strings.TrimSpace(path), last.DeltaNNZ, opts.MaxIters)
+				continue
+			}
+			perSweep := last.UpdateMadds / int64(last.UpdateSweeps)
+			fmt.Printf("update %d (%s): +%d nnz -> fit %.8f in %d sweeps; ttmc %s madds/sweep vs %s full-sweep (%.2fx less)\n",
+				step, strings.TrimSpace(path), last.DeltaNNZ, last.Fit, last.UpdateSweeps,
+				humanInt(perSweep), humanInt(last.FullSweepMadds),
+				float64(last.FullSweepMadds)/float64(perSweep))
+		}
+	}
+	if quiet {
+		// Quiet mode reports only the incremental fit; skip the (cold,
+		// expensive) from-scratch comparison solve entirely.
+		fmt.Printf("%.8f\n", last.Fit)
+		return
+	}
+	scratch, err := hypertensor.Decompose(mirror, opts)
+	if err != nil {
+		fail(err)
+	}
+	dfit := last.Fit - scratch.Fit
+	if dfit < 0 {
+		dfit = -dfit
+	}
+	fmt.Printf("from-scratch solve of the merged tensor: fit %.8f in %d sweeps; |dfit| = %.3g\n",
+		scratch.Fit, scratch.Iters, dfit)
+}
+
+func humanInt(v int64) string {
+	switch {
+	case v >= 1_000_000_000:
+		return fmt.Sprintf("%.2fG", float64(v)/1e9)
+	case v >= 1_000_000:
+		return fmt.Sprintf("%.2fM", float64(v)/1e6)
+	case v >= 1_000:
+		return fmt.Sprintf("%.1fk", float64(v)/1e3)
+	}
+	return fmt.Sprintf("%d", v)
 }
 
 func runDistributed(x *hypertensor.SparseTensor, ranks []int, p int, grain, method string, iters int, tol float64, seed int64, quiet bool) {

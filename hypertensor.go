@@ -65,8 +65,17 @@ type (
 	// Options configure Decompose; see the field docs in internal/core.
 	Options = core.Options
 	// Decomposition is a computed Tucker model [[G; U_1..U_N]] with fit,
-	// per-phase timings, and reconstruction helpers.
+	// per-phase timings, update accounting, and reconstruction helpers.
 	Decomposition = core.Result
+	// Plan is the immutable per-tensor analysis (storage build, symbolic
+	// update lists, strategy choice) any number of Engines can share.
+	Plan = core.Plan
+	// Engine is a resident decomposition handle: Run converges, Update
+	// ingests a coordinate delta incrementally and re-converges warm.
+	Engine = core.Engine
+	// SweepState is the resident per-mode numeric state (factors, TRSVD
+	// workspaces, seed schedule) shared by every execution model.
+	SweepState = core.SweepState
 	// InitMethod selects factor initialization (InitRandom, InitHOSVD).
 	InitMethod = core.InitMethod
 	// SVDMethod selects the TRSVD solver (SVDLanczos, SVDSubspace,
@@ -151,10 +160,31 @@ func ReadTensorFile(path string) (*SparseTensor, error) { return tensor.ReadTNSF
 func WriteTensorFile(path string, x *SparseTensor) error { return tensor.WriteTNSFile(path, x) }
 
 // Decompose computes a Tucker decomposition with the shared-memory
-// parallel HOOI algorithm.
+// parallel HOOI algorithm. It is NewPlan + NewEngine + Run with the
+// handle thrown away; long-running callers that want to ingest tensor
+// deltas and re-converge incrementally should hold the Engine:
+//
+//	plan, _ := hypertensor.NewPlan(x, opts)
+//	eng := hypertensor.NewEngine(plan)
+//	dec, _ := eng.Run(ctx)
+//	...                          // new nonzeros arrive
+//	dec, _ = eng.Update(delta)   // warm re-convergence, not a cold solve
 func Decompose(x *SparseTensor, opts Options) (*Decomposition, error) {
 	return core.Decompose(x, opts)
 }
+
+// NewPlan performs the one-time per-tensor analysis of a decomposition:
+// storage-format build, symbolic update lists, TTMc strategy choice.
+// The plan is immutable; build any number of Engines on it.
+func NewPlan(x *SparseTensor, opts Options) (*Plan, error) {
+	return core.NewPlan(x, opts)
+}
+
+// NewEngine builds a resident decomposition handle on a plan. The
+// engine owns the mutable state (factors, workspaces, memoized
+// dimension-tree partials) and never mutates the plan or the caller's
+// tensor — Update clones the tensor lazily before its first merge.
+func NewEngine(p *Plan) *Engine { return core.NewEngine(p) }
 
 // DecomposeSTHOSVD computes a Tucker decomposition with one pass of the
 // sequentially truncated HOSVD: cheaper than HOOI (no ALS iteration)

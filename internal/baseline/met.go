@@ -10,7 +10,6 @@ package baseline
 
 import (
 	"fmt"
-	"math"
 
 	"hypertensor/internal/core"
 	"hypertensor/internal/dense"
@@ -36,27 +35,22 @@ func Decompose(x *tensor.COO, optsIn core.Options) (*core.Result, error) {
 	}
 	order := x.Order()
 	normX := x.Norm(opts.Threads)
-	factors := initialFactors(x, opts)
+	// The baseline rides the same resident per-mode state as the main
+	// Engine (factors, reusable TRSVD workspaces, seed schedule), so its
+	// relative timings are not skewed by per-call allocations the main
+	// path no longer performs and its seed sequence matches core's.
+	state := core.NewSweepState(initialFactors(x, opts), opts.Seed)
+	factors := state.Factors
 
 	res := &core.Result{}
-	prevFit := math.Inf(-1)
-	// One TRSVD workspace per mode, like core.Decompose: the baseline's
-	// relative timings should not be skewed by per-call allocations the
-	// main path no longer performs.
-	svdWork := make([]*trsvd.Workspace, order)
-	for n := range svdWork {
-		svdWork[n] = trsvd.NewWorkspace()
-	}
+	fits := core.NewFitTracker(normX, opts.Tol)
 	for iter := 0; iter < opts.MaxIters; iter++ {
 		var lastRows []int32
 		var lastY *dense.Matrix
 		for n := 0; n < order; n++ {
 			rows, y := ttm.ChainTTMc(x, n, factors)
 			op := &trsvd.DenseOperator{A: y, Threads: opts.Threads}
-			sres, err := trsvd.Lanczos(op, opts.Ranks[n], trsvd.Options{
-				Seed: opts.Seed + 7919*(int64(iter)*int64(order)+int64(n)),
-				Work: svdWork[n],
-			})
+			sres, err := state.SolveOperator(op, n, opts.Ranks[n], nil)
 			if err != nil {
 				return nil, fmt.Errorf("baseline: TRSVD failed in mode %d: %w", n, err)
 			}
@@ -75,15 +69,14 @@ func Decompose(x *tensor.COO, optsIn core.Options) (*core.Result, error) {
 		gm := dense.MatMulTA(uc, lastY, opts.Threads)
 		res.Core = ttm.CoreFromMatricized(gm, opts.Ranks, last)
 
-		fit := fitFromNorms(normX, res.Core.Norm())
-		res.FitHistory = append(res.FitHistory, fit)
+		fit, stop := fits.Record(res.Core.Norm())
 		res.Fit = fit
 		res.Iters = iter + 1
-		if opts.Tol > 0 && math.Abs(fit-prevFit) < opts.Tol {
+		if stop {
 			break
 		}
-		prevFit = fit
 	}
+	res.FitHistory = fits.History
 	res.Factors = factors
 	return res, nil
 }
@@ -108,15 +101,4 @@ func initialFactors(x *tensor.COO, opts core.Options) []*dense.Matrix {
 		out[n] = dense.Orthonormalize(dense.RandomNormal(x.Dims[n], opts.Ranks[n], rng))
 	}
 	return out
-}
-
-func fitFromNorms(normX, normG float64) float64 {
-	diff := normX*normX - normG*normG
-	if diff < 0 {
-		diff = 0
-	}
-	if normX == 0 {
-		return 1
-	}
-	return 1 - math.Sqrt(diff)/normX
 }

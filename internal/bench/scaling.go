@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,7 +10,9 @@ import (
 	"strings"
 
 	"hypertensor/internal/core"
+	"hypertensor/internal/gen"
 	"hypertensor/internal/par"
+	"hypertensor/internal/tensor"
 )
 
 // ScalingCell is one (dataset, thread count) measurement of the
@@ -37,10 +40,19 @@ type ScalingRow struct {
 	// run inline, so the count carries no scheduler or sync.Pool
 	// jitter) and minimized over repetitions. It gates the
 	// zero-allocation contract of the dense/TRSVD workspaces.
-	AllocsPerSweep int64         `json:"allocs_per_sweep"`
-	Fit            float64       `json:"fit"`
-	FitInvariant   bool          `json:"fit_invariant"` // fits bitwise equal across the thread sweep
-	Cells          []ScalingCell `json:"cells"`
+	AllocsPerSweep int64 `json:"allocs_per_sweep"`
+	// UpdateSweeps / UpdateMadds gate the resident-engine update path:
+	// after the initial convergence a deterministic ~0.6% delta is
+	// ingested through Engine.Update, and these record the sweeps it
+	// took to re-converge and the TTMc madds actually executed. Both are
+	// machine-independent (the update path is bitwise thread- and
+	// schedule-invariant), so a regression means the incremental
+	// machinery — warm starts, dirty-subtree recompute — degraded.
+	UpdateSweeps int           `json:"update_sweeps"`
+	UpdateMadds  int64         `json:"update_madds"`
+	Fit          float64       `json:"fit"`
+	FitInvariant bool          `json:"fit_invariant"` // fits bitwise equal across the thread sweep
+	Cells        []ScalingCell `json:"cells"`
 }
 
 // ScalingReport is the machine-readable output of `htbench -scaling
@@ -58,8 +70,9 @@ type ScalingReport struct {
 }
 
 // scalingSchema versions the report layout for the CI comparison.
-// Schema 2 added trsvd_sec per cell and allocs_per_sweep per row.
-const scalingSchema = 2
+// Schema 2 added trsvd_sec per cell and allocs_per_sweep per row;
+// schema 3 added the update-path gates (update_sweeps, update_madds).
+const scalingSchema = 3
 
 // timeNoiseFloorSec is the smallest absolute sweep-time increase the
 // wall-clock gate treats as signal: min-of-Reps measurements of
@@ -119,7 +132,7 @@ func Scaling(o Options, sched par.Schedule, w io.Writer) (*ScalingReport, error)
 	t := &Table{
 		Title: fmt.Sprintf("Thread scaling: seconds/sweep, schedule=%s, format=csf (host %s)",
 			sched, rep.Host),
-		Headers: []string{"Tensor", "#threads", "s/sweep", "ttmc s", "trsvd s", "speedup", "madds/sweep", "allocs/sweep", "fit-invariant"},
+		Headers: []string{"Tensor", "#threads", "s/sweep", "ttmc s", "trsvd s", "speedup", "madds/sweep", "allocs/sweep", "upd sweeps", "upd madds", "fit-invariant"},
 	}
 	for _, name := range []string{"netflix", "nell", "delicious", "flickr"} {
 		x, err := dataset(name, o.Scale)
@@ -183,24 +196,63 @@ func Scaling(o Options, sched par.Schedule, w io.Writer) (*ScalingReport, error)
 				}
 			}
 		}
+		row.UpdateSweeps, row.UpdateMadds, err = measureUpdate(x, ranks, sched, o.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("%s update: %w", name, err)
+		}
 		rep.Rows = append(rep.Rows, row)
 		for i, cell := range row.Cells {
 			first := ""
 			madds := ""
 			allocs := ""
+			upds := ""
+			updm := ""
 			inv := ""
 			if i == 0 {
 				first = name
 				madds = humanCount(row.MaddsPerSweep)
 				allocs = fmt.Sprintf("%d", row.AllocsPerSweep)
+				upds = fmt.Sprintf("%d", row.UpdateSweeps)
+				updm = humanCount(row.UpdateMadds)
 				inv = fmt.Sprintf("%v", row.FitInvariant)
 			}
 			t.AddRow(first, fmt.Sprintf("%d", cell.Threads), secs(cell.SweepSec),
-				secs(cell.TTMcSec), secs(cell.TRSVDSec), fmt.Sprintf("%.2fx", cell.Speedup), madds, allocs, inv)
+				secs(cell.TTMcSec), secs(cell.TRSVDSec), fmt.Sprintf("%.2fx", cell.Speedup), madds, allocs, upds, updm, inv)
 		}
 	}
 	t.Render(w)
 	return rep, nil
+}
+
+// measureUpdate exercises the resident-engine delta path once per
+// dataset: converge, ingest a deterministic ~0.6% delta (half value
+// perturbations, half fresh coordinates), and report the re-convergence
+// sweeps and executed TTMc madds. It deliberately runs the COO +
+// dimension-tree configuration — the one where ingest is incremental in
+// every layer (stable-id merge, symbolic splice, per-entry dirty
+// recompute) — so a regression in that machinery (e.g. ApplyDelta
+// degrading to full-cache recomputes) shows up directly as more madds.
+// Single-threaded — the update path is bitwise thread-invariant, so one
+// cell suffices — with a convergence tolerance, so the sweep count
+// reflects the warm start instead of a fixed iteration budget.
+func measureUpdate(x *tensor.COO, ranks []int, sched par.Schedule, seed int64) (int, int64, error) {
+	opts := core.Options{
+		Ranks: ranks, MaxIters: 30, Tol: 1e-9, Threads: 1,
+		Schedule: sched, Format: core.FormatCOO, TTMc: core.TTMcDTree, Seed: seed + 31,
+	}
+	p, err := core.NewPlan(x, opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	eng := core.NewEngine(p)
+	if _, err := eng.Run(context.Background()); err != nil {
+		return 0, 0, err
+	}
+	r, err := eng.Update(gen.Delta(x, 0.003, 0.003, seed+77))
+	if err != nil {
+		return 0, 0, err
+	}
+	return r.UpdateSweeps, r.UpdateMadds, nil
 }
 
 func firstCell(cells []ScalingCell) *ScalingCell {
@@ -308,6 +360,23 @@ func CompareScaling(base, cur *ScalingReport, tol, timeTol float64, w io.Writer)
 		if b.AllocsPerSweep > 0 && c.AllocsPerSweep > int64(float64(b.AllocsPerSweep)*(1+tol))+allocNoiseFloor {
 			return fmt.Errorf("bench: %s steady-state allocs/sweep regressed %d -> %d (> %.0f%% + %d)",
 				c.Dataset, b.AllocsPerSweep, c.AllocsPerSweep, tol*100, allocNoiseFloor)
+		}
+		// The update-path gates cover the resident-engine delta
+		// machinery. Both metrics are deterministic (bitwise thread- and
+		// schedule-invariant), so sweeps get no tolerance at all — more
+		// sweeps to re-converge means the warm start degraded — and
+		// madds get the standard fractional one.
+		if b.UpdateSweeps > 0 && c.UpdateSweeps <= 0 {
+			return fmt.Errorf("bench: %s no longer reports the update-path metrics (baseline %d sweeps)",
+				c.Dataset, b.UpdateSweeps)
+		}
+		if b.UpdateSweeps > 0 && c.UpdateSweeps > b.UpdateSweeps {
+			return fmt.Errorf("bench: %s update re-convergence regressed %d -> %d sweeps",
+				c.Dataset, b.UpdateSweeps, c.UpdateSweeps)
+		}
+		if b.UpdateMadds > 0 && exceeds(float64(c.UpdateMadds), float64(b.UpdateMadds), tol) {
+			return fmt.Errorf("bench: %s update-path TTMc madds regressed %d -> %d (> %.0f%%)",
+				c.Dataset, b.UpdateMadds, c.UpdateMadds, tol*100)
 		}
 		if !timeGate || timeTol <= 0 {
 			continue

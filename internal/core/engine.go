@@ -1,0 +1,386 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"hypertensor/internal/dense"
+	"hypertensor/internal/symbolic"
+	"hypertensor/internal/tensor"
+	"hypertensor/internal/ttm"
+)
+
+// Engine is a resident decomposition handle: the mutable state a
+// long-running service keeps between solves — factor matrices, TRSVD
+// workspaces, the memoized dimension-tree partials, and (after the
+// first Update) an engine-owned copy of the evolving tensor. Run
+// converges from the current factors; Update ingests a coordinate
+// delta through the incremental paths of every layer (stable-id COO
+// merge or fiber-local CSF merge, spliced symbolic update lists,
+// per-entry dimension-tree invalidation, warm-started TRSVD) and
+// re-converges in a handful of sweeps instead of a cold solve.
+//
+// An Engine is not safe for concurrent use. Several Engines may share
+// one Plan; each owns its numeric state, and none mutates the plan or
+// the caller's tensor.
+type Engine struct {
+	plan  *Plan
+	opts  Options
+	order int
+
+	// Resident tensor-derived state. Until the first Update these alias
+	// the plan's (shared, immutable) structures; ensureOwned clones them
+	// before the first mutation.
+	x       *tensor.COO
+	csf     *tensor.CSF
+	storage tensor.Sparse
+	flatX   *tensor.COO
+	sym     *symbolic.Structure
+	owned   bool
+	// mergeIx amortizes the coordinate lookup across a stream of COO
+	// deltas: built once over the engine-owned clone, extended per
+	// ingest, so Update cost is proportional to the delta.
+	mergeIx *tensor.MergeIndex
+
+	tree  *ttm.DTree
+	fiber *ttm.CSFTTMc
+
+	state     *SweepState
+	ys        []*dense.Matrix
+	normX     float64
+	warmReady bool
+	firstRun  bool
+	// warmBuf holds one reusable per-mode gather buffer for the TRSVD
+	// warm-start vectors, so warm re-convergence sweeps stay on the
+	// zero-allocation discipline of the cold path.
+	warmBuf [][]float64
+
+	flatFlops int64 // flat-kernel madds (tree/fiber keep their own counters)
+	symTime   time.Duration
+	res       *Result
+}
+
+// NewEngine builds a resident handle on the plan's analysis: the
+// numeric TTMc engine (dimension tree or fiber walker) with empty
+// caches, seeded initial factors, and per-mode solver workspaces.
+func NewEngine(p *Plan) *Engine {
+	e := &Engine{
+		plan:     p,
+		opts:     p.opts,
+		order:    p.x.Order(),
+		x:        p.x,
+		csf:      p.csf,
+		storage:  p.storage,
+		flatX:    p.flatX,
+		sym:      p.sym,
+		normX:    p.normX,
+		firstRun: true,
+	}
+	start := time.Now()
+	switch {
+	case p.useTree:
+		e.tree = ttm.NewDTree(e.storage)
+		e.tree.SetSchedule(e.opts.Schedule)
+	case p.useFiber:
+		e.fiber = ttm.NewCSFTTMc(e.csf)
+		e.fiber.SetSchedule(e.opts.Schedule)
+	}
+	e.symTime = time.Since(start)
+	e.state = NewSweepState(initFactors(p.x, e.opts), e.opts.Seed)
+	e.ys = make([]*dense.Matrix, e.order)
+	e.shapeYs()
+	return e
+}
+
+// Result returns the most recent Run/Update result, or nil before the
+// first Run.
+func (e *Engine) Result() *Result { return e.res }
+
+// Factors exposes the engine's current factor matrices (live state, not
+// a copy).
+func (e *Engine) Factors() []*dense.Matrix { return e.state.Factors }
+
+// Tensor returns the engine's current tensor state in coordinate
+// format. For COO engines this is the live stable-id tensor (do not
+// mutate); CSF engines expand a fresh copy.
+func (e *Engine) Tensor() *tensor.COO {
+	if e.csf != nil {
+		return e.csf.ToCOO()
+	}
+	return e.x
+}
+
+// Run converges the decomposition from the engine's current factors
+// (the cold start on the first call, the previous solution afterwards)
+// and returns the result. ctx is checked between sweeps; a canceled
+// context aborts with its error.
+func (e *Engine) Run(ctx context.Context) (*Result, error) {
+	return e.converge(ctx)
+}
+
+// shapeYs (re)allocates the per-mode matricized-product buffers; after
+// an update the nonempty-slice counts may have grown.
+func (e *Engine) shapeYs() {
+	for n := 0; n < e.order; n++ {
+		rows := e.sym.Modes[n].NumRows()
+		cols := ttm.RowSize(e.state.Factors, n)
+		if e.ys[n] == nil || e.ys[n].Rows != rows || e.ys[n].Cols != cols {
+			e.ys[n] = dense.NewMatrix(rows, cols)
+		}
+	}
+}
+
+func (e *Engine) flopsTotal() int64 {
+	switch {
+	case e.tree != nil:
+		return e.tree.Flops()
+	case e.fiber != nil:
+		return e.fiber.Flops()
+	}
+	return e.flatFlops
+}
+
+// warmVec gathers the compact left warm-start vector for mode n into a
+// reusable per-mode buffer: the leading column of the current factor at
+// the nonempty slices — the scattered leading left singular vector of
+// the previous solve. Only the Lanczos solver consumes warm starts, so
+// other methods skip the gather entirely.
+func (e *Engine) warmVec(n int, sm *symbolic.Mode) []float64 {
+	if e.opts.SVD != SVDLanczos {
+		return nil
+	}
+	u := e.state.Factors[n]
+	if u.Cols == 0 {
+		return nil
+	}
+	if e.warmBuf == nil {
+		e.warmBuf = make([][]float64, e.order)
+	}
+	w := e.warmBuf[n]
+	if cap(w) < sm.NumRows() {
+		w = make([]float64, sm.NumRows())
+	}
+	w = w[:sm.NumRows()]
+	e.warmBuf[n] = w
+	for r, row := range sm.Rows {
+		w[r] = u.At(int(row), 0)
+	}
+	return w
+}
+
+// converge runs ALS sweeps until the fit stalls or MaxIters is reached.
+// It is the loop body shared by Run and Update; the first call matches
+// Decompose's cold path bit for bit (no warm starts), later calls
+// warm-start every TRSVD from the previous factors.
+func (e *Engine) converge(ctx context.Context) (*Result, error) {
+	opts := e.opts
+	res := &Result{Format: opts.Format, IndexBytes: e.storage.IndexBytes()}
+	res.Timings.Symbolic = e.symTime
+	if e.firstRun {
+		res.Timings.Convert = e.plan.convertTime
+		res.Timings.Symbolic += e.plan.symbolicTime
+	}
+	e.symTime = 0
+	flops0 := e.flopsTotal()
+	var nodeTime0 time.Duration
+	if e.tree != nil {
+		nodeTime0 = e.tree.NodeTime()
+	}
+
+	var memBase runtime.MemStats
+	allocFrom := -1
+	fits := NewFitTracker(e.normX, opts.Tol)
+	for iter := 0; iter < opts.MaxIters; iter++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if opts.MeasureAllocs && allocFrom < 0 && (iter == 1 || opts.MaxIters == 1) {
+			// Steady state starts once the sweep-1 arena growth is done
+			// (or immediately when there is only one sweep to measure).
+			runtime.ReadMemStats(&memBase)
+			allocFrom = iter
+		}
+		for n := 0; n < e.order; n++ {
+			sm := &e.sym.Modes[n]
+
+			t0 := time.Now()
+			switch {
+			case e.tree != nil:
+				e.tree.TTMc(e.ys[n], n, e.state.Factors, opts.Threads)
+			case e.fiber != nil:
+				e.fiber.TTMc(e.ys[n], n, e.state.Factors, opts.Threads)
+			default:
+				ttm.TTMcSched(e.ys[n], e.flatX, sm, e.state.Factors, opts.Threads, opts.Schedule)
+				e.flatFlops += ttm.Flops(e.flatX.NNZ(), e.ys[n].Cols)
+			}
+			res.Timings.TTMc += time.Since(t0)
+
+			t0 = time.Now()
+			var warm []float64
+			if e.warmReady {
+				warm = e.warmVec(n, sm)
+			}
+			uc, err := e.state.SolveDense(e.ys[n], n, opts.Ranks[n], opts.SVD, opts.Threads, warm)
+			if err != nil {
+				return nil, fmt.Errorf("core: TRSVD failed in mode %d: %w", n, err)
+			}
+			scatterRows(e.state.Factors[n], uc, sm)
+			if e.tree != nil {
+				e.tree.Invalidate(n)
+			}
+			res.Timings.TRSVD += time.Since(t0)
+		}
+
+		t0 := time.Now()
+		last := e.order - 1
+		g := ttm.Core(e.ys[last], &e.sym.Modes[last], e.state.Factors[last], opts.Ranks, opts.Threads)
+		res.Core = g
+		res.Timings.Core += time.Since(t0)
+
+		fit, stop := fits.Record(g.Norm())
+		res.Fit = fit
+		res.Iters = iter + 1
+		if stop {
+			break
+		}
+	}
+	res.FitHistory = fits.History
+	if allocFrom >= 0 && res.Iters > allocFrom {
+		var memEnd runtime.MemStats
+		runtime.ReadMemStats(&memEnd)
+		res.AllocsPerSweep = int64(memEnd.Mallocs-memBase.Mallocs) / int64(res.Iters-allocFrom)
+	}
+	res.TTMcFlops = e.flopsTotal() - flops0
+	if e.tree != nil {
+		res.Timings.TTMcNodes = e.tree.NodeTime() - nodeTime0
+	}
+	res.Factors = e.state.Factors
+	e.firstRun = false
+	e.warmReady = true
+	e.res = res
+	return res, nil
+}
+
+// ensureOwned clones the shared plan structures the first time the
+// engine is about to mutate them, and rebinds the numeric TTMc engines
+// onto the clones (their caches stay valid — the clone is
+// bit-identical). The plan, and the caller's tensor, are never touched
+// by updates.
+func (e *Engine) ensureOwned() {
+	if e.owned {
+		return
+	}
+	e.owned = true
+	if e.csf != nil {
+		e.csf = e.csf.Clone()
+		e.storage = e.csf
+		if e.fiber != nil {
+			e.fiber.Rebind(e.csf)
+		}
+		if e.tree != nil {
+			e.tree.Rebind(e.csf)
+		}
+	} else {
+		e.x = e.x.Clone()
+		e.storage = e.x
+		e.flatX = e.x
+		if e.tree != nil {
+			e.tree.Rebind(e.x)
+		}
+	}
+	e.sym = e.sym.Clone()
+}
+
+// Update ingests a coordinate delta — appended and changed nonzeros,
+// duplicates summed — and re-converges from the current factors. The
+// delta flows through the incremental path of every layer: the tensor
+// merge keeps existing storage positions stable (COO) or splices new
+// fibers without a re-sort (CSF), the symbolic update lists of touched
+// slices are spliced rather than rebuilt, the dimension tree marks
+// exactly the entries whose group changed as dirty and recomputes only
+// those, and every TRSVD is warm-started from the previous factors. The
+// result carries the update accounting: sweeps to re-converge, the TTMc
+// madds actually executed, and the recompute-everything cost they
+// replace (FullSweepMadds).
+//
+// A validation error (shape mismatch, out-of-range coordinate) leaves
+// the engine state untouched.
+func (e *Engine) Update(delta *tensor.COO) (*Result, error) {
+	return e.UpdateContext(context.Background(), delta)
+}
+
+// UpdateContext is Update with sweep-level cancellation.
+func (e *Engine) UpdateContext(ctx context.Context, delta *tensor.COO) (*Result, error) {
+	e.ensureOwned()
+	start := time.Now()
+	var deltaNNZ int
+	if e.csf != nil {
+		info, err := e.csf.Merge(delta)
+		if err != nil {
+			return nil, err
+		}
+		deltaNNZ = len(info.Updated) + info.Inserted
+		switch {
+		case info.Structural:
+			// New fibers shifted the storage positions: re-derive the
+			// symbolic layers from the re-pressed tensor. The linear
+			// fiber-based rebuild is cheap; only the dimension tree's
+			// numeric caches are genuinely lost.
+			e.sym = symbolic.Build(e.csf, e.opts.Threads)
+			switch {
+			case e.tree != nil:
+				e.tree = ttm.NewDTree(e.csf)
+				e.tree.SetSchedule(e.opts.Schedule)
+			case e.fiber != nil:
+				e.fiber = ttm.NewCSFTTMc(e.csf)
+				e.fiber.SetSchedule(e.opts.Schedule)
+			default:
+				e.flatX = e.csf.ToCOO()
+			}
+		default:
+			// Value-only: every position, fiber, and update list is
+			// unchanged; just tell the tree which entries went stale.
+			if e.tree != nil {
+				e.tree.ApplyDelta(info.Updated, e.csf.NNZ())
+			}
+			if e.tree == nil && e.fiber == nil {
+				e.flatX = e.csf.ToCOO() // order-1 corner reads copied values
+			}
+		}
+	} else {
+		oldNNZ := e.x.NNZ()
+		if e.mergeIx == nil {
+			e.mergeIx = e.x.NewMergeIndex()
+		}
+		info, err := e.x.MergeIndexed(delta, e.mergeIx)
+		if err != nil {
+			return nil, err
+		}
+		deltaNNZ = len(info.Updated) + info.Appended
+		if info.Appended > 0 {
+			if _, err := e.sym.Insert(e.x, oldNNZ); err != nil {
+				return nil, fmt.Errorf("core: incremental symbolic maintenance failed: %w", err)
+			}
+		}
+		if e.tree != nil {
+			e.tree.ApplyDelta(info.Updated, oldNNZ)
+		}
+	}
+	e.normX = e.storage.Norm(e.opts.Threads)
+	e.shapeYs()
+	e.symTime += time.Since(start)
+
+	res, err := e.converge(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res.UpdateSweeps = res.Iters
+	res.UpdateMadds = res.TTMcFlops
+	res.FullSweepMadds = ttm.SweepFlops(e.storage.NNZ(), e.state.Factors)
+	res.DeltaNNZ = deltaNNZ
+	return res, nil
+}

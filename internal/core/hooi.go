@@ -1,16 +1,12 @@
 package core
 
 import (
-	"fmt"
-	"math"
-	"runtime"
+	"context"
 	"time"
 
 	"hypertensor/internal/dense"
 	"hypertensor/internal/symbolic"
 	"hypertensor/internal/tensor"
-	"hypertensor/internal/trsvd"
-	"hypertensor/internal/ttm"
 )
 
 // Timings accumulates wall-clock time per HOOI phase across all
@@ -19,7 +15,7 @@ type Timings struct {
 	// Convert is the one-time storage-format construction (zero for
 	// FormatCOO; the CSF sort/dedup and fiber-level build otherwise).
 	Convert  time.Duration
-	Symbolic time.Duration // one-time symbolic TTMc preprocessing
+	Symbolic time.Duration // one-time symbolic TTMc preprocessing (and, for updates, the incremental maintenance)
 	TTMc     time.Duration
 	// TTMcNodes is the share of TTMc spent recomputing internal
 	// dimension-tree nodes (zero for the flat strategy); the remainder
@@ -64,6 +60,25 @@ type Result struct {
 	// excluded). Only measured when Options.MeasureAllocs is set; zero
 	// otherwise.
 	AllocsPerSweep int64
+
+	// Update accounting, populated by Engine.Update (zero for cold
+	// solves): the dirty-subtree cost of the re-convergence versus the
+	// recompute-everything cost it replaced.
+
+	// UpdateSweeps is the number of ALS sweeps the re-convergence took.
+	UpdateSweeps int
+	// UpdateMadds is the TTMc multiply-add count actually executed
+	// during the re-convergence (dirty dimension-tree entries plus leaf
+	// emissions, or the fiber-walk count).
+	UpdateMadds int64
+	// FullSweepMadds is the multiply-add count of ONE recompute-
+	// everything flat sweep over all modes at the post-update tensor
+	// size — the cold-sweep yardstick UpdateMadds/UpdateSweeps is
+	// measured against.
+	FullSweepMadds int64
+	// DeltaNNZ is the number of delta nonzeros ingested (after in-delta
+	// deduplication): value changes plus insertions.
+	DeltaNNZ int
 }
 
 // Decompose runs the shared-memory parallel HOOI algorithm
@@ -71,155 +86,18 @@ type Result struct {
 // Options regardless of thread count: each Y row is accumulated in
 // symbolic order by a single worker, and the TRSVD start vectors are
 // seeded.
+//
+// Decompose is a thin wrapper over the resident Plan/Engine pair —
+// NewPlan (one-time symbolic analysis) + NewEngine + Run — that throws
+// the handle away afterwards. Long-running callers that want to ingest
+// tensor deltas and re-converge incrementally should hold the Engine
+// instead.
 func Decompose(x *tensor.COO, optsIn Options) (*Result, error) {
-	if err := optsIn.Validate(x); err != nil {
+	p, err := NewPlan(x, optsIn)
+	if err != nil {
 		return nil, err
 	}
-	opts := optsIn.withDefaults()
-	order := x.Order()
-	res := &Result{Format: opts.Format}
-
-	// The storage layer: every kernel below this point reaches the
-	// tensor through the tensor.Sparse abstraction (or a format-
-	// specific engine selected here), never through *tensor.COO.
-	var storage tensor.Sparse = x
-	var csf *tensor.CSF
-	if opts.Format == FormatCSF {
-		start := time.Now()
-		csf = tensor.NewCSF(x, tensor.CSFOptions{ModeOrder: opts.CSFModeOrder, Threads: opts.Threads})
-		res.Timings.Convert = time.Since(start)
-		storage = csf
-	}
-	res.IndexBytes = storage.IndexBytes()
-
-	normX := storage.Norm(opts.Threads)
-
-	start := time.Now()
-	sym := symbolic.Build(storage, opts.Threads)
-	// The flat kernel consumes coordinate storage whose nonzero order
-	// matches the symbolic structure; for CSF that is the fiber order,
-	// but the fiber engine below replaces it except in the order-1
-	// corner the engine does not model.
-	flatX := x
-	var tree *ttm.DTree
-	var fiber *ttm.CSFTTMc
-	switch {
-	case opts.TTMc == TTMcDTree:
-		tree = ttm.NewDTree(storage)
-		tree.SetSchedule(opts.Schedule)
-	case csf != nil && order >= 2:
-		fiber = ttm.NewCSFTTMc(csf)
-		fiber.SetSchedule(opts.Schedule)
-	case csf != nil:
-		flatX = csf.ToCOO()
-	}
-	res.Timings.Symbolic = time.Since(start)
-
-	factors := initFactors(x, opts)
-	ys := make([]*dense.Matrix, order)
-	// One TRSVD workspace arena per mode, allocated once: each mode's
-	// solver sees the same operator shape every sweep, so after the
-	// first sweep grows the buffers the iteration loops allocate
-	// (almost) nothing.
-	svdWork := make([]*trsvd.Workspace, order)
-	for n := 0; n < order; n++ {
-		ys[n] = dense.NewMatrix(sym.Modes[n].NumRows(), ttm.RowSize(factors, n))
-		svdWork[n] = trsvd.NewWorkspace()
-	}
-
-	var memBase runtime.MemStats
-	allocFrom := -1
-	prevFit := math.Inf(-1)
-	for iter := 0; iter < opts.MaxIters; iter++ {
-		if opts.MeasureAllocs && allocFrom < 0 && (iter == 1 || opts.MaxIters == 1) {
-			// Steady state starts once the sweep-1 arena growth is done
-			// (or immediately when there is only one sweep to measure).
-			runtime.ReadMemStats(&memBase)
-			allocFrom = iter
-		}
-		for n := 0; n < order; n++ {
-			sm := &sym.Modes[n]
-
-			t0 := time.Now()
-			switch {
-			case tree != nil:
-				tree.TTMc(ys[n], n, factors, opts.Threads)
-			case fiber != nil:
-				fiber.TTMc(ys[n], n, factors, opts.Threads)
-			default:
-				ttm.TTMcSched(ys[n], flatX, sm, factors, opts.Threads, opts.Schedule)
-				res.TTMcFlops += ttm.Flops(flatX.NNZ(), ys[n].Cols)
-			}
-			res.Timings.TTMc += time.Since(t0)
-
-			t0 = time.Now()
-			uc, err := truncatedSVD(ys[n], opts.Ranks[n], opts, int64(iter)*int64(order)+int64(n), svdWork[n])
-			if err != nil {
-				return nil, fmt.Errorf("core: TRSVD failed in mode %d: %w", n, err)
-			}
-			scatterRows(factors[n], uc, sm)
-			if tree != nil {
-				tree.Invalidate(n)
-			}
-			res.Timings.TRSVD += time.Since(t0)
-		}
-
-		t0 := time.Now()
-		last := order - 1
-		g := ttm.Core(ys[last], &sym.Modes[last], factors[last], opts.Ranks, opts.Threads)
-		res.Core = g
-		res.Timings.Core += time.Since(t0)
-
-		fit := fitFromNorms(normX, g.Norm())
-		res.FitHistory = append(res.FitHistory, fit)
-		res.Fit = fit
-		res.Iters = iter + 1
-		if opts.Tol > 0 && math.Abs(fit-prevFit) < opts.Tol {
-			break
-		}
-		prevFit = fit
-	}
-	if allocFrom >= 0 && res.Iters > allocFrom {
-		var memEnd runtime.MemStats
-		runtime.ReadMemStats(&memEnd)
-		res.AllocsPerSweep = int64(memEnd.Mallocs-memBase.Mallocs) / int64(res.Iters-allocFrom)
-	}
-	if tree != nil {
-		res.TTMcFlops = tree.Flops()
-		res.Timings.TTMcNodes = tree.NodeTime()
-	}
-	if fiber != nil {
-		res.TTMcFlops = fiber.Flops()
-	}
-	res.Factors = factors
-	return res, nil
-}
-
-// truncatedSVD dispatches to the selected TRSVD solver on the compacted
-// matricized tensor, returning its |J_n| x R_n left singular vector
-// block. ws is the mode's reusable workspace arena.
-func truncatedSVD(y *dense.Matrix, k int, opts Options, step int64, ws *trsvd.Workspace) (*dense.Matrix, error) {
-	sopts := trsvd.Options{Seed: opts.Seed + 7919*step, Work: ws}
-	switch opts.SVD {
-	case SVDSubspace:
-		r, err := trsvd.SubspaceIteration(&trsvd.DenseOperator{A: y, Threads: opts.Threads}, k, sopts)
-		if err != nil {
-			return nil, err
-		}
-		return r.U, nil
-	case SVDGram:
-		r, err := trsvd.GramSVD(y, k, opts.Threads, sopts)
-		if err != nil {
-			return nil, err
-		}
-		return r.U, nil
-	default:
-		r, err := trsvd.Lanczos(&trsvd.DenseOperator{A: y, Threads: opts.Threads}, k, sopts)
-		if err != nil {
-			return nil, err
-		}
-		return r.U, nil
-	}
+	return NewEngine(p).Run(context.Background())
 }
 
 // scatterRows writes the compact TRSVD result (one row per nonempty
@@ -231,16 +109,6 @@ func scatterRows(full, compact *dense.Matrix, sm *symbolic.Mode) {
 	}
 }
 
-// fitFromNorms computes 1 - ||X - X̂||/||X|| using the orthonormality
-// identity ||X - X̂||² = ||X||² - ||G||² (the paper's convergence
-// measure, Algorithm 1 line 7).
-func fitFromNorms(normX, normG float64) float64 {
-	diff := normX*normX - normG*normG
-	if diff < 0 {
-		diff = 0 // rounding: G cannot exceed X in norm
-	}
-	if normX == 0 {
-		return 1
-	}
-	return 1 - math.Sqrt(diff)/normX
-}
+// fitFromNorms is the package-private spelling of FitFromNorms kept for
+// the ST-HOSVD path.
+func fitFromNorms(normX, normG float64) float64 { return FitFromNorms(normX, normG) }

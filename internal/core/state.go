@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math"
+
+	"hypertensor/internal/dense"
+	"hypertensor/internal/trsvd"
+)
+
+// SweepState is the resident per-mode numeric state every HOOI variant
+// carries between sweeps: the factor matrices, one reusable TRSVD
+// workspace arena per mode, and the monotone TRSVD seed schedule. The
+// shared-memory Engine, the MET baseline, and each simulated
+// distributed rank all iterate on this same state type, so warm starts
+// and workspace reuse behave identically across the execution models.
+type SweepState struct {
+	// Factors are the current factor matrices U_n (I_n x R_n).
+	Factors []*dense.Matrix
+	// Work holds one reusable TRSVD workspace per mode: each mode's
+	// solver sees the same operator shape every sweep, so after the
+	// first sweep the iteration loops allocate (almost) nothing.
+	Work []*trsvd.Workspace
+	// SeedBase is the decomposition seed; solve s draws start vectors
+	// from SeedBase + 7919*s.
+	SeedBase int64
+	// Step counts completed mode solves across the state's lifetime, so
+	// re-convergence sweeps after an update keep drawing fresh
+	// deterministic seeds instead of replaying the first sweep's.
+	Step int64
+}
+
+// NewSweepState wraps initial factors (owned by the state from here on)
+// with fresh per-mode workspaces.
+func NewSweepState(factors []*dense.Matrix, seed int64) *SweepState {
+	s := &SweepState{
+		Factors:  factors,
+		Work:     make([]*trsvd.Workspace, len(factors)),
+		SeedBase: seed,
+	}
+	for n := range s.Work {
+		s.Work[n] = trsvd.NewWorkspace()
+	}
+	return s
+}
+
+// next builds the options of the upcoming solve and advances the seed
+// schedule.
+func (s *SweepState) next(n int, warm []float64) trsvd.Options {
+	o := trsvd.Options{Seed: s.SeedBase + 7919*s.Step, Work: s.Work[n], WarmLeft: warm}
+	s.Step++
+	return o
+}
+
+// SolveDense runs the selected TRSVD solver on the compacted matricized
+// tensor for mode n and returns its |J_n| x rank left singular vector
+// block. warm optionally supplies a left warm-start vector (Lanczos
+// only; see trsvd.Options.WarmLeft).
+func (s *SweepState) SolveDense(y *dense.Matrix, n, rank int, method SVDMethod, threads int, warm []float64) (*dense.Matrix, error) {
+	sopts := s.next(n, warm)
+	switch method {
+	case SVDSubspace:
+		r, err := trsvd.SubspaceIteration(&trsvd.DenseOperator{A: y, Threads: threads}, rank, sopts)
+		if err != nil {
+			return nil, err
+		}
+		return r.U, nil
+	case SVDGram:
+		r, err := trsvd.GramSVD(y, rank, threads, sopts)
+		if err != nil {
+			return nil, err
+		}
+		return r.U, nil
+	default:
+		r, err := trsvd.Lanczos(&trsvd.DenseOperator{A: y, Threads: threads}, rank, sopts)
+		if err != nil {
+			return nil, err
+		}
+		return r.U, nil
+	}
+}
+
+// SolveOperator runs the Lanczos solver on a matrix-free (possibly
+// distributed) operator for mode n — the path the simulated ranks use.
+func (s *SweepState) SolveOperator(op trsvd.Operator, n, rank int, warm []float64) (*trsvd.Result, error) {
+	return trsvd.Lanczos(op, rank, s.next(n, warm))
+}
+
+// FitTracker accumulates the per-sweep fit trajectory and implements
+// the shared stopping rule: stop when the fit improves by less than Tol
+// between sweeps (Tol <= 0 never stops early).
+type FitTracker struct {
+	NormX   float64
+	Tol     float64
+	History []float64
+	prev    float64
+}
+
+// NewFitTracker starts a trajectory for a tensor of the given norm.
+func NewFitTracker(normX, tol float64) *FitTracker {
+	return &FitTracker{NormX: normX, Tol: tol, prev: math.Inf(-1)}
+}
+
+// Record appends the sweep's fit (computed from the core norm via
+// FitFromNorms) and reports whether the iteration should stop.
+func (f *FitTracker) Record(normG float64) (fit float64, stop bool) {
+	fit = FitFromNorms(f.NormX, normG)
+	f.History = append(f.History, fit)
+	stop = f.Tol > 0 && math.Abs(fit-f.prev) < f.Tol
+	f.prev = fit
+	return fit, stop
+}
+
+// FitFromNorms computes 1 - ||X - X̂||/||X|| using the orthonormality
+// identity ||X - X̂||² = ||X||² - ||G||² (the paper's convergence
+// measure, Algorithm 1 line 7).
+func FitFromNorms(normX, normG float64) float64 {
+	diff := normX*normX - normG*normG
+	if diff < 0 {
+		diff = 0 // rounding: G cannot exceed X in norm
+	}
+	if normX == 0 {
+		return 1
+	}
+	return 1 - math.Sqrt(diff)/normX
+}

@@ -2,9 +2,9 @@ package dist
 
 import (
 	"fmt"
-	"math"
 	"time"
 
+	"hypertensor/internal/core"
 	"hypertensor/internal/dense"
 	"hypertensor/internal/mpi"
 	"hypertensor/internal/symbolic"
@@ -160,7 +160,7 @@ func Decompose(x *tensor.COO, part *Partition, cfg Config) (*Result, error) {
 	err := world.Run(func(c *mpi.Comm) {
 		me := c.Rank()
 		setupStart := time.Now()
-		rk := newRankState(c, x, part, gsym, allOwned, cfg.Ranks, initial)
+		rk := newRankState(c, x, part, gsym, allOwned, cfg.Ranks, initial, cfg.Seed)
 		stats.SymbolicTime[me] = time.Since(setupStart)
 
 		c.Barrier()
@@ -168,7 +168,9 @@ func Decompose(x *tensor.COO, part *Partition, cfg Config) (*Result, error) {
 			wallStart = time.Now()
 		}
 
-		prevFit := math.Inf(-1)
+		// Every rank tracks the (replicated) fit with the shared tracker
+		// so the stopping decision stays in lockstep.
+		fits := core.NewFitTracker(normX, tol)
 		iters := 0
 		for iter := 0; iter < maxIters; iter++ {
 			for n := 0; n < order; n++ {
@@ -179,8 +181,7 @@ func Decompose(x *tensor.COO, part *Partition, cfg Config) (*Result, error) {
 				stats.TTMcTime[me] += time.Since(t0)
 
 				t0 = time.Now()
-				step := int64(iter)*int64(order) + int64(n)
-				rk.trsvd(n, cfg.Seed+7919*step)
+				rk.trsvd(n)
 				stats.TRSVDTime[me] += time.Since(t0)
 
 				stats.Mode[n][me].CommBytes += c.World().BytesSent(me) - bytesBefore
@@ -189,17 +190,16 @@ func Decompose(x *tensor.COO, part *Partition, cfg Config) (*Result, error) {
 			g := rk.core()
 			stats.CoreTime[me] += time.Since(t0)
 
-			fit := fitFromNorms(normX, g.Norm())
+			fit, stop := fits.Record(g.Norm())
 			iters = iter + 1
 			if me == 0 {
 				res.FitHistory = append(res.FitHistory, fit)
 				res.Fit = fit
 				res.Core = g
 			}
-			if tol > 0 && math.Abs(fit-prevFit) < tol {
+			if stop {
 				break
 			}
-			prevFit = fit
 		}
 
 		c.Barrier()
@@ -225,7 +225,11 @@ func Decompose(x *tensor.COO, part *Partition, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// rankState is the per-rank working set of the SPMD HOOI body.
+// rankState is the per-rank working set of the SPMD HOOI body. Its
+// numeric iteration state — factors, per-mode TRSVD workspaces, the
+// seed schedule — is the same core.SweepState the shared-memory Engine
+// holds (each rank is its own goroutine, so per-rank state is required,
+// not shared); factors aliases state.Factors.
 type rankState struct {
 	c       *mpi.Comm
 	me, p   int
@@ -234,11 +238,9 @@ type rankState struct {
 	part    *Partition
 	xloc    *tensor.COO
 	lsym    *symbolic.Structure
+	state   *core.SweepState
 	factors []*dense.Matrix
 	modes   []rankMode
-	// svdWork holds one reusable TRSVD workspace per mode (each rank is
-	// its own goroutine, so per-rank arenas are required, not shared).
-	svdWork []*trsvd.Workspace
 }
 
 // rankMode is one mode's precomputed plans and buffers.
@@ -259,20 +261,20 @@ type rankMode struct {
 	wTRSVD  int64
 }
 
-func newRankState(c *mpi.Comm, x *tensor.COO, part *Partition, gsym *symbolic.Structure, allOwned [][][]int32, ranks []int, initial []*dense.Matrix) *rankState {
+func newRankState(c *mpi.Comm, x *tensor.COO, part *Partition, gsym *symbolic.Structure, allOwned [][][]int32, ranks []int, initial []*dense.Matrix, seed int64) *rankState {
 	me, p := c.Rank(), c.Size()
 	order := x.Order()
 	rk := &rankState{
 		c: c, me: me, p: p,
 		dims: x.Dims, ranks: ranks, part: part,
-		factors: make([]*dense.Matrix, order),
-		modes:   make([]rankMode, order),
-		svdWork: make([]*trsvd.Workspace, order),
+		modes: make([]rankMode, order),
 	}
-	for n := range rk.factors {
-		rk.factors[n] = initial[n].Clone()
-		rk.svdWork[n] = trsvd.NewWorkspace()
+	cloned := make([]*dense.Matrix, order)
+	for n := range cloned {
+		cloned[n] = initial[n].Clone()
 	}
+	rk.state = core.NewSweepState(cloned, seed)
+	rk.factors = rk.state.Factors
 
 	// Local tensor: owned nonzeros (fine) or every nonzero of an owned
 	// slice in any mode (coarse).
@@ -393,10 +395,13 @@ func (rk *rankState) ttmc(n int) {
 
 // trsvd runs the row-distributed Lanczos TRSVD on the owned rows of
 // Y_(n) and exchanges the updated factor rows (Algorithm 4 lines 9-12).
-func (rk *rankState) trsvd(n int, seed int64) {
+// The seed schedule lives in the shared SweepState, so the distributed
+// solves draw the same deterministic sequence as the shared-memory
+// Engine's.
+func (rk *rankState) trsvd(n int) {
 	m := &rk.modes[n]
 	op := &rowDistOperator{a: m.yOwn, c: rk.c, gids: m.gids, tmp: make([]float64, m.yOwn.Cols)}
-	sres, err := trsvd.Lanczos(op, rk.ranks[n], trsvd.Options{Seed: seed, Work: rk.svdWork[n]})
+	sres, err := rk.state.SolveOperator(op, n, rk.ranks[n], nil)
 	if err != nil {
 		panic(fmt.Sprintf("dist: TRSVD failed in mode %d: %v", n, err))
 	}
@@ -461,16 +466,3 @@ func (o *rowDistOperator) GlobalRow(local int) int64 { return o.gids[local] }
 
 var _ trsvd.Operator = (*rowDistOperator)(nil)
 var _ trsvd.GlobalRowIDer = (*rowDistOperator)(nil)
-
-// fitFromNorms is the orthonormality-based fit measure, identical to the
-// shared-memory implementation.
-func fitFromNorms(normX, normG float64) float64 {
-	diff := normX*normX - normG*normG
-	if diff < 0 {
-		diff = 0
-	}
-	if normX == 0 {
-		return 1
-	}
-	return 1 - math.Sqrt(diff)/normX
-}

@@ -75,6 +75,33 @@ func Random(cfg Config) *tensor.COO {
 	return t
 }
 
+// Delta synthesizes an update stream for an existing tensor — the
+// incremental-ingest workload of a resident decomposition engine.
+// Roughly fracChanged of the existing nonzeros receive a value
+// perturbation (re-rated items, reinforced links) and fracNew * nnz new
+// coordinates are drawn uniformly inside the tensor's dimensions
+// (fresh events; draws that collide with existing coordinates simply
+// act as additional value updates when merged). Deterministic for a
+// fixed (tensor, fractions, seed).
+func Delta(x *tensor.COO, fracChanged, fracNew float64, seed int64) *tensor.COO {
+	rng := rand.New(rand.NewSource(seed))
+	nChanged := int(fracChanged * float64(x.NNZ()))
+	nNew := int(fracNew * float64(x.NNZ()))
+	d := tensor.NewCOO(x.Dims, nChanged+nNew)
+	coord := make([]int, x.Order())
+	for i := 0; i < nChanged; i++ {
+		id := rng.Intn(x.NNZ())
+		d.Append(x.Coord(id, coord), 0.25*rng.NormFloat64())
+	}
+	for i := 0; i < nNew; i++ {
+		for m, dim := range x.Dims {
+			coord[m] = rng.Intn(dim)
+		}
+		d.Append(coord, 1+math.Abs(rng.NormFloat64()))
+	}
+	return d
+}
+
 // indexSampler draws indices from [0, n) either uniformly or with a
 // Zipf-like distribution over a fixed random permutation of the range.
 type indexSampler struct {

@@ -1,0 +1,149 @@
+package symbolic
+
+import (
+	"testing"
+
+	"hypertensor/internal/tensor"
+)
+
+// TestInsertMatchesBuild: the incremental splice must reproduce, array
+// for array, what a from-scratch Build on the merged stable-id tensor
+// produces (appended ids exceed every existing id, so the per-row
+// ascending-id orders coincide exactly).
+func TestInsertMatchesBuild(t *testing.T) {
+	dims := []int{6, 8, 10}
+	x := tensor.NewCOO(dims, 0)
+	for i := 0; i < 40; i++ {
+		x.Append([]int{(i * 5) % 6, (i * 3) % 8, (i * 7) % 10}, float64(i+1))
+	}
+	x.SortDedup()
+
+	s := Build(x, 1)
+	oldNNZ := x.NNZ()
+	d := tensor.NewCOO(dims, 0)
+	d.Append([]int{5, 7, 9}, 1) // possibly-new coordinate
+	d.Append([]int{0, 0, 1}, 2) // another corner
+	d.Append([]int{3, 3, 3}, 3)
+	info, err := x.Merge(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	touched, err := s.Insert(x, oldNNZ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := Build(x, 1)
+	for n := range s.Modes {
+		a, b := &s.Modes[n], &ref.Modes[n]
+		if len(a.Rows) != len(b.Rows) || len(a.Ptr) != len(b.Ptr) || len(a.NZ) != len(b.NZ) {
+			t.Fatalf("mode %d shapes diverge", n)
+		}
+		for i := range a.Rows {
+			if a.Rows[i] != b.Rows[i] {
+				t.Fatalf("mode %d Rows[%d] %d vs %d", n, i, a.Rows[i], b.Rows[i])
+			}
+		}
+		for i := range a.Ptr {
+			if a.Ptr[i] != b.Ptr[i] {
+				t.Fatalf("mode %d Ptr[%d] %d vs %d", n, i, a.Ptr[i], b.Ptr[i])
+			}
+		}
+		for i := range a.NZ {
+			if a.NZ[i] != b.NZ[i] {
+				t.Fatalf("mode %d NZ[%d] %d vs %d", n, i, a.NZ[i], b.NZ[i])
+			}
+		}
+		for i := range a.Pos {
+			if a.Pos[i] != b.Pos[i] {
+				t.Fatalf("mode %d Pos[%d] %d vs %d", n, i, a.Pos[i], b.Pos[i])
+			}
+		}
+		// Touched rows: exactly the appended nonzeros' slice indices.
+		want := map[int32]bool{}
+		for i := oldNNZ; i < x.NNZ(); i++ {
+			want[x.Idx[n][i]] = true
+		}
+		if len(touched[n]) != len(want) {
+			t.Fatalf("mode %d touched %v, want %d rows", n, touched[n], len(want))
+		}
+		for _, r := range touched[n] {
+			if !want[r] {
+				t.Fatalf("mode %d reported untouched row %d", n, r)
+			}
+		}
+	}
+	if err := s.Validate(x); err != nil {
+		t.Fatalf("incrementally maintained structure fails Validate: %v", err)
+	}
+	_ = info
+}
+
+// TestInsertNoAppend: a value-only merge needs no symbolic change and
+// Insert with no growth is a no-op.
+func TestInsertNoAppend(t *testing.T) {
+	dims := []int{4, 4, 4}
+	x := tensor.NewCOO(dims, 0)
+	for i := 0; i < 10; i++ {
+		x.Append([]int{i % 4, (i + 1) % 4, (i + 2) % 4}, 1)
+	}
+	x.SortDedup()
+	s := Build(x, 1)
+	touched, err := s.Insert(x, x.NNZ())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := range touched {
+		if len(touched[n]) != 0 {
+			t.Fatalf("no-op insert touched rows in mode %d", n)
+		}
+	}
+	if err := s.Validate(x); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInsertErrors: mismatched old counts must error.
+func TestInsertErrors(t *testing.T) {
+	dims := []int{4, 4, 4}
+	x := tensor.NewCOO(dims, 0)
+	x.Append([]int{0, 0, 0}, 1)
+	x.Append([]int{1, 1, 1}, 1)
+	s := Build(x, 1)
+	if _, err := s.Insert(x, 5); err == nil {
+		t.Fatal("out-of-range old count accepted")
+	}
+	if _, err := s.Insert(x, 1); err == nil {
+		t.Fatal("inconsistent old count accepted")
+	}
+}
+
+// TestStructureClone: the clone is deep — mutating it leaves the
+// original untouched.
+func TestStructureClone(t *testing.T) {
+	dims := []int{4, 5, 6}
+	x := tensor.NewCOO(dims, 0)
+	for i := 0; i < 12; i++ {
+		x.Append([]int{i % 4, i % 5, i % 6}, 1)
+	}
+	x.SortDedup()
+	s := Build(x, 1)
+	c := s.Clone()
+	oldNNZ := x.NNZ()
+	d := tensor.NewCOO(dims, 0)
+	d.Append([]int{3, 4, 5}, 2)
+	if _, err := x.Merge(d); err != nil {
+		t.Fatal(err)
+	}
+	if x.NNZ() == oldNNZ {
+		t.Skip("coordinate existed; clone independence untested")
+	}
+	if _, err := c.Insert(x, oldNNZ); err != nil {
+		t.Fatal(err)
+	}
+	if int(s.Modes[0].Ptr[len(s.Modes[0].Rows)]) != oldNNZ {
+		t.Fatal("mutating the clone changed the original")
+	}
+	if err := c.Validate(x); err != nil {
+		t.Fatal(err)
+	}
+}

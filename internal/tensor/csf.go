@@ -41,6 +41,15 @@ type CSF struct {
 	leafPtr [][]int32
 	val     []float64
 
+	// chg[i] is the shallowest level whose index differs from nonzero
+	// i-1 (chg[0] = 0): the fiber-boundary structure the construction
+	// derives the levels from. It is retained so Merge can re-press the
+	// levels after an insertion by recomputing boundaries only where the
+	// nonzero sequence actually changed. Like the stream caches it is
+	// update-support scratch, not part of the compressed index storage
+	// IndexBytes reports.
+	chg []int32
+
 	// Lazily expanded per-mode index streams (conversion caches; they do
 	// not count toward IndexBytes).
 	streams    [][]int32
@@ -111,30 +120,57 @@ func NewCSF(x *COO, opts CSFOptions) *CSF {
 	if order == 1 {
 		return out
 	}
-	out.ptr = make([][]int32, order-1)
-	out.leafPtr = make([][]int32, order-1)
 
 	// chg[i] is the shallowest level whose index differs from nonzero
 	// i-1: a level-l fiber starts exactly at the positions with
 	// chg[i] <= l. After dedup every pair of neighbors differs
 	// somewhere, so the leaf level is the fallback.
+	cols := make([][]int32, order)
+	for l := 0; l < order; l++ {
+		cols[l] = c.Idx[perm[l]]
+	}
 	chg := make([]int32, n)
 	par.ForWorker(n, threads, func(w, lo, hi int) {
 		for i := lo; i < hi; i++ {
-			if i == 0 {
-				chg[0] = 0
-				continue
-			}
-			l := int32(order - 1)
-			for m := 0; m < order-1; m++ {
-				if c.Idx[perm[m]][i] != c.Idx[perm[m]][i-1] {
-					l = int32(m)
-					break
-				}
-			}
-			chg[i] = l
+			chg[i] = boundaryLevel(cols, order, i)
 		}
 	})
+	out.chg = chg
+	out.press(cols, threads)
+	return out
+}
+
+// boundaryLevel returns the shallowest level whose index at position i
+// differs from position i-1 of the perm-ordered level streams cols
+// (0 at position 0; the leaf level when only the leaf index differs).
+// It is the single definition of the fiber-boundary semantics shared by
+// construction, the incremental Merge splice, and rebuildChg.
+func boundaryLevel(cols [][]int32, order, i int) int32 {
+	if i == 0 {
+		return 0
+	}
+	l := int32(order - 1)
+	for m := 0; m < order-1; m++ {
+		if cols[m][i] != cols[m][i-1] {
+			l = int32(m)
+			break
+		}
+	}
+	return l
+}
+
+// press derives the fiber levels (fids, leafPtr, ptr) for levels
+// 0..order-2 from the perm-ordered coordinate streams cols (cols[l] is
+// the level-l stream) and the boundary array c.chg. The leaf level
+// (fids[order-1]) and the values are the caller's responsibility. It is
+// the shared back half of construction and of the incremental Merge
+// re-press.
+func (c *CSF) press(cols [][]int32, threads int) {
+	order := c.Order()
+	n := c.NNZ()
+	chg := c.chg
+	c.ptr = make([][]int32, order-1)
+	c.leafPtr = make([][]int32, order-1)
 
 	// Per level: count fiber starts per worker block, prefix, scatter.
 	// The static block split makes the result independent of the thread
@@ -169,14 +205,14 @@ func NewCSF(x *COO, opts CSFOptions) *CSF {
 		starts[l] = st
 
 		f := make([]int32, len(st))
-		col := c.Idx[perm[l]]
+		col := cols[l]
 		par.For(len(st), threads, 0, func(i int) { f[i] = col[st[i]] })
-		out.fids[l] = f
+		c.fids[l] = f
 
 		lp := make([]int32, len(st)+1)
 		copy(lp, st)
 		lp[len(st)] = int32(n)
-		out.leafPtr[l] = lp
+		c.leafPtr[l] = lp
 	}
 
 	// Child pointers: a level-l fiber's children at level l+1 are the
@@ -193,10 +229,9 @@ func NewCSF(x *COO, opts CSFOptions) *CSF {
 			pl[f] = int32(j)
 		}
 		pl[len(starts[l])] = int32(len(child))
-		out.ptr[l] = pl
+		c.ptr[l] = pl
 	}
-	out.ptr[order-2] = out.leafPtr[order-2]
-	return out
+	c.ptr[order-2] = c.leafPtr[order-2]
 }
 
 // Order returns the number of modes N.
@@ -291,6 +326,9 @@ func (c *CSF) ModeStream(m int) []int32 {
 		return c.fids[l]
 	}
 	c.streamOnce[m].Do(func() {
+		if c.streams[m] != nil {
+			return // pre-seeded by Clone or a structural Merge
+		}
 		outS := make([]int32, c.NNZ())
 		lp := c.leafPtr[l]
 		f := c.fids[l]

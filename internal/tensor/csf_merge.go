@@ -1,0 +1,245 @@
+package tensor
+
+import (
+	"sort"
+	"sync"
+
+	"hypertensor/internal/par"
+)
+
+// Clone returns a deep copy of the compressed tensor. The fiber levels,
+// pointers, values, and boundary array are copied; the lazily expanded
+// mode-stream caches are shared (they are replaced wholesale, never
+// mutated in place, so sharing is safe). A resident engine clones the
+// plan's tensor before its first in-place Merge so the plan stays
+// reusable.
+func (c *CSF) Clone() *CSF {
+	order := c.Order()
+	out := &CSF{
+		dims:       append([]int(nil), c.dims...),
+		perm:       append([]int(nil), c.perm...),
+		level:      append([]int(nil), c.level...),
+		fids:       make([][]int32, order),
+		val:        append([]float64(nil), c.val...),
+		chg:        append([]int32(nil), c.chg...),
+		streams:    append([][]int32(nil), c.streams...),
+		streamOnce: make([]sync.Once, order),
+	}
+	for l := range c.fids {
+		out.fids[l] = append([]int32(nil), c.fids[l]...)
+	}
+	if order > 1 {
+		out.ptr = make([][]int32, order-1)
+		out.leafPtr = make([][]int32, order-1)
+		for l := 0; l < order-1; l++ {
+			out.leafPtr[l] = append([]int32(nil), c.leafPtr[l]...)
+		}
+		for l := 0; l < order-2; l++ {
+			out.ptr[l] = append([]int32(nil), c.ptr[l]...)
+		}
+		// Preserve the construction-time aliasing: the deepest child
+		// pointers are the deepest leaf spans.
+		out.ptr[order-2] = out.leafPtr[order-2]
+	}
+	// The leaf-mode stream aliases fids[order-1]; keep the clone
+	// self-referential rather than pointing into the source.
+	if m := c.perm[order-1]; m < len(out.streams) && out.streams[m] != nil {
+		out.streams[m] = out.fids[order-1]
+	}
+	return out
+}
+
+// CSFMergeInfo reports what a CSF delta merge did.
+type CSFMergeInfo struct {
+	// Updated lists the leaf storage positions whose value changed,
+	// ascending, in the POST-merge storage order. When Structural is
+	// false the storage order did not change, so these are also valid
+	// pre-merge positions — the property the incremental invalidation
+	// layers rely on.
+	Updated []int32
+	// Inserted is the number of new coordinates spliced into the fiber
+	// tree.
+	Inserted int
+	// Structural reports whether the merge changed the fiber structure
+	// (Inserted > 0): leaf positions shifted and any symbolic structure
+	// built from this tensor must be rebuilt. Value-only merges leave
+	// every fiber and position intact.
+	Structural bool
+	// OldNNZ is the nonzero count before the merge.
+	OldNNZ int
+}
+
+// Merge ingests a delta tensor in place. Delta nonzeros whose
+// coordinates already exist update the stored value without touching
+// the fiber structure (positions stay stable; exact-zero sums keep
+// their entry). Genuinely new coordinates are spliced into the sorted
+// leaf sequence and the fiber levels are re-pressed from the retained
+// boundary array: boundaries are recomputed only at the splice points —
+// runs of untouched nonzeros carry their old boundaries over — and no
+// O(nnz log nnz) re-sort happens, so an insertion costs one linear
+// splice instead of a full rebuild.
+//
+// The delta is canonicalized (sorted under the storage permutation,
+// duplicates summed, exact-zero sums dropped) without mutating the
+// caller's delta, and fully validated before the first mutation: shape
+// mismatches and out-of-range coordinates error with the tensor
+// untouched.
+func (c *CSF) Merge(delta *COO) (*CSFMergeInfo, error) {
+	if err := validateDelta(c.dims, delta); err != nil {
+		return nil, err
+	}
+	order := c.Order()
+	info := &CSFMergeInfo{OldNNZ: c.NNZ()}
+	if delta.NNZ() == 0 {
+		return info, nil
+	}
+	d := delta.Clone().SortDedupOrder(c.perm)
+	if d.NNZ() == 0 {
+		return info, nil
+	}
+
+	// Existing coordinates in leaf order, per level.
+	n := c.NNZ()
+	cols := make([][]int32, order) // cols[l]: level-l stream of existing nonzeros
+	dcols := make([][]int32, order)
+	for l := 0; l < order; l++ {
+		cols[l] = c.ModeStream(c.perm[l])
+		dcols[l] = d.Idx[c.perm[l]]
+	}
+	cmp := func(i, j int) int { // existing position i vs delta entry j
+		for l := 0; l < order; l++ {
+			if cols[l][i] != dcols[l][j] {
+				if cols[l][i] < dcols[l][j] {
+					return -1
+				}
+				return 1
+			}
+		}
+		return 0
+	}
+
+	// Classify every delta entry: value update at an existing position,
+	// or insertion before one. Nothing is mutated yet.
+	type insertion struct {
+		before int // existing leaf position the new nonzero precedes
+		entry  int // index into d
+	}
+	var updates []int32   // existing positions, ascending (delta is sorted)
+	var updVals []float64 // matching delta values
+	var inserts []insertion
+	for j := 0; j < d.NNZ(); j++ {
+		lo := sort.Search(n, func(i int) bool { return cmp(i, j) >= 0 })
+		if lo < n && cmp(lo, j) == 0 {
+			updates = append(updates, int32(lo))
+			updVals = append(updVals, d.Val[j])
+		} else {
+			inserts = append(inserts, insertion{before: lo, entry: j})
+		}
+	}
+
+	if len(inserts) == 0 {
+		for k, p := range updates {
+			c.val[p] += updVals[k]
+		}
+		info.Updated = updates
+		return info, nil
+	}
+
+	// Structural splice: merge the sorted insertions into the sorted
+	// leaf sequence. Boundaries (chg) carry over for runs of existing
+	// nonzeros and are recomputed only at splice points.
+	info.Structural = true
+	info.Inserted = len(inserts)
+	if c.chg == nil && order > 1 {
+		c.rebuildChg(cols)
+	}
+	n2 := n + len(inserts)
+	newCols := make([][]int32, order)
+	for l := 0; l < order; l++ {
+		newCols[l] = make([]int32, n2)
+	}
+	newVal := make([]float64, n2)
+	var newChg []int32
+	if order > 1 {
+		newChg = make([]int32, n2)
+	}
+	// chgAt computes the boundary level of merged position q against
+	// the previous merged element (shared fiber-boundary semantics).
+	chgAt := func(q int) int32 { return boundaryLevel(newCols, order, q) }
+	q, i := 0, 0
+	for k := 0; k <= len(inserts); k++ {
+		hi := n
+		if k < len(inserts) {
+			hi = inserts[k].before
+		}
+		if run := hi - i; run > 0 {
+			for l := 0; l < order; l++ {
+				copy(newCols[l][q:q+run], cols[l][i:hi])
+			}
+			copy(newVal[q:q+run], c.val[i:hi])
+			if order > 1 {
+				copy(newChg[q:q+run], c.chg[i:hi])
+				// The run's first element may have a new predecessor.
+				newChg[q] = chgAt(q)
+			}
+			q += run
+			i = hi
+		}
+		if k < len(inserts) {
+			j := inserts[k].entry
+			for l := 0; l < order; l++ {
+				newCols[l][q] = dcols[l][j]
+			}
+			newVal[q] = d.Val[j]
+			if order > 1 {
+				newChg[q] = chgAt(q)
+			}
+			q++
+		}
+	}
+
+	// Value updates land at shifted positions: old position p moves by
+	// the number of insertions before it.
+	insBefore := make([]int, len(inserts))
+	for k := range inserts {
+		insBefore[k] = inserts[k].before
+	}
+	shifted := make([]int32, len(updates))
+	for k, p := range updates {
+		off := sort.SearchInts(insBefore, int(p)+1)
+		shifted[k] = p + int32(off)
+		newVal[shifted[k]] += updVals[k]
+	}
+	info.Updated = shifted
+
+	// Commit: values, boundary array, leaf level, re-pressed fiber
+	// levels, and pre-seeded stream caches (newCols ARE the streams).
+	c.val = newVal
+	c.chg = newChg
+	c.fids[order-1] = newCols[order-1]
+	c.streams = make([][]int32, order)
+	c.streamOnce = make([]sync.Once, order)
+	for l := 0; l < order; l++ {
+		m := c.perm[l]
+		if c.level[m] < order-1 {
+			c.streams[m] = newCols[l]
+		}
+	}
+	if order > 1 {
+		c.press(newCols, par.DefaultThreads(0))
+	}
+	return info, nil
+}
+
+// rebuildChg recomputes the boundary array from the given perm-ordered
+// streams (used when a tensor predating the retained-chg layout is
+// merged into).
+func (c *CSF) rebuildChg(cols [][]int32) {
+	order := c.Order()
+	n := c.NNZ()
+	chg := make([]int32, n)
+	for i := 1; i < n; i++ {
+		chg[i] = boundaryLevel(cols, order, i)
+	}
+	c.chg = chg
+}

@@ -1,0 +1,398 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func mkCOO(t *testing.T, dims []int, entries [][3]int, vals []float64) *COO {
+	t.Helper()
+	x := NewCOO(dims, len(entries))
+	for i, e := range entries {
+		if err := x.AppendChecked([]int{e[0], e[1], e[2]}, vals[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return x
+}
+
+func TestCOOMergeSemantics(t *testing.T) {
+	dims := []int{4, 5, 6}
+	x := mkCOO(t, dims,
+		[][3]int{{0, 0, 0}, {1, 2, 3}, {3, 4, 5}},
+		[]float64{1, 2, 3})
+	d := mkCOO(t, dims,
+		[][3]int{{1, 2, 3}, {1, 2, 3}, {2, 2, 2}, {0, 1, 0}},
+		[]float64{5, 5, 7, 9})
+	info, err := x.Merge(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.OldNNZ != 3 || info.Appended != 2 {
+		t.Fatalf("info = %+v", info)
+	}
+	if len(info.Updated) != 1 || info.Updated[0] != 1 {
+		t.Fatalf("updated positions %v", info.Updated)
+	}
+	// Stability: existing positions and coordinates unchanged.
+	if x.Idx[0][1] != 1 || x.Idx[1][1] != 2 || x.Idx[2][1] != 3 {
+		t.Fatal("existing nonzero moved")
+	}
+	if x.Val[1] != 12 { // 2 + 5 + 5 (in-delta duplicate summed)
+		t.Fatalf("duplicate sum wrong: %v", x.Val[1])
+	}
+	if x.NNZ() != 5 {
+		t.Fatalf("nnz %d", x.NNZ())
+	}
+	// Appended in delta-canonical (sorted) order: (0,1,0) before (2,2,2).
+	if x.Idx[0][3] != 0 || x.Idx[1][3] != 1 || x.Val[3] != 9 {
+		t.Fatal("first append wrong")
+	}
+	if x.Idx[0][4] != 2 || x.Val[4] != 7 {
+		t.Fatal("second append wrong")
+	}
+	// Delta not mutated.
+	if d.NNZ() != 4 {
+		t.Fatal("caller's delta was mutated")
+	}
+}
+
+func TestCOOMergeZeroSumKeepsEntry(t *testing.T) {
+	dims := []int{3, 3, 3}
+	x := mkCOO(t, dims, [][3]int{{1, 1, 1}}, []float64{2})
+	d := mkCOO(t, dims, [][3]int{{1, 1, 1}}, []float64{-2})
+	info, err := x.Merge(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.NNZ() != 1 || x.Val[0] != 0 {
+		t.Fatalf("cancelled entry must stay with value 0, got nnz=%d val=%v", x.NNZ(), x.Val)
+	}
+	if len(info.Updated) != 1 {
+		t.Fatalf("info %+v", info)
+	}
+}
+
+func TestCOOMergeValidation(t *testing.T) {
+	dims := []int{4, 4, 4}
+	x := mkCOO(t, dims, [][3]int{{0, 0, 0}}, []float64{1})
+	ref := x.Clone()
+
+	cases := []*COO{
+		nil,
+		NewCOO([]int{4, 4}, 0),    // order mismatch
+		NewCOO([]int{4, 4, 5}, 0), // dim mismatch
+	}
+	bad := NewCOO(dims, 1)
+	bad.Idx[0] = append(bad.Idx[0], 4) // out of range
+	bad.Idx[1] = append(bad.Idx[1], 0)
+	bad.Idx[2] = append(bad.Idx[2], 0)
+	bad.Val = append(bad.Val, 1)
+	cases = append(cases, bad)
+	neg := NewCOO(dims, 1)
+	neg.Idx[0] = append(neg.Idx[0], -1)
+	neg.Idx[1] = append(neg.Idx[1], 0)
+	neg.Idx[2] = append(neg.Idx[2], 0)
+	neg.Val = append(neg.Val, 1)
+	cases = append(cases, neg)
+
+	for i, d := range cases {
+		if _, err := x.Merge(d); err == nil {
+			t.Fatalf("case %d: bad delta accepted", i)
+		}
+		if x.NNZ() != ref.NNZ() || x.Val[0] != ref.Val[0] {
+			t.Fatalf("case %d: failed merge mutated the receiver", i)
+		}
+	}
+}
+
+// TestCOOMergeMatchesSortDedup: merging then canonicalizing equals
+// concatenating then canonicalizing.
+func TestCOOMergeMatchesSortDedup(t *testing.T) {
+	dims := []int{6, 7, 8}
+	x := mkCOO(t, dims,
+		[][3]int{{0, 0, 0}, {5, 6, 7}, {1, 2, 3}, {2, 2, 2}},
+		[]float64{1, 2, 3, 4})
+	d := mkCOO(t, dims,
+		[][3]int{{1, 2, 3}, {0, 1, 0}, {5, 6, 7}, {4, 4, 4}},
+		[]float64{10, 20, 30, 40})
+
+	concat := x.Clone()
+	for i := 0; i < d.NNZ(); i++ {
+		concat.Idx[0] = append(concat.Idx[0], d.Idx[0][i])
+		concat.Idx[1] = append(concat.Idx[1], d.Idx[1][i])
+		concat.Idx[2] = append(concat.Idx[2], d.Idx[2][i])
+		concat.Val = append(concat.Val, d.Val[i])
+	}
+	concat.SortDedup()
+
+	if _, err := x.Merge(d); err != nil {
+		t.Fatal(err)
+	}
+	x.SortDedup()
+	if x.NNZ() != concat.NNZ() {
+		t.Fatalf("nnz %d vs %d", x.NNZ(), concat.NNZ())
+	}
+	for i := 0; i < x.NNZ(); i++ {
+		for m := range dims {
+			if x.Idx[m][i] != concat.Idx[m][i] {
+				t.Fatalf("coordinate mismatch at %d", i)
+			}
+		}
+		if x.Val[i] != concat.Val[i] {
+			t.Fatalf("value mismatch at %d: %v vs %v", i, x.Val[i], concat.Val[i])
+		}
+	}
+}
+
+// TestCOOMergeIndexed: a retained index must produce exactly what the
+// one-shot path produces across a stream of deltas, and must refuse a
+// foreign tensor.
+func TestCOOMergeIndexed(t *testing.T) {
+	dims := []int{6, 7, 8}
+	mk := func() *COO {
+		return mkCOO(t, dims,
+			[][3]int{{0, 0, 0}, {5, 6, 7}, {1, 2, 3}},
+			[]float64{1, 2, 3})
+	}
+	a, b := mk(), mk()
+	ix := a.NewMergeIndex()
+	for step := 0; step < 3; step++ {
+		d := mkCOO(t, dims,
+			[][3]int{{step, 2, 3}, {1, 2, 3}, {step, step, step}},
+			[]float64{1, 2, 3})
+		ia, err := a.MergeIndexed(d, ix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ib, err := b.Merge(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ia.Appended != ib.Appended || len(ia.Updated) != len(ib.Updated) {
+			t.Fatalf("step %d: indexed %+v vs one-shot %+v", step, ia, ib)
+		}
+	}
+	if a.NNZ() != b.NNZ() {
+		t.Fatalf("indexed stream diverged: %d vs %d nonzeros", a.NNZ(), b.NNZ())
+	}
+	for i := range a.Val {
+		if a.Val[i] != b.Val[i] {
+			t.Fatalf("value %d diverged", i)
+		}
+	}
+	if _, err := b.MergeIndexed(mk(), ix); err == nil {
+		t.Fatal("foreign merge index accepted")
+	}
+}
+
+func csfEqual(t *testing.T, a, b *CSF) {
+	t.Helper()
+	if a.NNZ() != b.NNZ() {
+		t.Fatalf("nnz %d vs %d", a.NNZ(), b.NNZ())
+	}
+	for l := 0; l < a.Order(); l++ {
+		fa, fb := a.Fids(l), b.Fids(l)
+		if len(fa) != len(fb) {
+			t.Fatalf("level %d fiber count %d vs %d", l, len(fa), len(fb))
+		}
+		for i := range fa {
+			if fa[i] != fb[i] {
+				t.Fatalf("level %d fiber %d: %d vs %d", l, i, fa[i], fb[i])
+			}
+		}
+	}
+	for l := 0; l < a.Order()-1; l++ {
+		pa, pb := a.ChildPtr(l), b.ChildPtr(l)
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("level %d ptr %d: %d vs %d", l, i, pa[i], pb[i])
+			}
+		}
+		la, lb := a.LeafPtr(l), b.LeafPtr(l)
+		for i := range la {
+			if la[i] != lb[i] {
+				t.Fatalf("level %d leafPtr %d: %d vs %d", l, i, la[i], lb[i])
+			}
+		}
+	}
+	for i, v := range a.Values() {
+		if v != b.Values()[i] {
+			t.Fatalf("value %d: %v vs %v", i, v, b.Values()[i])
+		}
+	}
+}
+
+// TestCSFMergeStructural: an insertion-bearing merge must produce the
+// exact structure a from-scratch build of the merged tensor produces.
+func TestCSFMergeStructural(t *testing.T) {
+	dims := []int{5, 6, 7, 8}
+	x := NewCOO(dims, 0)
+	for i := 0; i < 40; i++ {
+		x.Append([]int{i % 5, (i * 2) % 6, (i * 3) % 7, (i * 5) % 8}, float64(i+1))
+	}
+	x.SortDedup()
+	d := NewCOO(dims, 0)
+	d.Append([]int{0, 0, 0, 0}, 3) // likely new root-front insertion
+	d.Append([]int{4, 5, 6, 7}, 2) // tail region
+	d.Append([]int{2, 4, 6, 2}, 5) // possibly existing
+	d.Append([]int{2, 4, 6, 2}, 1) // in-delta duplicate
+
+	c := NewCSF(x, CSFOptions{})
+	info, err := c.Merge(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("merged CSF invalid: %v", err)
+	}
+	merged := x.Clone()
+	if _, err := merged.Merge(d); err != nil {
+		t.Fatal(err)
+	}
+	ref := NewCSF(merged, CSFOptions{})
+	csfEqual(t, c, ref)
+	if !info.Structural && c.NNZ() != info.OldNNZ {
+		t.Fatal("structural flag inconsistent")
+	}
+	// Updated positions must point at the right values in the NEW order.
+	for _, p := range info.Updated {
+		if p < 0 || int(p) >= c.NNZ() {
+			t.Fatalf("updated position %d out of range", p)
+		}
+	}
+	// Streams must reflect the new layout.
+	for m := range dims {
+		s := c.ModeStream(m)
+		r := ref.ModeStream(m)
+		for i := range s {
+			if s[i] != r[i] {
+				t.Fatalf("mode %d stream mismatch at %d", m, i)
+			}
+		}
+	}
+}
+
+// TestCSFMergeValueOnly: a delta hitting only existing coordinates must
+// leave every fiber array untouched and positions stable.
+func TestCSFMergeValueOnly(t *testing.T) {
+	dims := []int{5, 6, 7}
+	x := NewCOO(dims, 0)
+	for i := 0; i < 30; i++ {
+		x.Append([]int{i % 5, (i * 2) % 6, (i * 3) % 7}, float64(i+1))
+	}
+	x.SortDedup()
+	c := NewCSF(x, CSFOptions{})
+	before := c.Clone()
+
+	coord := make([]int, 3)
+	d := NewCOO(dims, 0)
+	d.Append(c.Coord(4, coord), 10)
+	d.Append(c.Coord(17, coord), -3)
+	info, err := c.Merge(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Structural || info.Inserted != 0 {
+		t.Fatalf("value-only merge reported structural: %+v", info)
+	}
+	if len(info.Updated) != 2 {
+		t.Fatalf("updated %v", info.Updated)
+	}
+	for l := 0; l < c.Order(); l++ {
+		fa, fb := c.Fids(l), before.Fids(l)
+		for i := range fa {
+			if fa[i] != fb[i] {
+				t.Fatalf("value-only merge moved fibers at level %d", l)
+			}
+		}
+	}
+	if math.Abs(c.Value(4)-(before.Value(4)+10)) > 0 || math.Abs(c.Value(17)-(before.Value(17)-3)) > 0 {
+		t.Fatalf("values not updated in place")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSFClone(t *testing.T) {
+	dims := []int{4, 5, 6}
+	x := NewCOO(dims, 0)
+	for i := 0; i < 25; i++ {
+		x.Append([]int{i % 4, (i * 2) % 5, (i * 3) % 6}, float64(i+1))
+	}
+	x.SortDedup()
+	c := NewCSF(x, CSFOptions{})
+	c.ModeStream(0) // materialize a cache before cloning
+	cl := c.Clone()
+	csfEqual(t, c, cl)
+	// Mutating the clone must not touch the original.
+	d := NewCOO(dims, 0)
+	d.Append([]int{3, 4, 5}, 42)
+	if _, err := cl.Merge(d); err != nil {
+		t.Fatal(err)
+	}
+	if cl.NNZ() == c.NNZ() {
+		t.Skip("coordinate already existed; structural independence untested")
+	}
+	ref := NewCSF(x, CSFOptions{})
+	csfEqual(t, c, ref)
+	if err := cl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSFMergeValidation(t *testing.T) {
+	dims := []int{4, 5, 6}
+	x := NewCOO(dims, 0)
+	x.Append([]int{1, 1, 1}, 1)
+	c := NewCSF(x, CSFOptions{})
+	if _, err := c.Merge(NewCOO([]int{4, 5}, 0)); err == nil {
+		t.Fatal("order mismatch accepted")
+	}
+	bad := NewCOO(dims, 1)
+	bad.Idx[0] = append(bad.Idx[0], 9)
+	bad.Idx[1] = append(bad.Idx[1], 0)
+	bad.Idx[2] = append(bad.Idx[2], 0)
+	bad.Val = append(bad.Val, 1)
+	if _, err := c.Merge(bad); err == nil {
+		t.Fatal("out-of-range delta accepted")
+	}
+	if c.NNZ() != 1 || c.Value(0) != 1 {
+		t.Fatal("failed merge mutated the tensor")
+	}
+}
+
+// TestCOOMergeOrderOne covers the order-1 corner for both formats.
+func TestMergeOrderOne(t *testing.T) {
+	x := NewCOO([]int{10}, 0)
+	x.Append([]int{2}, 1)
+	x.Append([]int{7}, 2)
+	x.SortDedup()
+	c := NewCSF(x, CSFOptions{})
+	d := NewCOO([]int{10}, 0)
+	d.Append([]int{5}, 3)
+	d.Append([]int{7}, 4)
+	if _, err := x.Merge(d); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Merge(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Structural || info.Inserted != 1 {
+		t.Fatalf("info %+v", info)
+	}
+	want := map[int32]float64{2: 1, 5: 3, 7: 6}
+	if c.NNZ() != 3 {
+		t.Fatalf("csf nnz %d", c.NNZ())
+	}
+	for i := 0; i < c.NNZ(); i++ {
+		if v := want[c.Fids(0)[i]]; v != c.Value(i) {
+			t.Fatalf("order-1 csf entry %d wrong", i)
+		}
+	}
+	if x.NNZ() != 3 {
+		t.Fatalf("coo nnz %d", x.NNZ())
+	}
+}

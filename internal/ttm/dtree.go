@@ -74,6 +74,15 @@ type dnode struct {
 	val       []float64
 	valid     bool
 	computes  int
+	// partials counts delta-driven partial recomputations (dirty entries
+	// only, the cache otherwise intact).
+	partials int
+	// dirty lists entry positions whose cached blocks are stale against
+	// the tensor (sorted ascending): the per-row generalization of the
+	// whole-node valid flag, set by ApplyDelta and cleared by the next
+	// recompute. Meaningful only while valid is true — a full
+	// invalidation subsumes it.
+	dirty []int32
 	// bounds caches the balanced chain partition of the node's entries
 	// (weighted by group size) for boundsThreads workers.
 	bounds        []int32
@@ -166,6 +175,7 @@ func (t *DTree) Invalidate(n int) {
 	for _, nd := range t.nodes {
 		if n < nd.lo || n >= nd.hi {
 			nd.valid = false
+			nd.dirty = nil // subsumed by the full recompute
 		}
 	}
 }
@@ -175,6 +185,7 @@ func (t *DTree) Invalidate(n int) {
 func (t *DTree) InvalidateAll() {
 	for _, nd := range t.nodes {
 		nd.valid = false
+		nd.dirty = nil
 	}
 	t.ranks = nil
 }
@@ -197,7 +208,9 @@ type NodeInfo struct {
 	Lo, Hi   int  // mode range [Lo, Hi)
 	Entries  int  // distinct projections of the nonzeros
 	Valid    bool // cached value up to date (internal nodes only)
-	Computes int  // numeric recomputations so far
+	Computes int  // full numeric recomputations so far
+	Partials int  // delta-driven partial (dirty-entries-only) recomputations
+	Dirty    int  // entries currently marked stale against the tensor
 }
 
 // Nodes reports the state of every tree node in topological order
@@ -205,7 +218,8 @@ type NodeInfo struct {
 func (t *DTree) Nodes() []NodeInfo {
 	out := make([]NodeInfo, len(t.nodes))
 	for i, nd := range t.nodes {
-		out[i] = NodeInfo{Lo: nd.lo, Hi: nd.hi, Entries: nd.n, Valid: nd.valid, Computes: nd.computes}
+		out[i] = NodeInfo{Lo: nd.lo, Hi: nd.hi, Entries: nd.n, Valid: nd.valid,
+			Computes: nd.computes, Partials: nd.partials, Dirty: len(nd.dirty)}
 	}
 	return out
 }
@@ -232,7 +246,8 @@ func (t *DTree) TTMc(y *dense.Matrix, n int, u []*dense.Matrix, threads int) {
 	start := time.Now()
 	t.ensure(leaf.parent, u, threads)
 	t.nodeTime += time.Since(start)
-	t.contract(leaf, y.Data, u, threads)
+	t.contract(leaf, y.Data, nil, u, threads)
+	leaf.dirty = nil // leaves are emitted in full, never cached
 }
 
 // syncRanks checks the factor column counts against the cached values
@@ -273,27 +288,41 @@ func (t *DTree) rowSize(nd *dnode) int {
 }
 
 // ensure makes nd's cached value valid, recomputing ancestors first.
-// The root is always valid (it is the tensor itself).
+// The root is always valid (it is the tensor itself). A node that is
+// valid but carries delta-dirty entries gets a partial recompute: only
+// the dirty blocks are rebuilt from the (ensured) parent, bit-for-bit
+// what a full recompute would produce for them, while every untouched
+// block keeps its cached value untouched.
 func (t *DTree) ensure(nd *dnode, u []*dense.Matrix, threads int) {
-	if nd == t.root || nd.valid {
+	if nd == t.root || (nd.valid && len(nd.dirty) == 0) {
 		return
 	}
 	t.ensure(nd.parent, u, threads)
+	if nd.valid {
+		t.contract(nd, nd.val, nd.dirty, u, threads)
+		nd.partials++
+		nd.dirty = nil
+		return
+	}
 	bs := t.rowSize(nd)
 	if cap(nd.val) < nd.n*bs {
 		nd.val = make([]float64, nd.n*bs)
 	}
 	nd.val = nd.val[:nd.n*bs]
 	nd.blockSize = bs
-	t.contract(nd, nd.val, u, threads)
+	t.contract(nd, nd.val, nil, u, threads)
 	nd.valid = true
+	nd.dirty = nil
 }
 
 // contract computes nd's value into dst (nd.n blocks of rowSize(nd))
-// from its parent's value, contracting the modes the child drops.
-// Every child entry is owned by exactly one worker and accumulated in
-// CSR order, so the result is deterministic for any thread count.
-func (t *DTree) contract(nd *dnode, dst []float64, u []*dense.Matrix, threads int) {
+// from its parent's value, contracting the modes the child drops. rows
+// selects a subset of entry positions to recompute (nil means every
+// entry — the full evaluation). Every computed entry is owned by
+// exactly one worker and accumulated in CSR order, so the result is
+// deterministic for any thread count and identical whether an entry is
+// reached by a full or a partial pass.
+func (t *DTree) contract(nd *dnode, dst []float64, rows []int32, u []*dense.Matrix, threads int) {
 	parent := nd.parent
 	bs := t.rowSize(nd)
 	// Dropped modes: the parent keeps them sparse, the child contracts
@@ -307,8 +336,34 @@ func (t *DTree) contract(nd *dnode, dst []float64, u []*dense.Matrix, threads in
 	}
 	nDrop := dropHi - dropLo
 	threads = par.DefaultThreads(threads)
-	nd.computes++
-	t.flops += int64(parent.n) * int64(bs)
+	nRows := nd.n
+	work := int64(parent.n) // sum of group sizes over all entries
+	if rows == nil {
+		nd.computes++
+	} else {
+		nRows = len(rows)
+		work = 0
+		for _, g := range rows {
+			work += int64(nd.groups.Ptr[g+1] - nd.groups.Ptr[g])
+		}
+	}
+	entry := func(j int) int {
+		if rows == nil {
+			return j
+		}
+		return int(rows[j])
+	}
+	chainsFn := func() []int32 {
+		if rows == nil {
+			return nd.chains(threads)
+		}
+		w := make([]int64, len(rows))
+		for j, g := range rows {
+			w[j] = int64(nd.groups.Ptr[g+1] - nd.groups.Ptr[g])
+		}
+		return par.PartitionChains(w, threads)
+	}
+	t.flops += work * int64(bs)
 
 	if parent == t.root {
 		// Root child: contract straight from the nonzeros with the same
@@ -336,7 +391,7 @@ func (t *DTree) contract(nd *dnode, dst []float64, u []*dense.Matrix, threads in
 			bufB []float64
 		}
 		scratches := make([]*scratch, threads)
-		runRows(t.sched, nd.n, threads, func() []int32 { return nd.chains(threads) }, func(w, lo, hi int) {
+		runRows(t.sched, nRows, threads, chainsFn, func(w, lo, hi int) {
 			sc := scratches[w]
 			if sc == nil {
 				sc = &scratch{
@@ -346,14 +401,15 @@ func (t *DTree) contract(nd *dnode, dst []float64, u []*dense.Matrix, threads in
 				}
 				scratches[w] = sc
 			}
-			for g := lo; g < hi; g++ {
+			for j := lo; j < hi; j++ {
+				g := entry(j)
 				row := dst[g*bs : (g+1)*bs]
 				for i := range row {
 					row[i] = 0
 				}
 				for _, id := range nd.groups.Group(g) {
-					for j := range dropped {
-						sc.rows[j] = u[dropped[j]].Row(int(streams[j][id]))
+					for jj := range dropped {
+						sc.rows[jj] = u[dropped[jj]].Row(int(streams[jj][id]))
 					}
 					accumKron(row, vals[id], sc.rows, sc.bufA, sc.bufB)
 				}
@@ -387,13 +443,14 @@ func (t *DTree) contract(nd *dnode, dst []float64, u []*dense.Matrix, threads in
 		kron []float64
 	}
 	scratches := make([]*scratch, threads)
-	runRows(t.sched, nd.n, threads, func() []int32 { return nd.chains(threads) }, func(w, lo, hi int) {
+	runRows(t.sched, nRows, threads, chainsFn, func(w, lo, hi int) {
 		sc := scratches[w]
 		if sc == nil {
 			sc = &scratch{rows: make([][]float64, nDrop), kron: make([]float64, d)}
 			scratches[w] = sc
 		}
-		for g := lo; g < hi; g++ {
+		for jr := lo; jr < hi; jr++ {
+			g := entry(jr)
 			blk := dst[g*bs : (g+1)*bs]
 			for i := range blk {
 				blk[i] = 0

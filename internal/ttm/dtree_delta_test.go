@@ -1,0 +1,296 @@
+package ttm
+
+import (
+	"math/rand"
+	"testing"
+
+	"hypertensor/internal/dense"
+	"hypertensor/internal/tensor"
+)
+
+func deltaTestTensor(seed int64, dims []int, nnz int) *tensor.COO {
+	rng := rand.New(rand.NewSource(seed))
+	x := tensor.NewCOO(dims, nnz)
+	coord := make([]int, len(dims))
+	for i := 0; i < nnz; i++ {
+		for m, d := range dims {
+			coord[m] = rng.Intn(d)
+		}
+		x.Append(coord, rng.NormFloat64()+2)
+	}
+	return x.SortDedup()
+}
+
+func randFactors(seed int64, dims, ranks []int) []*dense.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	u := make([]*dense.Matrix, len(dims))
+	for n := range u {
+		u[n] = dense.RandomNormal(dims[n], ranks[n], rng)
+	}
+	return u
+}
+
+// TestDTreeApplyDeltaExactness drives the per-entry invalidation
+// through a full mutate-and-recompute cycle and checks two contracts:
+// the post-delta TTMc results equal a freshly built tree's bit for bit
+// (for every mode), and cached blocks of entries the delta did not
+// touch were carried over bit for bit rather than recomputed.
+func TestDTreeApplyDeltaExactness(t *testing.T) {
+	for _, dims := range [][]int{{12, 15, 18}, {8, 10, 12, 14}} {
+		x := deltaTestTensor(7, dims, 160)
+		ranks := make([]int, len(dims))
+		for i := range ranks {
+			ranks[i] = 3
+		}
+		u := randFactors(11, dims, ranks)
+
+		tree := NewDTree(x)
+		// Populate every node cache: one TTMc per mode without factor
+		// updates in between (no Invalidate), so all internal nodes end
+		// valid.
+		for n := range dims {
+			y := dense.NewMatrix(tree.NumRows(n), RowSize(u, n))
+			tree.TTMc(y, n, u, 2)
+		}
+
+		// Mutate: value updates on existing coordinates plus inserts.
+		oldNNZ := x.NNZ()
+		d := tensor.NewCOO(dims, 0)
+		coord := make([]int, len(dims))
+		d.Append(x.Coord(3, coord), 0.5)
+		d.Append(x.Coord(97, coord), -0.25)
+		for m := range coord {
+			coord[m] = dims[m] - 1
+		}
+		d.Append(coord, 1.5) // likely-new far corner
+		for m := range coord {
+			coord[m] = 0
+		}
+		d.Append(coord, 2.5) // likely-new origin
+		info, err := x.Merge(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		before := snapshotVals(tree)
+		tree.ApplyDelta(info.Updated, oldNNZ)
+
+		// Untouched entries must still hold their old bits (dirty ones
+		// have not been recomputed yet — they hold stale values, but we
+		// only compare the clean set).
+		checkUntouched(t, tree, before)
+
+		fresh := NewDTree(x)
+		for n := range dims {
+			got := dense.NewMatrix(tree.NumRows(n), RowSize(u, n))
+			tree.TTMc(got, n, u, 3)
+			want := dense.NewMatrix(fresh.NumRows(n), RowSize(u, n))
+			fresh.TTMc(want, n, u, 1)
+			if got.Rows != want.Rows {
+				t.Fatalf("dims %v mode %d: %d rows vs %d", dims, n, got.Rows, want.Rows)
+			}
+			for i := range got.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Fatalf("dims %v mode %d: incremental TTMc diverges at %d (%v vs %v)",
+						dims, n, i, got.Data[i], want.Data[i])
+				}
+			}
+		}
+		// The incremental recomputes must be partial, not full: at least
+		// one node took the dirty-entries-only path.
+		partials := 0
+		for _, ni := range tree.Nodes() {
+			partials += ni.Partials
+		}
+		if partials == 0 {
+			t.Fatalf("dims %v: no partial recompute happened; delta fell back to full evaluation", dims)
+		}
+	}
+}
+
+// snapshotVals copies every valid internal node's cached blocks keyed
+// by the entry's full key tuple, so entries can be matched across the
+// delta's position shifts.
+type valSnapshot struct {
+	node  int
+	byKey map[string][]float64
+}
+
+func snapshotVals(t *DTree) []valSnapshot {
+	var out []valSnapshot
+	for i, nd := range t.nodes {
+		if nd == t.root || nd.isLeaf() || !nd.valid {
+			continue
+		}
+		s := valSnapshot{node: i, byKey: make(map[string][]float64, nd.n)}
+		for g := 0; g < nd.n; g++ {
+			s.byKey[entryKey(nd, g)] = append([]float64(nil), nd.val[g*nd.blockSize:(g+1)*nd.blockSize]...)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func entryKey(nd *dnode, g int) string {
+	key := make([]byte, 0, 4*(nd.hi-nd.lo))
+	for m := nd.lo; m < nd.hi; m++ {
+		v := nd.keys[m][g]
+		key = append(key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(key)
+}
+
+// checkUntouched verifies every clean (non-dirty) entry of every still-
+// valid node holds exactly the pre-delta bits.
+func checkUntouched(t *testing.T, tree *DTree, snaps []valSnapshot) {
+	t.Helper()
+	for _, s := range snaps {
+		nd := tree.nodes[s.node]
+		if !nd.valid {
+			continue // invalidated wholesale; nothing to compare
+		}
+		dirtySet := map[int32]bool{}
+		for _, g := range nd.dirty {
+			dirtySet[g] = true
+		}
+		for g := 0; g < nd.n; g++ {
+			if dirtySet[int32(g)] {
+				continue
+			}
+			old, ok := s.byKey[entryKey(nd, g)]
+			if !ok {
+				t.Fatalf("node %d entry %d is clean but has no pre-delta counterpart", s.node, g)
+			}
+			cur := nd.val[g*nd.blockSize : (g+1)*nd.blockSize]
+			for i := range cur {
+				if cur[i] != old[i] {
+					t.Fatalf("node %d entry %d: untouched cached block changed bit-wise", s.node, g)
+				}
+			}
+		}
+	}
+}
+
+// TestDTreeApplyDeltaValueOnly: a pure value delta must not move any
+// entry and must dirty only the groups containing the changed nonzeros.
+func TestDTreeApplyDeltaValueOnly(t *testing.T) {
+	dims := []int{10, 12, 14}
+	x := deltaTestTensor(3, dims, 120)
+	ranks := []int{3, 3, 3}
+	u := randFactors(5, dims, ranks)
+	tree := NewDTree(x)
+	for n := range dims {
+		y := dense.NewMatrix(tree.NumRows(n), RowSize(u, n))
+		tree.TTMc(y, n, u, 1)
+	}
+	nBefore := make([]int, len(tree.nodes))
+	for i, nd := range tree.nodes {
+		nBefore[i] = nd.n
+	}
+	x.Val[10] += 0.75
+	x.Val[55] -= 0.5
+	tree.ApplyDelta([]int32{10, 55}, x.NNZ())
+	for i, nd := range tree.nodes {
+		if nd.n != nBefore[i] {
+			t.Fatalf("value-only delta changed node %d entry count", i)
+		}
+	}
+	dirtyTotal := 0
+	for _, ni := range tree.Nodes() {
+		dirtyTotal += ni.Dirty
+		if ni.Dirty > 2 {
+			t.Fatalf("node [%d,%d): %d dirty entries for a 2-nonzero delta", ni.Lo, ni.Hi, ni.Dirty)
+		}
+	}
+	if dirtyTotal == 0 {
+		t.Fatal("value delta dirtied nothing")
+	}
+	fresh := NewDTree(x)
+	for n := range dims {
+		got := dense.NewMatrix(tree.NumRows(n), RowSize(u, n))
+		tree.TTMc(got, n, u, 2)
+		want := dense.NewMatrix(fresh.NumRows(n), RowSize(u, n))
+		fresh.TTMc(want, n, u, 1)
+		for i := range got.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("mode %d: value-delta TTMc diverges at %d", n, i)
+			}
+		}
+	}
+}
+
+// TestDTreeApplyDeltaFlopsSaving: the delta-driven recompute must cost
+// fewer madds than rebuilding the caches from scratch.
+func TestDTreeApplyDeltaFlopsSaving(t *testing.T) {
+	dims := []int{20, 24, 28, 16}
+	x := deltaTestTensor(9, dims, 600)
+	ranks := []int{3, 3, 3, 3}
+	u := randFactors(13, dims, ranks)
+	tree := NewDTree(x)
+	for n := range dims {
+		y := dense.NewMatrix(tree.NumRows(n), RowSize(u, n))
+		tree.TTMc(y, n, u, 1)
+	}
+	// Small value-only delta, then one TTMc per mode.
+	x.Val[0] += 1
+	tree.ApplyDelta([]int32{0}, x.NNZ())
+	tree.ResetFlops()
+	for n := range dims {
+		y := dense.NewMatrix(tree.NumRows(n), RowSize(u, n))
+		tree.TTMc(y, n, u, 1)
+	}
+	incremental := tree.Flops()
+
+	fresh := NewDTree(x)
+	for n := range dims {
+		y := dense.NewMatrix(fresh.NumRows(n), RowSize(u, n))
+		fresh.TTMc(y, n, u, 1)
+	}
+	cold := fresh.Flops()
+	if incremental >= cold {
+		t.Fatalf("incremental recompute cost %d madds, cold rebuild %d", incremental, cold)
+	}
+}
+
+// TestDTreeRebind: the tree keeps working (and its caches stay valid)
+// after being rebound onto an identical clone of its tensor.
+func TestDTreeRebind(t *testing.T) {
+	dims := []int{9, 11, 13}
+	x := deltaTestTensor(21, dims, 100)
+	ranks := []int{3, 3, 3}
+	u := randFactors(23, dims, ranks)
+	tree := NewDTree(x)
+	want := dense.NewMatrix(tree.NumRows(0), RowSize(u, 0))
+	tree.TTMc(want, 0, u, 1)
+
+	clone := x.Clone()
+	tree.Rebind(clone)
+	got := dense.NewMatrix(tree.NumRows(0), RowSize(u, 0))
+	tree.TTMc(got, 0, u, 2)
+	for i := range got.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("rebind changed TTMc output at %d", i)
+		}
+	}
+	// Mutating the clone through the delta path must work as usual.
+	oldNNZ := clone.NNZ()
+	d := tensor.NewCOO(dims, 0)
+	d.Append([]int{8, 10, 12}, 2)
+	info, err := clone.Merge(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.ApplyDelta(info.Updated, oldNNZ)
+	fresh := NewDTree(clone)
+	for n := range dims {
+		a := dense.NewMatrix(tree.NumRows(n), RowSize(u, n))
+		tree.TTMc(a, n, u, 1)
+		b := dense.NewMatrix(fresh.NumRows(n), RowSize(u, n))
+		fresh.TTMc(b, n, u, 1)
+		for i := range a.Data {
+			if a.Data[i] != b.Data[i] {
+				t.Fatalf("post-rebind delta TTMc diverges in mode %d", n)
+			}
+		}
+	}
+}
