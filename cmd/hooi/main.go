@@ -1,6 +1,7 @@
 // Command hooi computes the Tucker decomposition of a sparse tensor in
-// .tns format with the HOOI algorithm, in shared-memory mode or on
-// simulated distributed ranks.
+// .tns format with the HOOI algorithm, in shared-memory mode, on
+// simulated distributed ranks, or across real OS processes connected by
+// TCP.
 //
 // Examples:
 //
@@ -9,6 +10,16 @@
 //	hooi -input x.tns -ranks 5,5,5,5 -format csf -ttmc dtree
 //	hooi -input x.tns -ranks 10,10,10 -ttmc dtree -update delta.tns
 //	hooi -input x.tns -ranks 5,5,5,5 -dist 16 -grain fine -method hp
+//	hooi -input x.tns -ranks 5,5,5 -dist spawn -np 4
+//	hooi -input x.tns -ranks 5,5,5 -dist tcp -rank 0 -peers h0:9000,h1:9000
+//
+// -dist spawn forks -np rank processes on this machine (binding their
+// loopback ports first, so the launch is race-free) and waits; -dist
+// tcp joins an externally launched process group as one rank, where
+// every process must be started with the same -peers list and its own
+// -rank. Both run the same collective algorithms as the simulated
+// transport, so fit trajectories are bitwise identical at equal rank
+// counts.
 //
 // With -update the tool converges once, then ingests the delta
 // tensor(s) through the resident engine's incremental path and reports,
@@ -22,9 +33,12 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/exec"
 	"strconv"
 	"strings"
+	"time"
 
 	"hypertensor"
 	"hypertensor/internal/dist"
@@ -45,9 +59,14 @@ func main() {
 		ttmc    = flag.String("ttmc", "flat", "TTMc strategy: flat | dtree (memoized dimension tree)")
 		format  = flag.String("format", "coo", "sparse storage format: coo | csf (compressed sparse fibers)")
 		seed    = flag.Int64("seed", 1, "random seed")
-		distP   = flag.Int("dist", 0, "run distributed with this many simulated ranks (0 = shared memory)")
+		distM   = flag.String("dist", "", "distributed mode: a rank count (simulated, in-process), \"tcp\" (join a multi-process group as one rank), or \"spawn\" (fork -np rank processes locally); empty or 0 = shared memory")
 		grain   = flag.String("grain", "fine", "distributed task grain: fine | coarse")
 		method  = flag.String("method", "hp", "distributed placement: hp | rd | bl")
+		np      = flag.Int("np", 4, "rank-process count for -dist spawn")
+		rank    = flag.Int("rank", -1, "this process's rank for -dist tcp")
+		peersIn = flag.String("peers", "", "comma-separated host:port of every rank (index = rank) for -dist tcp")
+		lfd     = flag.Int("listen-fd", -1, "inherited file descriptor of this rank's pre-bound listener (-dist tcp; set by -dist spawn)")
+		distTO  = flag.Duration("dist-timeout", 2*time.Minute, "TCP transport receive/write deadline; a stalled or dead peer fails the run after this long (negative disables)")
 		update  = flag.String("update", "", "comma-separated delta tensors (.tns) to ingest incrementally after the initial convergence")
 		updates = flag.Int("updates", 1, "how many times to replay the -update delta list")
 		quiet   = flag.Bool("q", false, "print only the final fit")
@@ -65,15 +84,32 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	if !*quiet {
+	// The spawn parent and non-zero TCP ranks stay silent: rank 0 of the
+	// process group reports for everyone.
+	if !*quiet && *distM != "spawn" && !(*distM == "tcp" && *rank != 0) {
 		fmt.Printf("tensor: dims=%v nnz=%d\n", x.Dims, x.NNZ())
 	}
 
-	if *distP > 0 {
+	if *distM != "" && *distM != "0" {
 		if *update != "" {
 			fail(fmt.Errorf("-update is a shared-memory engine feature; it cannot be combined with -dist"))
 		}
-		runDistributed(x, ranks, *distP, *grain, *method, *iters, *tol, *seed, *quiet)
+		d := distRun{
+			input: *input, ranks: ranks, grain: *grain, method: *method,
+			iters: *iters, tol: *tol, seed: *seed, timeout: *distTO, quiet: *quiet,
+		}
+		switch *distM {
+		case "tcp":
+			d.runTCP(x, *rank, *peersIn, *lfd)
+		case "spawn":
+			d.runSpawn(*np)
+		default:
+			p, err := strconv.Atoi(*distM)
+			if err != nil || p < 1 {
+				fail(fmt.Errorf("-dist wants a rank count, \"tcp\", or \"spawn\"; got %q", *distM))
+			}
+			d.runSimulated(x, p)
+		}
 		return
 	}
 
@@ -89,7 +125,7 @@ func main() {
 		}
 		if *algo == "sthosvd" {
 			if *quiet {
-				fmt.Printf("%.8f\n", st.Fit)
+				fmt.Printf("%.10f\n", st.Fit)
 			} else {
 				fmt.Println("ST-HOSVD:", hypertensor.Summary(st))
 			}
@@ -165,7 +201,7 @@ func main() {
 		return
 	}
 	if *quiet {
-		fmt.Printf("%.8f\n", dec.Fit)
+		fmt.Printf("%.10f\n", dec.Fit)
 		return
 	}
 	fmt.Println(hypertensor.Summary(dec))
@@ -240,7 +276,7 @@ func runUpdates(eng *hypertensor.Engine, x *hypertensor.SparseTensor, initial *h
 	if quiet {
 		// Quiet mode reports only the incremental fit; skip the (cold,
 		// expensive) from-scratch comparison solve entirely.
-		fmt.Printf("%.8f\n", last.Fit)
+		fmt.Printf("%.10f\n", last.Fit)
 		return
 	}
 	scratch, err := hypertensor.Decompose(mirror, opts)
@@ -267,18 +303,31 @@ func humanInt(v int64) string {
 	return fmt.Sprintf("%d", v)
 }
 
-func runDistributed(x *hypertensor.SparseTensor, ranks []int, p int, grain, method string, iters int, tol float64, seed int64, quiet bool) {
+// distRun carries the flag state a distributed launch needs, in any of
+// its three modes (simulated ranks, one TCP rank, local spawn).
+type distRun struct {
+	input         string
+	ranks         []int
+	grain, method string
+	iters         int
+	tol           float64
+	seed          int64
+	timeout       time.Duration
+	quiet         bool
+}
+
+func (d *distRun) partition(x *hypertensor.SparseTensor, p int) *hypertensor.Partition {
 	var g hypertensor.Grain
-	switch grain {
+	switch d.grain {
 	case "fine":
 		g = hypertensor.FineGrain
 	case "coarse":
 		g = hypertensor.CoarseGrain
 	default:
-		fail(fmt.Errorf("unknown grain %q", grain))
+		fail(fmt.Errorf("unknown grain %q", d.grain))
 	}
 	var m hypertensor.PartitionMethod
-	switch method {
+	switch d.method {
 	case "hp":
 		m = hypertensor.PartitionHypergraph
 	case "rd":
@@ -286,28 +335,144 @@ func runDistributed(x *hypertensor.SparseTensor, ranks []int, p int, grain, meth
 	case "bl":
 		m = hypertensor.PartitionBlock
 	default:
-		fail(fmt.Errorf("unknown method %q", method))
+		fail(fmt.Errorf("unknown method %q", d.method))
 	}
-	part, err := hypertensor.NewPartition(x, p, g, m, seed)
+	part, err := hypertensor.NewPartition(x, p, g, m, d.seed)
 	if err != nil {
 		fail(err)
 	}
+	return part
+}
+
+// runSimulated solves on p in-process simulated ranks.
+func (d *distRun) runSimulated(x *hypertensor.SparseTensor, p int) {
+	part := d.partition(x, p)
 	res, err := hypertensor.DecomposeDistributed(x, part, hypertensor.DistConfig{
-		Ranks: ranks, MaxIters: iters, Tol: tol, Seed: seed,
+		Ranks: d.ranks, MaxIters: d.iters, Tol: d.tol, Seed: d.seed,
 	})
 	if err != nil {
 		fail(err)
 	}
-	if quiet {
-		fmt.Printf("%.8f\n", res.Fit)
+	d.report(part, res, p, "simulated")
+}
+
+// runTCP joins a multi-process group as one rank. Every process of the
+// group runs the same deterministic solve; rank 0 reports.
+func (d *distRun) runTCP(x *hypertensor.SparseTensor, rank int, peerList string, listenFD int) {
+	peers := strings.Split(peerList, ",")
+	for i := range peers {
+		peers[i] = strings.TrimSpace(peers[i])
+	}
+	if len(peers) < 1 || peers[0] == "" {
+		fail(fmt.Errorf("-dist tcp needs -peers host:port,..."))
+	}
+	if rank < 0 || rank >= len(peers) {
+		fail(fmt.Errorf("-dist tcp needs -rank in [0,%d)", len(peers)))
+	}
+	opt := hypertensor.TCPOptions{Timeout: d.timeout}
+	if listenFD >= 0 {
+		ln, err := net.FileListener(os.NewFile(uintptr(listenFD), "listener"))
+		if err != nil {
+			fail(fmt.Errorf("rank %d: inherited listener fd %d: %v", rank, listenFD, err))
+		}
+		opt.Listener = ln
+	}
+	w, err := hypertensor.ConnectTCP(context.Background(), rank, peers, opt)
+	if err != nil {
+		fail(err)
+	}
+	part := d.partition(x, len(peers))
+	res, err := hypertensor.DecomposeDistributedWorld(context.Background(), w, x, part, hypertensor.DistConfig{
+		Ranks: d.ranks, MaxIters: d.iters, Tol: d.tol, Seed: d.seed,
+	})
+	if err != nil {
+		fail(err)
+	}
+	if rank != 0 {
+		return // replicated result; only rank 0 speaks
+	}
+	d.report(part, res, len(peers), fmt.Sprintf("tcp wire=%dB", w.WireBytes()))
+}
+
+// runSpawn binds one loopback listener per rank, then forks this binary
+// -np times in -dist tcp mode, passing each child its pre-bound
+// listener as an inherited file descriptor — race-free ephemeral ports.
+func (d *distRun) runSpawn(np int) {
+	if np < 1 {
+		fail(fmt.Errorf("-dist spawn needs -np >= 1"))
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fail(err)
+	}
+	lns := make([]*net.TCPListener, np)
+	addrs := make([]string, np)
+	for r := 0; r < np; r++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fail(err)
+		}
+		lns[r] = ln.(*net.TCPListener)
+		addrs[r] = ln.Addr().String()
+	}
+	cmds := make([]*exec.Cmd, np)
+	for r := 0; r < np; r++ {
+		args := []string{
+			"-input", d.input,
+			"-ranks", intsCSV(d.ranks),
+			"-iters", strconv.Itoa(d.iters),
+			"-tol", strconv.FormatFloat(d.tol, 'g', -1, 64),
+			"-seed", strconv.FormatInt(d.seed, 10),
+			"-grain", d.grain,
+			"-method", d.method,
+			"-dist", "tcp",
+			"-rank", strconv.Itoa(r),
+			"-peers", strings.Join(addrs, ","),
+			"-listen-fd", "3",
+			"-dist-timeout", d.timeout.String(),
+		}
+		if d.quiet {
+			args = append(args, "-q")
+		}
+		f, err := lns[r].File() // dup of the listening socket for the child
+		if err != nil {
+			fail(err)
+		}
+		cmd := exec.Command(exe, args...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		cmd.ExtraFiles = []*os.File{f} // child fd 3
+		if err := cmd.Start(); err != nil {
+			fail(fmt.Errorf("spawning rank %d: %v", r, err))
+		}
+		f.Close()
+		lns[r].Close()
+		cmds[r] = cmd
+	}
+	status := 0
+	for r, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			fmt.Fprintf(os.Stderr, "hooi: rank %d: %v\n", r, err)
+			status = 1
+		}
+	}
+	os.Exit(status)
+}
+
+func (d *distRun) report(part *hypertensor.Partition, res *hypertensor.DistDecomposition, p int, transport string) {
+	if d.quiet {
+		fmt.Printf("%.10f\n", res.Fit)
 		return
 	}
 	st := res.Stats
-	fmt.Printf("distributed %s on %d ranks: fit %.6f after %d sweeps (%.3fs/iter wall)\n",
-		part.Name(), p, res.Fit, res.Iters, st.WallPerIter.Seconds())
+	fmt.Printf("distributed %s on %d ranks (%s): fit %.6f after %d sweeps (%.3fs/iter wall)\n",
+		part.Name(), p, transport, res.Fit, res.Iters, st.WallPerIter.Seconds())
 	fmt.Printf("max phase times: ttmc=%v trsvd=%v core=%v symbolic=%v\n",
 		dist.MaxDuration(st.TTMcTime), dist.MaxDuration(st.TRSVDTime),
 		dist.MaxDuration(st.CoreTime), dist.MaxDuration(st.SymbolicTime))
+	for r := 0; r < p; r++ {
+		fmt.Printf("  rank %d: wall %v, sent %d B payload\n", r, st.RankWall[r].Round(time.Millisecond), st.SentBytes[r])
+	}
 	for n := range st.Mode {
 		var maxC, sumC int64
 		for _, ms := range st.Mode[n] {
@@ -318,6 +483,14 @@ func runDistributed(x *hypertensor.SparseTensor, ranks []int, p int, grain, meth
 		}
 		fmt.Printf("  mode %d comm: max %d B, avg %.0f B per rank\n", n+1, maxC, float64(sumC)/float64(p))
 	}
+}
+
+func intsCSV(vs []int) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = strconv.Itoa(v)
+	}
+	return strings.Join(parts, ",")
 }
 
 func parseRanks(s string) ([]int, error) {

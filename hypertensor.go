@@ -34,11 +34,14 @@ package hypertensor
 import (
 	"fmt"
 
+	"context"
+
 	"hypertensor/internal/core"
 	"hypertensor/internal/cp"
 	"hypertensor/internal/dense"
 	"hypertensor/internal/dist"
 	"hypertensor/internal/gen"
+	"hypertensor/internal/mpi"
 	"hypertensor/internal/tensor"
 )
 
@@ -100,6 +103,21 @@ type (
 	DistDecomposition = dist.Result
 	// DistStats carries per-rank work and communication measurements.
 	DistStats = dist.Stats
+	// World is the message-passing runner abstraction both distributed
+	// transports implement: the in-process simulated fabric (NewWorld)
+	// and the multi-process TCP mesh (ConnectTCP).
+	World = mpi.Runner
+	// TCPWorld is one OS process's rank endpoint in a multi-process
+	// distributed run, connected to its peers by persistent TCP streams
+	// of length-prefixed binary frames.
+	TCPWorld = mpi.TCPWorld
+	// TCPOptions tune ConnectTCP (dial/receive timeouts, pre-bound
+	// listener, frame-size cap).
+	TCPOptions = mpi.TCPOptions
+	// TransportError is the typed failure of a distributed transport
+	// operation; match its cause with errors.Is against the mpi
+	// sentinels (e.g. mpi.ErrPeerDied, mpi.ErrTimeout).
+	TransportError = mpi.Error
 	// STHOSVDOptions configure DecomposeSTHOSVD.
 	STHOSVDOptions = core.STHOSVDOptions
 	// CPOptions configure DecomposeCP.
@@ -215,6 +233,31 @@ func NewPartition(x *SparseTensor, p int, grain Grain, method PartitionMethod, s
 // decomposition with per-rank statistics.
 func DecomposeDistributed(x *SparseTensor, part *Partition, cfg DistConfig) (*DistDecomposition, error) {
 	return dist.Decompose(x, part, cfg)
+}
+
+// NewDistWorld creates the in-process simulated fabric for p ranks —
+// the transport DecomposeDistributed uses internally, exposed so
+// callers can drive DecomposeDistributedWorld with either transport.
+func NewDistWorld(p int) World { return mpi.NewWorld(p) }
+
+// ConnectTCP joins a multi-process distributed world as one rank.
+// peers[i] is the host:port rank i listens on; every process of the
+// group must call ConnectTCP concurrently with the same peer list and
+// its own rank. The returned world runs DecomposeDistributedWorld with
+// fit trajectories bitwise identical to the simulated transport at the
+// same rank count.
+func ConnectTCP(ctx context.Context, rank int, peers []string, opt TCPOptions) (*TCPWorld, error) {
+	return mpi.ConnectTCP(ctx, rank, peers, opt)
+}
+
+// DecomposeDistributedWorld runs the distributed-memory HOOI over an
+// explicit transport: a simulated world (NewDistWorld) computes every
+// rank in this process, a TCP world (ConnectTCP) computes this
+// process's rank of a multi-process group. The partition and config
+// must be identical on every rank. Cancelling ctx aborts a blocked or
+// deadlocked world with an error instead of hanging.
+func DecomposeDistributedWorld(ctx context.Context, w World, x *SparseTensor, part *Partition, cfg DistConfig) (*DistDecomposition, error) {
+	return dist.DecomposeWorld(ctx, w, x, part, cfg)
 }
 
 // GeneratePreset synthesizes one of the benchmark datasets modeled on

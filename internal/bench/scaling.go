@@ -5,12 +5,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"runtime"
 	"strings"
+	"sync"
+	"time"
 
 	"hypertensor/internal/core"
+	"hypertensor/internal/dist"
 	"hypertensor/internal/gen"
+	"hypertensor/internal/mpi"
 	"hypertensor/internal/par"
 	"hypertensor/internal/tensor"
 )
@@ -23,6 +28,20 @@ type ScalingCell struct {
 	TTMcSec  float64 `json:"ttmc_sec"`  // TTMc share of the sweep
 	TRSVDSec float64 `json:"trsvd_sec"` // TRSVD share of the sweep (the post-dtree hot phase)
 	Speedup  float64 `json:"speedup"`   // sweep speedup vs the first thread count
+}
+
+// DistCell is one multi-process measurement of a dataset: the
+// distributed HOOI over a real TCP mesh of np rank endpoints on
+// loopback — the same transport `hooi -dist spawn/tcp` runs across
+// processes. NetBytesPerSweep is the total payload volume all ranks
+// sent over the run (setup exchange included) divided by the sweep
+// count; it is deterministic for a fixed partition, so the CI gate
+// applies the standard fractional tolerance. SweepSec is rank 0's wall
+// clock per sweep, gated only on matching hosts like the thread cells.
+type DistCell struct {
+	NP               int     `json:"np"`
+	NetBytesPerSweep int64   `json:"net_bytes_per_sweep"`
+	SweepSec         float64 `json:"sweep_sec"`
 }
 
 // ScalingRow is the scaling sweep of one dataset. MaddsPerSweep,
@@ -53,6 +72,9 @@ type ScalingRow struct {
 	Fit          float64       `json:"fit"`
 	FitInvariant bool          `json:"fit_invariant"` // fits bitwise equal across the thread sweep
 	Cells        []ScalingCell `json:"cells"`
+	// Dist holds the multi-process transport rows (one per rank count in
+	// distNPs), measured over TCP loopback.
+	Dist []DistCell `json:"dist,omitempty"`
 }
 
 // ScalingReport is the machine-readable output of `htbench -scaling
@@ -71,8 +93,13 @@ type ScalingReport struct {
 
 // scalingSchema versions the report layout for the CI comparison.
 // Schema 2 added trsvd_sec per cell and allocs_per_sweep per row;
-// schema 3 added the update-path gates (update_sweeps, update_madds).
-const scalingSchema = 3
+// schema 3 added the update-path gates (update_sweeps, update_madds);
+// schema 4 added the multi-process transport rows (dist: np,
+// net_bytes_per_sweep, sweep_sec over a TCP loopback mesh).
+const scalingSchema = 4
+
+// distNPs are the multi-process rank counts measured per dataset.
+var distNPs = []int{2, 4}
 
 // timeNoiseFloorSec is the smallest absolute sweep-time increase the
 // wall-clock gate treats as signal: min-of-Reps measurements of
@@ -80,6 +107,14 @@ const scalingSchema = 3
 // percentage alone cannot gate them. A regression must exceed both the
 // fractional tolerance and this floor to fail the build.
 const timeNoiseFloorSec = 0.025
+
+// distTimeNoiseFloorSec is the wall-clock floor for the multi-process
+// cells. The TCP loopback mesh runs np rank endpoints (each with its
+// own reader/writer goroutines and parallel sweep workers) on one
+// host, so even min-of-Reps sweeps jitter far more than the
+// shared-memory thread cells; the network-volume gate, which is
+// deterministic, carries the regression signal at small scales.
+const distTimeNoiseFloorSec = 0.075
 
 // allocNoiseFloor is the absolute allocs-per-sweep slack of the
 // allocation gate: GC timing can empty a sync.Pool mid-sweep and force
@@ -200,6 +235,13 @@ func Scaling(o Options, sched par.Schedule, w io.Writer) (*ScalingReport, error)
 		if err != nil {
 			return nil, fmt.Errorf("%s update: %w", name, err)
 		}
+		for _, np := range distNPs {
+			cell, err := measureDist(x, ranks, np, o.Iters, o.Reps, o.Seed+31)
+			if err != nil {
+				return nil, fmt.Errorf("%s np=%d: %w", name, np, err)
+			}
+			row.Dist = append(row.Dist, cell)
+		}
 		rep.Rows = append(rep.Rows, row)
 		for i, cell := range row.Cells {
 			first := ""
@@ -221,7 +263,106 @@ func Scaling(o Options, sched par.Schedule, w io.Writer) (*ScalingReport, error)
 		}
 	}
 	t.Render(w)
+	td := &Table{
+		Title:   "Multi-process transport (TCP loopback mesh): network volume and wall clock per sweep",
+		Headers: []string{"Tensor", "np", "net B/sweep", "s/sweep"},
+	}
+	for _, row := range rep.Rows {
+		for i, dc := range row.Dist {
+			first := ""
+			if i == 0 {
+				first = row.Dataset
+			}
+			td.AddRow(first, fmt.Sprintf("%d", dc.NP), fmt.Sprintf("%d", dc.NetBytesPerSweep), secs(dc.SweepSec))
+		}
+	}
+	td.Render(w)
 	return rep, nil
+}
+
+// measureDist runs the distributed HOOI over a real TCP mesh on
+// loopback — np rank endpoints in this process, each a full TCPWorld
+// with its own sockets, exactly the transport the multi-process
+// launcher uses — and reports the per-sweep network volume and rank 0's
+// wall clock, min-of-reps like the thread cells (the mesh oversubscribes
+// the host with np ranks' worth of goroutines, so single-shot timings
+// are noisy). The fine-grain random partition keeps the placement cheap
+// and deterministic, so the volume is a machine-independent gate; it is
+// also asserted identical across repetitions.
+func measureDist(x *tensor.COO, ranks []int, np, iters, reps int, seed int64) (DistCell, error) {
+	part, err := dist.MakePartition(x, np, dist.Fine, dist.MethodRandom, seed)
+	if err != nil {
+		return DistCell{}, err
+	}
+	cell := DistCell{NP: np}
+	for rep := 0; rep < reps; rep++ {
+		res, err := distSolveTCP(x, part, ranks, np, iters, seed)
+		if err != nil {
+			return DistCell{}, err
+		}
+		net := res.Stats.TotalSentBytes() / int64(res.Iters)
+		if rep == 0 {
+			cell.NetBytesPerSweep = net
+			cell.SweepSec = res.Stats.WallPerIter.Seconds()
+			continue
+		}
+		if net != cell.NetBytesPerSweep {
+			return DistCell{}, fmt.Errorf("nondeterministic network volume: %d B/sweep then %d", cell.NetBytesPerSweep, net)
+		}
+		if s := res.Stats.WallPerIter.Seconds(); s < cell.SweepSec {
+			cell.SweepSec = s
+		}
+	}
+	return cell, nil
+}
+
+// distSolveTCP builds a fresh np-endpoint TCP loopback mesh and runs
+// one distributed solve over it, returning rank 0's result.
+func distSolveTCP(x *tensor.COO, part *dist.Partition, ranks []int, np, iters int, seed int64) (*dist.Result, error) {
+	lns := make([]net.Listener, np)
+	addrs := make([]string, np)
+	for r := 0; r < np; r++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns[r] = ln
+		addrs[r] = ln.Addr().String()
+	}
+	worlds := make([]*mpi.TCPWorld, np)
+	errs := make([]error, np)
+	var wg sync.WaitGroup
+	wg.Add(np)
+	for r := 0; r < np; r++ {
+		go func(r int) {
+			defer wg.Done()
+			worlds[r], errs[r] = mpi.ConnectTCP(context.Background(), r, addrs, mpi.TCPOptions{
+				Listener: lns[r], Timeout: 2 * time.Minute,
+			})
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	cfg := dist.Config{Ranks: ranks, MaxIters: iters, Tol: -1, Seed: seed}
+	results := make([]*dist.Result, np)
+	wg.Add(np)
+	for r := 0; r < np; r++ {
+		go func(r int) {
+			defer wg.Done()
+			results[r], errs[r] = dist.DecomposeWorld(context.Background(), worlds[r], x, part, cfg)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results[0], nil
 }
 
 // measureUpdate exercises the resident-engine delta path once per
@@ -295,10 +436,13 @@ func ReadScalingReport(path string) (*ScalingReport, error) {
 //     have stayed bitwise invariant across the thread sweep;
 //   - the wall-clock gate: per-(dataset, threads) seconds-per-sweep
 //     must not exceed the baseline by more than timeTol AND by more
-//     than the absolute noise floor (timeNoiseFloorSec) — applied only
-//     when the two reports carry the same host fingerprint, because a
-//     baseline measured on different hardware says nothing about this
-//     machine's absolute times (the skip is reported on w).
+//     than the absolute noise floor (timeNoiseFloorSec; the
+//     multi-process cells use the larger distTimeNoiseFloorSec, and
+//     their network volume gets the machine-independent fractional
+//     gate) — applied only when the two reports carry the same host
+//     fingerprint, because a baseline measured on different hardware
+//     says nothing about this machine's absolute times (the skip is
+//     reported on w).
 //
 // The configurations (scale, iters, schedule, schema) must match, so a
 // CI job cannot silently compare sweeps of different shapes.
@@ -377,6 +521,39 @@ func CompareScaling(base, cur *ScalingReport, tol, timeTol float64, w io.Writer)
 		if b.UpdateMadds > 0 && exceeds(float64(c.UpdateMadds), float64(b.UpdateMadds), tol) {
 			return fmt.Errorf("bench: %s update-path TTMc madds regressed %d -> %d (> %.0f%%)",
 				c.Dataset, b.UpdateMadds, c.UpdateMadds, tol*100)
+		}
+		// The multi-process transport gates: every rank count in the
+		// baseline must still be measured, network volume is deterministic
+		// and gets the fractional tolerance, wall clock follows the same
+		// host-fingerprint + noise-floor rules as the thread cells.
+		curDist := map[int]bool{}
+		for _, dc := range c.Dist {
+			curDist[dc.NP] = true
+		}
+		for _, bd := range b.Dist {
+			if !curDist[bd.NP] {
+				return fmt.Errorf("bench: %s is missing the np=%d multi-process cell present in the baseline",
+					c.Dataset, bd.NP)
+			}
+		}
+		baseDist := map[int]DistCell{}
+		for _, dc := range b.Dist {
+			baseDist[dc.NP] = dc
+		}
+		for _, dc := range c.Dist {
+			bd, ok := baseDist[dc.NP]
+			if !ok {
+				continue
+			}
+			if exceeds(float64(dc.NetBytesPerSweep), float64(bd.NetBytesPerSweep), tol) {
+				return fmt.Errorf("bench: %s np=%d net bytes/sweep regressed %d -> %d (> %.0f%%)",
+					c.Dataset, dc.NP, bd.NetBytesPerSweep, dc.NetBytesPerSweep, tol*100)
+			}
+			if timeGate && timeTol > 0 && dc.SweepSec-bd.SweepSec >= distTimeNoiseFloorSec &&
+				exceeds(dc.SweepSec, bd.SweepSec, timeTol) {
+				return fmt.Errorf("bench: %s np=%d sweep time regressed %.4fs -> %.4fs (> %.0f%%)",
+					c.Dataset, dc.NP, bd.SweepSec, dc.SweepSec, timeTol*100)
+			}
 		}
 		if !timeGate || timeTol <= 0 {
 			continue

@@ -41,6 +41,14 @@ func TestScalingReport(t *testing.T) {
 				t.Fatalf("%s @%d threads: TRSVD share %v outside (0, sweep)", row.Dataset, cell.Threads, cell.TRSVDSec)
 			}
 		}
+		if len(row.Dist) != len(distNPs) {
+			t.Fatalf("%s: %d multi-process cells for %d rank counts", row.Dataset, len(row.Dist), len(distNPs))
+		}
+		for i, dc := range row.Dist {
+			if dc.NP != distNPs[i] || dc.NetBytesPerSweep <= 0 || dc.SweepSec <= 0 {
+				t.Fatalf("%s np=%d: malformed multi-process cell %+v", row.Dataset, distNPs[i], dc)
+			}
+		}
 	}
 	if !strings.Contains(buf.String(), "Thread scaling") {
 		t.Fatal("table output missing title")
@@ -87,6 +95,10 @@ func scalingFixture() *ScalingReport {
 			Cells: []ScalingCell{
 				{Threads: 1, SweepSec: 1.0, TTMcSec: 0.5, TRSVDSec: 0.4, Speedup: 1},
 				{Threads: 8, SweepSec: 0.25, TTMcSec: 0.12, TRSVDSec: 0.1, Speedup: 4},
+			},
+			Dist: []DistCell{
+				{NP: 2, NetBytesPerSweep: 50000, SweepSec: 0.8},
+				{NP: 4, NetBytesPerSweep: 90000, SweepSec: 0.6},
 			},
 		}},
 	}
@@ -171,6 +183,44 @@ func TestCompareScalingGates(t *testing.T) {
 		t.Fatalf("determinism regression not caught: %v", err)
 	}
 
+	netUp := scalingFixture()
+	netUp.Rows[0].Dist[1].NetBytesPerSweep = 120000 // +33% at np=4
+	if err := CompareScaling(base, netUp, 0.10, 0.10, &buf); err == nil ||
+		!strings.Contains(err.Error(), "net bytes") {
+		t.Fatalf("network-volume regression not caught: %v", err)
+	}
+
+	distSlow := scalingFixture()
+	distSlow.Rows[0].Dist[0].SweepSec = 1.0 // +25% at np=2, above the noise floor
+	if err := CompareScaling(base, distSlow, 0.10, 0.10, &buf); err == nil ||
+		!strings.Contains(err.Error(), "np=2 sweep time") {
+		t.Fatalf("multi-process time regression not caught: %v", err)
+	}
+	// ...but not across hosts.
+	distSlow.Host = "other/arm64/maxprocs=2"
+	if err := CompareScaling(base, distSlow, 0.10, 0.10, &buf); err != nil {
+		t.Fatalf("cross-host multi-process time gate fired: %v", err)
+	}
+
+	// The loopback mesh oversubscribes the host, so fractionally large
+	// but sub-floor wall-clock drift on a multi-process cell is jitter,
+	// not a regression (the deterministic net-bytes gate carries the
+	// signal at this scale).
+	distBase := scalingFixture()
+	distBase.Rows[0].Dist[0].SweepSec = 0.20
+	distJitter := scalingFixture()
+	distJitter.Rows[0].Dist[0].SweepSec = 0.26 // +30% but only +60ms
+	if err := CompareScaling(distBase, distJitter, 0.10, 0.10, &buf); err != nil {
+		t.Fatalf("sub-floor multi-process drift flagged: %v", err)
+	}
+
+	distGone := scalingFixture()
+	distGone.Rows[0].Dist = distGone.Rows[0].Dist[:1] // dropped np=4
+	if err := CompareScaling(base, distGone, 0.10, 0.10, &buf); err == nil ||
+		!strings.Contains(err.Error(), "np=4 multi-process cell") {
+		t.Fatalf("missing multi-process cell not caught: %v", err)
+	}
+
 	fewer := scalingFixture()
 	fewer.Rows[0].Cells = fewer.Rows[0].Cells[:1] // dropped the 8-thread cell
 	if err := CompareScaling(base, fewer, 0.10, 0.10, &buf); err == nil ||
@@ -209,6 +259,9 @@ func TestCommittedBaselineParses(t *testing.T) {
 	for _, row := range rep.Rows {
 		if row.MaddsPerSweep <= 0 || row.AllocsPerSweep <= 0 || len(row.Cells) == 0 || !row.FitInvariant {
 			t.Fatalf("baseline row %s malformed", row.Dataset)
+		}
+		if len(row.Dist) != len(distNPs) {
+			t.Fatalf("baseline row %s has %d multi-process cells, want %d", row.Dataset, len(row.Dist), len(distNPs))
 		}
 	}
 }

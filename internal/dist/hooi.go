@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -30,7 +31,10 @@ type Config struct {
 }
 
 // ModeStats carries one rank's per-mode work and communication counts
-// for a single HOOI iteration (the paper's Table III statistics).
+// for a single HOOI iteration (the paper's Table III statistics). The
+// counts are exchanged between ranks at the end of a run, so every
+// rank's Stats — including a single process of a multi-process TCP
+// world — holds the measurements of all ranks.
 type ModeStats struct {
 	// WTTMc is the TTMc multiply-add count: local nonzeros times the
 	// TTMc row size.
@@ -43,13 +47,24 @@ type ModeStats struct {
 	CommBytes int64
 }
 
-// Stats aggregates per-rank measurements of a distributed run.
+// Stats aggregates per-rank measurements of a distributed run. All
+// slices are indexed by rank and filled on every rank (the values are
+// exchanged with one extra allgather after the solve, identically on
+// both transports so byte accounting stays transport-invariant).
 type Stats struct {
-	// P is the number of simulated ranks.
+	// P is the number of ranks.
 	P int
-	// WallPerIter is the wall-clock time per HOOI sweep (host
+	// WallPerIter is rank 0's wall-clock time per HOOI sweep (host
 	// dependent: simulated ranks time-share the host's cores).
 	WallPerIter time.Duration
+	// RankWall[r] is rank r's total wall-clock time across all sweeps
+	// (barrier-to-barrier, so it includes waiting on stragglers).
+	RankWall []time.Duration
+	// SentBytes[r] is the payload bytes rank r sent during the solve
+	// (8 per float64, 4 per int32, self-sends free; identical between
+	// the simulated and TCP transports, and excluding this stats
+	// exchange itself).
+	SentBytes []int64
 	// Per-rank phase times, accumulated over all sweeps.
 	SymbolicTime []time.Duration
 	TTMcTime     []time.Duration
@@ -57,6 +72,15 @@ type Stats struct {
 	CoreTime     []time.Duration
 	// Mode[n][r] is rank r's per-iteration statistics in mode n.
 	Mode [][]ModeStats
+}
+
+// TotalSentBytes sums the per-rank payload bytes of the whole world.
+func (s *Stats) TotalSentBytes() int64 {
+	var sum int64
+	for _, b := range s.SentBytes {
+		sum += b
+	}
+	return sum
 }
 
 // Result is a distributed Tucker decomposition with per-rank statistics.
@@ -103,13 +127,28 @@ func (cfg Config) validate(x *tensor.COO, part *Partition) error {
 	return nil
 }
 
-// Decompose runs the distributed-memory HOOI (Algorithm 4) over the
-// partition's simulated ranks. The result is deterministic for a fixed
-// partition and config: every collective accumulates in fixed rank
-// order, so all ranks observe bitwise-identical factor iterates.
+// Decompose runs the distributed-memory HOOI (Algorithm 4) over
+// simulated in-process ranks. It is DecomposeWorld on a fresh simulated
+// world with a background context.
 func Decompose(x *tensor.COO, part *Partition, cfg Config) (*Result, error) {
+	return DecomposeWorld(context.Background(), mpi.NewWorld(part.P), x, part, cfg)
+}
+
+// DecomposeWorld runs the distributed-memory HOOI (Algorithm 4) over
+// the given world — either a simulated mpi.World (every rank a
+// goroutine of this process) or an mpi.TCPWorld (this process is one
+// rank of a multi-process group; every process must call DecomposeWorld
+// with the same tensor, partition, and config). The result is
+// deterministic for a fixed partition and config: every collective
+// accumulates in fixed rank order, so all ranks observe
+// bitwise-identical factor iterates on both transports. Cancelling ctx
+// aborts a blocked world with an error instead of hanging.
+func DecomposeWorld(ctx context.Context, world mpi.Runner, x *tensor.COO, part *Partition, cfg Config) (*Result, error) {
 	if err := cfg.validate(x, part); err != nil {
 		return nil, err
+	}
+	if world.Size() != part.P {
+		return nil, fmt.Errorf("dist: world has %d ranks but partition wants %d", world.Size(), part.P)
 	}
 	order := x.Order()
 	p := part.P
@@ -141,88 +180,138 @@ func Decompose(x *tensor.COO, part *Partition, cfg Config) (*Result, error) {
 		}
 	}
 
-	stats := &Stats{
-		P:            p,
-		SymbolicTime: make([]time.Duration, p),
-		TTMcTime:     make([]time.Duration, p),
-		TRSVDTime:    make([]time.Duration, p),
-		CoreTime:     make([]time.Duration, p),
-		Mode:         make([][]ModeStats, order),
-	}
-	for n := range stats.Mode {
-		stats.Mode[n] = make([]ModeStats, p)
-	}
-
-	res := &Result{Stats: stats}
-	var wallStart, wallEnd time.Time
-
-	world := mpi.NewWorld(p)
-	err := world.Run(func(c *mpi.Comm) {
+	// Each rank assembles its own complete Result (fit, factors, core
+	// are replicated by construction; stats are exchanged), so the body
+	// shares nothing across ranks — a requirement for the TCP world,
+	// where only the local rank runs in this process.
+	results := make([]*Result, p)
+	err := world.RunContext(ctx, func(c *mpi.Comm) {
 		me := c.Rank()
 		setupStart := time.Now()
 		rk := newRankState(c, x, part, gsym, allOwned, cfg.Ranks, initial, cfg.Seed)
-		stats.SymbolicTime[me] = time.Since(setupStart)
+		symTime := time.Since(setupStart)
 
 		c.Barrier()
-		if me == 0 {
-			wallStart = time.Now()
-		}
+		wallStart := time.Now()
 
 		// Every rank tracks the (replicated) fit with the shared tracker
 		// so the stopping decision stays in lockstep.
 		fits := core.NewFitTracker(normX, tol)
+		res := &Result{}
+		var ttmcTime, trsvdTime, coreTime time.Duration
+		modeComm := make([]int64, order)
 		iters := 0
 		for iter := 0; iter < maxIters; iter++ {
 			for n := 0; n < order; n++ {
-				bytesBefore := c.World().BytesSent(me)
+				bytesBefore := c.BytesSent()
 
 				t0 := time.Now()
 				rk.ttmc(n)
-				stats.TTMcTime[me] += time.Since(t0)
+				ttmcTime += time.Since(t0)
 
 				t0 = time.Now()
 				rk.trsvd(n)
-				stats.TRSVDTime[me] += time.Since(t0)
+				trsvdTime += time.Since(t0)
 
-				stats.Mode[n][me].CommBytes += c.World().BytesSent(me) - bytesBefore
+				modeComm[n] += c.BytesSent() - bytesBefore
 			}
 			t0 := time.Now()
 			g := rk.core()
-			stats.CoreTime[me] += time.Since(t0)
+			coreTime += time.Since(t0)
 
 			fit, stop := fits.Record(g.Norm())
 			iters = iter + 1
-			if me == 0 {
-				res.FitHistory = append(res.FitHistory, fit)
-				res.Fit = fit
-				res.Core = g
-			}
+			res.FitHistory = append(res.FitHistory, fit)
+			res.Fit = fit
+			res.Core = g
 			if stop {
 				break
 			}
 		}
 
 		c.Barrier()
-		if me == 0 {
-			wallEnd = time.Now()
-			res.Iters = iters
-			res.Factors = rk.factors
+		wall := time.Since(wallStart)
+		res.Iters = iters
+		res.Factors = rk.factors
+
+		// Exchange the per-rank measurements so every rank's Stats is
+		// complete. The gather happens on both transports (keeping byte
+		// accounting identical) and after the BytesSent snapshot (so the
+		// exchange doesn't count itself).
+		divIters := int64(iters)
+		if divIters < 1 {
+			divIters = 1
 		}
-		// Static per-iteration work counts and averaged comm volume.
+		local := make([]float64, statsFixedFields+3*order)
+		local[0] = symTime.Seconds()
+		local[1] = ttmcTime.Seconds()
+		local[2] = trsvdTime.Seconds()
+		local[3] = coreTime.Seconds()
+		local[4] = wall.Seconds()
+		local[5] = float64(c.BytesSent())
 		for n := 0; n < order; n++ {
-			ms := &stats.Mode[n][me]
-			ms.WTTMc = rk.modes[n].wTTMc
-			ms.WTRSVD = rk.modes[n].wTRSVD
-			ms.CommBytes /= int64(iters)
+			local[statsFixedFields+3*n+0] = float64(rk.modes[n].wTTMc)
+			local[statsFixedFields+3*n+1] = float64(rk.modes[n].wTRSVD)
+			local[statsFixedFields+3*n+2] = float64(modeComm[n] / divIters)
 		}
-		if me == 0 {
-			stats.WallPerIter = wallEnd.Sub(wallStart) / time.Duration(iters)
-		}
+		res.Stats = decodeStats(c.AllGatherV(local), p, order, iters)
+		results[me] = res
 	})
 	if err != nil {
 		return nil, err
 	}
-	return res, nil
+	// The simulated world fills every slot; a TCP world fills only the
+	// local rank's. Results are replicated, so any filled slot serves.
+	for _, res := range results {
+		if res != nil {
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("dist: no rank produced a result")
+}
+
+// statsFixedFields is the number of scalar fields preceding the
+// per-mode triples in the gathered stats payload.
+const statsFixedFields = 6
+
+// decodeStats unpacks the allgathered per-rank measurement payloads.
+func decodeStats(all [][]float64, p, order, iters int) *Stats {
+	st := &Stats{
+		P:            p,
+		RankWall:     make([]time.Duration, p),
+		SentBytes:    make([]int64, p),
+		SymbolicTime: make([]time.Duration, p),
+		TTMcTime:     make([]time.Duration, p),
+		TRSVDTime:    make([]time.Duration, p),
+		CoreTime:     make([]time.Duration, p),
+		Mode:         make([][]ModeStats, order),
+	}
+	for n := range st.Mode {
+		st.Mode[n] = make([]ModeStats, p)
+	}
+	for r := 0; r < p; r++ {
+		v := all[r]
+		st.SymbolicTime[r] = secDuration(v[0])
+		st.TTMcTime[r] = secDuration(v[1])
+		st.TRSVDTime[r] = secDuration(v[2])
+		st.CoreTime[r] = secDuration(v[3])
+		st.RankWall[r] = secDuration(v[4])
+		st.SentBytes[r] = int64(v[5])
+		for n := 0; n < order; n++ {
+			ms := &st.Mode[n][r]
+			ms.WTTMc = int64(v[statsFixedFields+3*n+0])
+			ms.WTRSVD = int64(v[statsFixedFields+3*n+1])
+			ms.CommBytes = int64(v[statsFixedFields+3*n+2])
+		}
+	}
+	if iters > 0 {
+		st.WallPerIter = st.RankWall[0] / time.Duration(iters)
+	}
+	return st
+}
+
+func secDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
 }
 
 // rankState is the per-rank working set of the SPMD HOOI body. Its

@@ -1,0 +1,194 @@
+package mpi
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Wire format. Every transfer between TCP ranks is one length-prefixed
+// binary frame, little-endian:
+//
+//	uint32  length   bytes that follow the length field (header + payload)
+//	uint8   kind     frameFloat64 | frameInt32 | frameHandshake | frameBye
+//	uint32  tag      message tag (collective or user)
+//	uint32  meta     message meta field (two's-complement int32)
+//	[]byte  payload  length-9 bytes: count*8 float64s or count*4 int32s
+//
+// The fixed header after the length field is frameHeaderLen bytes, so
+// length >= frameHeaderLen always. Handshake frames carry an int32
+// payload (protocol fields); bye frames carry none and mark a clean
+// connection shutdown, ordered after all data frames.
+const (
+	frameHeaderLen = 9
+	frameLenSize   = 4
+
+	frameFloat64   = byte(1)
+	frameInt32     = byte(2)
+	frameHandshake = byte(3)
+	frameBye       = byte(4)
+
+	// ProtocolVersion is carried in the connection handshake; both ends
+	// must agree or the connection is refused with ErrHandshake.
+	ProtocolVersion = 1
+
+	// defaultMaxFrame bounds the accepted frame length (1 GiB): a
+	// corrupt or hostile length prefix must produce a typed error, not
+	// an attempted giant allocation.
+	defaultMaxFrame = 1 << 30
+)
+
+// frame is the decoded wire form of a message plus its kind.
+type frame struct {
+	kind byte
+	msg  message
+}
+
+// frameWireLen returns the total on-the-wire size of a message payload
+// frame (length prefix + header + payload).
+func frameWireLen(m *message) int {
+	return frameLenSize + frameHeaderLen + 8*len(m.f) + 4*len(m.i)
+}
+
+// appendFrame encodes one message (or control frame) onto buf. Messages
+// carry either the float64 or the int32 payload; kind selects which (a
+// message with both is a programming error and unreachable from Comm).
+func appendFrame(buf []byte, kind byte, m *message) []byte {
+	payload := 8 * len(m.f)
+	if kind == frameInt32 || kind == frameHandshake {
+		payload = 4 * len(m.i)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(frameHeaderLen+payload))
+	buf = append(buf, kind)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.tag))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(m.meta)))
+	switch kind {
+	case frameFloat64:
+		for _, v := range m.f {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	case frameInt32, frameHandshake:
+		for _, v := range m.i {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+		}
+	}
+	return buf
+}
+
+// validateFrameHeader checks the length prefix and kind byte and
+// returns the payload length. All failures wrap ErrBadFrame.
+func validateFrameHeader(length uint32, kind byte, maxFrame int) (int, error) {
+	if length < frameHeaderLen {
+		return 0, fmt.Errorf("%w: declared length %d below header size %d", ErrBadFrame, length, frameHeaderLen)
+	}
+	if int64(length) > int64(maxFrame) {
+		return 0, fmt.Errorf("%w: declared length %d exceeds the %d-byte frame cap", ErrBadFrame, length, maxFrame)
+	}
+	payload := int(length) - frameHeaderLen
+	switch kind {
+	case frameFloat64:
+		if payload%8 != 0 {
+			return 0, fmt.Errorf("%w: float64 payload of %d bytes is not a multiple of 8", ErrBadFrame, payload)
+		}
+	case frameInt32, frameHandshake:
+		if payload%4 != 0 {
+			return 0, fmt.Errorf("%w: int32 payload of %d bytes is not a multiple of 4", ErrBadFrame, payload)
+		}
+	case frameBye:
+		if payload != 0 {
+			return 0, fmt.Errorf("%w: bye frame carries %d payload bytes", ErrBadFrame, payload)
+		}
+	default:
+		return 0, fmt.Errorf("%w: unknown frame kind %d", ErrBadFrame, kind)
+	}
+	return payload, nil
+}
+
+// parseFrameBody decodes the fixed header fields and payload (already
+// length-validated) into a frame.
+func parseFrameBody(kind byte, body []byte) frame {
+	fr := frame{kind: kind}
+	fr.msg.tag = int(binary.LittleEndian.Uint32(body[1:5]))
+	fr.msg.meta = int(int32(binary.LittleEndian.Uint32(body[5:9])))
+	payload := body[frameHeaderLen:]
+	switch kind {
+	case frameFloat64:
+		if n := len(payload) / 8; n > 0 {
+			fr.msg.f = make([]float64, n)
+			for i := range fr.msg.f {
+				fr.msg.f[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+			}
+		}
+	case frameInt32, frameHandshake:
+		if n := len(payload) / 4; n > 0 {
+			fr.msg.i = make([]int32, n)
+			for i := range fr.msg.i {
+				fr.msg.i[i] = int32(binary.LittleEndian.Uint32(payload[4*i:]))
+			}
+		}
+	}
+	return fr
+}
+
+// decodeFrame parses one frame from the front of b and returns it with
+// the number of bytes consumed. A short buffer returns
+// io.ErrUnexpectedEOF; a corrupt one returns an error wrapping
+// ErrBadFrame. It never panics on any input — the FuzzFrameDecode
+// contract.
+func decodeFrame(b []byte, maxFrame int) (frame, int, error) {
+	if maxFrame <= 0 {
+		maxFrame = defaultMaxFrame
+	}
+	if len(b) < frameLenSize+frameHeaderLen {
+		return frame{}, 0, fmt.Errorf("%w: truncated frame header", io.ErrUnexpectedEOF)
+	}
+	length := binary.LittleEndian.Uint32(b)
+	kind := b[frameLenSize]
+	payload, err := validateFrameHeader(length, kind, maxFrame)
+	if err != nil {
+		return frame{}, 0, err
+	}
+	total := frameLenSize + frameHeaderLen + payload
+	if len(b) < total {
+		return frame{}, 0, fmt.Errorf("%w: frame declares %d payload bytes, %d available",
+			io.ErrUnexpectedEOF, payload, len(b)-frameLenSize-frameHeaderLen)
+	}
+	return parseFrameBody(kind, b[frameLenSize:total]), total, nil
+}
+
+// readFrame reads exactly one frame from the stream, sharing the header
+// validation and body parsing with decodeFrame. It returns the frame
+// and its total wire size. EOF cleanly between frames returns io.EOF;
+// EOF inside a frame returns io.ErrUnexpectedEOF.
+func readFrame(br *bufio.Reader, maxFrame int) (frame, int, error) {
+	if maxFrame <= 0 {
+		maxFrame = defaultMaxFrame
+	}
+	var hdr [frameLenSize + frameHeaderLen]byte
+	if _, err := io.ReadFull(br, hdr[:frameLenSize]); err != nil {
+		return frame{}, 0, err
+	}
+	length := binary.LittleEndian.Uint32(hdr[:frameLenSize])
+	if _, err := io.ReadFull(br, hdr[frameLenSize:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return frame{}, 0, err
+	}
+	kind := hdr[frameLenSize]
+	payload, err := validateFrameHeader(length, kind, maxFrame)
+	if err != nil {
+		return frame{}, 0, err
+	}
+	body := make([]byte, frameHeaderLen+payload)
+	copy(body, hdr[frameLenSize:])
+	if _, err := io.ReadFull(br, body[frameHeaderLen:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return frame{}, 0, err
+	}
+	return parseFrameBody(kind, body), frameLenSize + frameHeaderLen + payload, nil
+}

@@ -1,0 +1,217 @@
+package mpi
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func framesEqual(a, b frame) bool {
+	if a.kind != b.kind || a.msg.tag != b.msg.tag || a.msg.meta != b.msg.meta {
+		return false
+	}
+	if len(a.msg.f) != len(b.msg.f) || len(a.msg.i) != len(b.msg.i) {
+		return false
+	}
+	for i := range a.msg.f {
+		if math.Float64bits(a.msg.f[i]) != math.Float64bits(b.msg.f[i]) {
+			return false
+		}
+	}
+	for i := range a.msg.i {
+		if a.msg.i[i] != b.msg.i[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFrameRoundTripFloat64(t *testing.T) {
+	cases := [][]float64{
+		nil,
+		{},
+		{0},
+		{1.5, -2.25, math.Inf(1), math.Inf(-1), math.NaN(), math.SmallestNonzeroFloat64, math.MaxFloat64, math.Copysign(0, -1)},
+	}
+	for _, f := range cases {
+		m := message{tag: 12345, meta: -7, f: append([]float64(nil), f...)}
+		buf := appendFrame(nil, frameFloat64, &m)
+		if len(buf) != frameWireLen(&m) {
+			t.Fatalf("encoded %d bytes, frameWireLen says %d", len(buf), frameWireLen(&m))
+		}
+		fr, n, err := decodeFrame(buf, 0)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if n != len(buf) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(buf))
+		}
+		want := frame{kind: frameFloat64, msg: m}
+		if len(m.f) == 0 {
+			want.msg.f = nil // empty payloads decode to nil, matching the simulated fabric
+		}
+		if !framesEqual(fr, want) {
+			t.Fatalf("round trip mismatch: got %+v want %+v", fr, want)
+		}
+	}
+}
+
+func TestFrameRoundTripInt32(t *testing.T) {
+	m := message{tag: 7, meta: math.MinInt32, i: []int32{0, -1, math.MaxInt32, math.MinInt32}}
+	buf := appendFrame(nil, frameInt32, &m)
+	fr, n, err := decodeFrame(buf, 0)
+	if err != nil || n != len(buf) {
+		t.Fatalf("decode: n=%d err=%v", n, err)
+	}
+	if !framesEqual(fr, frame{kind: frameInt32, msg: m}) {
+		t.Fatalf("round trip mismatch: %+v", fr)
+	}
+}
+
+func TestFrameRoundTripControl(t *testing.T) {
+	hs := message{i: []int32{ProtocolVersion, 4, 1, 2}}
+	buf := appendFrame(nil, frameHandshake, &hs)
+	buf = appendFrame(buf, frameBye, &message{})
+
+	br := bufio.NewReader(bytes.NewReader(buf))
+	fr, _, err := readFrame(br, 0)
+	if err != nil || fr.kind != frameHandshake || len(fr.msg.i) != 4 {
+		t.Fatalf("handshake: %+v err=%v", fr, err)
+	}
+	fr, _, err = readFrame(br, 0)
+	if err != nil || fr.kind != frameBye {
+		t.Fatalf("bye: %+v err=%v", fr, err)
+	}
+	if _, _, err = readFrame(br, 0); err != io.EOF {
+		t.Fatalf("want clean io.EOF after last frame, got %v", err)
+	}
+}
+
+// Property: encode→decode is the identity for arbitrary payloads, and
+// decodeFrame/readFrame agree on every frame.
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(tag uint16, meta int32, fdata []float64, idata []int32, isInt bool) bool {
+		m := message{tag: int(tag)}
+		m.meta = int(meta)
+		kind := frameFloat64
+		if isInt {
+			kind = frameInt32
+			m.i = idata
+		} else {
+			m.f = fdata
+		}
+		buf := appendFrame(nil, kind, &m)
+		fr, n, err := decodeFrame(buf, 0)
+		if err != nil || n != len(buf) {
+			return false
+		}
+		fr2, n2, err2 := readFrame(bufio.NewReader(bytes.NewReader(buf)), 0)
+		if err2 != nil || n2 != n {
+			return false
+		}
+		want := frame{kind: byte(kind), msg: m}
+		if len(m.f) == 0 {
+			want.msg.f = nil
+		}
+		if len(m.i) == 0 {
+			want.msg.i = nil
+		}
+		return framesEqual(fr, want) && framesEqual(fr2, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeFrameTruncated(t *testing.T) {
+	m := message{tag: 3, f: []float64{1, 2, 3}}
+	buf := appendFrame(nil, frameFloat64, &m)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := decodeFrame(buf[:cut], 0); !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut=%d: want ErrUnexpectedEOF, got %v", cut, err)
+		}
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	m := message{tag: 3, i: []int32{1, 2}}
+	buf := appendFrame(nil, frameInt32, &m)
+	for cut := 1; cut < len(buf); cut++ {
+		_, _, err := readFrame(bufio.NewReader(bytes.NewReader(buf[:cut])), 0)
+		if !errors.Is(err, io.ErrUnexpectedEOF) && err != io.EOF {
+			t.Fatalf("cut=%d: want EOF-ish error, got %v", cut, err)
+		}
+		if cut >= frameLenSize && err == io.EOF {
+			t.Fatalf("cut=%d inside a frame reported clean io.EOF", cut)
+		}
+	}
+}
+
+func TestDecodeFrameMalformed(t *testing.T) {
+	enc := func(length uint32, kind byte, payload int) []byte {
+		var b []byte
+		b = append(b, byte(length), byte(length>>8), byte(length>>16), byte(length>>24))
+		b = append(b, kind, 0, 0, 0, 0, 0, 0, 0, 0)
+		return append(b, make([]byte, payload)...)
+	}
+	cases := []struct {
+		name string
+		b    []byte
+	}{
+		{"length below header", enc(frameHeaderLen-1, frameFloat64, 0)},
+		{"unknown kind", enc(frameHeaderLen, 99, 0)},
+		{"float64 not multiple of 8", enc(frameHeaderLen+4, frameFloat64, 4)},
+		{"int32 not multiple of 4", enc(frameHeaderLen+3, frameInt32, 3)},
+		{"bye with payload", enc(frameHeaderLen+4, frameBye, 4)},
+		{"oversized", enc(1<<28, frameFloat64, 16)},
+	}
+	for _, tc := range cases {
+		if _, _, err := decodeFrame(tc.b, 1<<20); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s: want ErrBadFrame, got %v", tc.name, err)
+		}
+		_, _, err := readFrame(bufio.NewReader(bytes.NewReader(tc.b)), 1<<20)
+		if !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s (stream): want ErrBadFrame, got %v", tc.name, err)
+		}
+	}
+}
+
+// FuzzFrameDecode asserts the wire-decoder contract: arbitrary input
+// must produce a typed error or a valid frame — never a panic — and a
+// successfully decoded frame must re-encode to the bytes it consumed.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(appendFrame(nil, frameFloat64, &message{tag: 1, f: []float64{1.5, -2}}))
+	f.Add(appendFrame(nil, frameInt32, &message{tag: 2, meta: -3, i: []int32{7}}))
+	f.Add(appendFrame(nil, frameHandshake, &message{i: []int32{ProtocolVersion, 4, 0, 1}}))
+	f.Add(appendFrame(nil, frameBye, &message{}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxFrame = 1 << 20
+		fr, n, err := decodeFrame(data, maxFrame)
+		fr2, n2, err2 := readFrame(bufio.NewReader(bytes.NewReader(data)), maxFrame)
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("decodeFrame err=%v but readFrame err=%v", err, err2)
+		}
+		if err != nil {
+			if !errors.Is(err, ErrBadFrame) && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		if n != n2 || !framesEqual(fr, fr2) {
+			t.Fatalf("decodeFrame and readFrame disagree: (%d,%+v) vs (%d,%+v)", n, fr, n2, fr2)
+		}
+		if n < frameLenSize+frameHeaderLen || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		re := appendFrame(nil, fr.kind, &fr.msg)
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", re, data[:n])
+		}
+	})
+}

@@ -1,9 +1,14 @@
 package mpi
 
 import (
+	"context"
+	"errors"
 	"math"
+	"runtime"
+	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 var rankCounts = []int{1, 2, 3, 4, 7, 8, 16}
@@ -276,6 +281,78 @@ func TestRunPropagatesPanicWithRank(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("expected error")
+	}
+}
+
+// TestRunPanicAbortsBlockedRanks is the goroutine-leak regression: a
+// panicking rank must release peers blocked mid-collective (they fail
+// with ErrAborted) instead of abandoning their goroutines forever.
+func TestRunPanicAbortsBlockedRanks(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		w := NewWorld(4)
+		err := w.Run(func(c *Comm) {
+			if c.Rank() == 1 {
+				panic("rank 1 dies mid-collective")
+			}
+			c.Barrier() // blocks on rank 1 forever without the abort path
+			c.AllReduceScalar(1)
+		})
+		if err == nil {
+			t.Fatal("expected error")
+		}
+		if !strings.Contains(err.Error(), "rank 1") {
+			t.Fatalf("error does not name the dead rank: %v", err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	t.Fatalf("rank goroutines leaked: before=%d after=%d\n%s",
+		before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+}
+
+// TestRunContextTimeoutOnDeadlock: a deadlocked world must fail with a
+// context error once the deadline passes, on every rank, not hang.
+func TestRunContextTimeoutOnDeadlock(t *testing.T) {
+	w := NewWorld(2)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := w.RunContext(ctx, func(c *Comm) {
+		c.Recv((c.Rank()+1)%2, 0) // mutual deadlock: nobody sends
+	})
+	if err == nil {
+		t.Fatal("deadlocked world returned nil")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded as root cause, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("timeout did not fire promptly")
+	}
+}
+
+func TestAbortErrorsAreTyped(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Recv(1, 0)
+		} else {
+			panic(&Error{Rank: 1, Peer: -1, Op: "test", Err: ErrTimeout})
+		}
+	})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("root cause not preserved: %v", err)
+	}
+	var te *Error
+	if !errors.As(err, &te) || te.Rank != 1 {
+		t.Fatalf("typed error lost: %v", err)
 	}
 }
 
