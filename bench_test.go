@@ -227,9 +227,30 @@ func benchTRSVD(b *testing.B, method core.SVDMethod) {
 	}
 }
 
-func BenchmarkAblationTRSVDLanczos(b *testing.B)  { benchTRSVD(b, core.SVDLanczos) }
-func BenchmarkAblationTRSVDSubspace(b *testing.B) { benchTRSVD(b, core.SVDSubspace) }
-func BenchmarkAblationTRSVDGram(b *testing.B)     { benchTRSVD(b, core.SVDGram) }
+func BenchmarkAblationTRSVDLanczos(b *testing.B)    { benchTRSVD(b, core.SVDLanczos) }
+func BenchmarkAblationTRSVDSubspace(b *testing.B)   { benchTRSVD(b, core.SVDSubspace) }
+func BenchmarkAblationTRSVDGram(b *testing.B)       { benchTRSVD(b, core.SVDGram) }
+func BenchmarkAblationTRSVDRandomized(b *testing.B) { benchTRSVD(b, core.SVDRandomized) }
+
+// BenchmarkSolverCompare keeps the htbench -solver driver wired into
+// the CI benchmark smoke: the randomized and Lanczos solvers must both
+// complete on every preset and land within the benchmark noise floor
+// of each other.
+func BenchmarkSolverCompare(b *testing.B) {
+	o := benchOpts()
+	o.Reps = 1
+	for i := 0; i < b.N; i++ {
+		cells, err := bench.Solver(o, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			if c.RandDFit > 1e-5 {
+				b.Fatalf("randomized fit drifted %g from Lanczos", c.RandDFit)
+			}
+		}
+	}
+}
 
 // Partitioning ablation: multilevel hypergraph partitioning time and
 // achieved cutsize versus the random baseline.

@@ -6,6 +6,8 @@
 // Examples:
 //
 //	hooi -input x.tns -ranks 10,10,10 -iters 20 -tol 1e-5
+//	hooi -input x.tns -ranks 10,10,10 -svd rand -sketch gauss
+//	hooi -input x.tns -eps 0.25
 //	hooi -input x.tns -ranks 10,10,10 -format csf
 //	hooi -input x.tns -ranks 5,5,5,5 -format csf -ttmc dtree
 //	hooi -input x.tns -ranks 10,10,10 -ttmc dtree -update delta.tns
@@ -55,7 +57,11 @@ func main() {
 		sched   = flag.String("schedule", "balanced", "parallel loop schedule: balanced | dynamic | static")
 		algo    = flag.String("algo", "hooi", "algorithm: hooi | sthosvd | sthosvd+hooi")
 		initM   = flag.String("init", "random", "factor initialization: random | hosvd")
-		svd     = flag.String("svd", "lanczos", "TRSVD solver: lanczos | subspace | gram")
+		svd     = flag.String("svd", "lanczos", "TRSVD solver: lanczos | subspace | gram | rand")
+		eps     = flag.Float64("eps", 0, "adaptive-rank relative error target in (0,1]; selects per-mode ranks from the sketched spectrum (-ranks becomes an optional cap)")
+		sketch  = flag.String("sketch", "gauss", "randomized solver sketching operator: gauss | count")
+		oversmp = flag.Int("oversample", 0, "randomized solver oversampling columns (0 = default 8)")
+		power   = flag.Int("power", 0, "randomized solver power-iteration cap (0 = default 6, negative = none); the solver stops early once its Ritz energies settle")
 		ttmc    = flag.String("ttmc", "flat", "TTMc strategy: flat | dtree (memoized dimension tree)")
 		format  = flag.String("format", "coo", "sparse storage format: coo | csf (compressed sparse fibers)")
 		seed    = flag.Int64("seed", 1, "random seed")
@@ -72,13 +78,17 @@ func main() {
 		quiet   = flag.Bool("q", false, "print only the final fit")
 	)
 	flag.Parse()
-	if *input == "" || *ranksIn == "" {
+	if *input == "" || (*ranksIn == "" && *eps == 0) {
 		flag.Usage()
 		os.Exit(2)
 	}
-	ranks, err := parseRanks(*ranksIn)
-	if err != nil {
-		fail(err)
+	var ranks []int
+	if *ranksIn != "" {
+		var err error
+		ranks, err = parseRanks(*ranksIn)
+		if err != nil {
+			fail(err)
+		}
 	}
 	x, err := hypertensor.ReadTensorFile(*input)
 	if err != nil {
@@ -94,8 +104,14 @@ func main() {
 		if *update != "" {
 			fail(fmt.Errorf("-update is a shared-memory engine feature; it cannot be combined with -dist"))
 		}
+		if *eps != 0 {
+			fail(fmt.Errorf("-eps adaptive rank is a shared-memory engine feature; it cannot be combined with -dist"))
+		}
+		if ranks == nil {
+			fail(fmt.Errorf("-dist requires explicit -ranks"))
+		}
 		d := distRun{
-			input: *input, ranks: ranks, grain: *grain, method: *method,
+			input: *input, ranks: ranks, grain: *grain, method: *method, svd: *svd,
 			iters: *iters, tol: *tol, seed: *seed, timeout: *distTO, quiet: *quiet,
 		}
 		switch *distM {
@@ -118,7 +134,8 @@ func main() {
 	case "hooi":
 	case "sthosvd", "sthosvd+hooi":
 		st, err := hypertensor.DecomposeSTHOSVD(x, hypertensor.STHOSVDOptions{
-			Ranks: ranks, Seed: *seed, Threads: *threads,
+			Ranks: ranks, Eps: *eps, Oversample: *oversmp, PowerIters: *power,
+			Seed: *seed, Threads: *threads,
 		})
 		if err != nil {
 			fail(err)
@@ -128,12 +145,15 @@ func main() {
 				fmt.Printf("%.10f\n", st.Fit)
 			} else {
 				fmt.Println("ST-HOSVD:", hypertensor.Summary(st))
+				if *eps > 0 {
+					fmt.Printf("eps %g selected ranks %v\n", *eps, st.ChosenRanks)
+				}
 			}
 			return
 		}
 		warmStart = st.Factors
 		if !*quiet {
-			fmt.Printf("ST-HOSVD warm start: fit %.6f\n", st.Fit)
+			fmt.Printf("ST-HOSVD warm start: fit %.6f ranks %v\n", st.Fit, st.ChosenRanks)
 		}
 	default:
 		fail(fmt.Errorf("unknown algo %q", *algo))
@@ -144,13 +164,16 @@ func main() {
 		fail(err)
 	}
 	opts := hypertensor.Options{
-		Ranks:    ranks,
-		MaxIters: *iters,
-		Tol:      *tol,
-		Threads:  *threads,
-		Schedule: schedule,
-		Seed:     *seed,
-		Initial:  warmStart,
+		Ranks:      ranks,
+		Eps:        *eps,
+		MaxIters:   *iters,
+		Tol:        *tol,
+		Threads:    *threads,
+		Schedule:   schedule,
+		Seed:       *seed,
+		Initial:    warmStart,
+		Oversample: *oversmp,
+		PowerIters: *power,
 	}
 	switch *initM {
 	case "random":
@@ -160,15 +183,18 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown init %q", *initM))
 	}
-	switch *svd {
-	case "lanczos":
-		opts.SVD = hypertensor.SVDLanczos
-	case "subspace":
-		opts.SVD = hypertensor.SVDSubspace
-	case "gram":
-		opts.SVD = hypertensor.SVDGram
+	m, err := parseSVD(*svd)
+	if err != nil {
+		fail(err)
+	}
+	opts.SVD = m
+	switch *sketch {
+	case "gauss":
+		opts.Sketch = hypertensor.SketchGauss
+	case "count":
+		opts.Sketch = hypertensor.SketchCount
 	default:
-		fail(fmt.Errorf("unknown svd %q", *svd))
+		fail(fmt.Errorf("unknown sketch %q", *sketch))
 	}
 	switch *ttmc {
 	case "flat":
@@ -205,6 +231,9 @@ func main() {
 		return
 	}
 	fmt.Println(hypertensor.Summary(dec))
+	if *eps > 0 {
+		fmt.Printf("eps %g selected ranks %v\n", *eps, dec.ChosenRanks)
+	}
 	fmt.Printf("timings: convert=%v symbolic=%v ttmc=%v trsvd=%v core=%v (steady-state allocs/sweep %d)\n",
 		dec.Timings.Convert, dec.Timings.Symbolic, dec.Timings.TTMc, dec.Timings.TRSVD, dec.Timings.Core,
 		dec.AllocsPerSweep)
@@ -303,17 +332,42 @@ func humanInt(v int64) string {
 	return fmt.Sprintf("%d", v)
 }
 
+// parseSVD maps the -svd flag to a solver method.
+func parseSVD(s string) (hypertensor.SVDMethod, error) {
+	switch s {
+	case "lanczos":
+		return hypertensor.SVDLanczos, nil
+	case "subspace":
+		return hypertensor.SVDSubspace, nil
+	case "gram":
+		return hypertensor.SVDGram, nil
+	case "rand":
+		return hypertensor.SVDRandomized, nil
+	}
+	return hypertensor.SVDLanczos, fmt.Errorf("unknown svd %q", s)
+}
+
 // distRun carries the flag state a distributed launch needs, in any of
 // its three modes (simulated ranks, one TCP rank, local spawn).
 type distRun struct {
 	input         string
 	ranks         []int
 	grain, method string
+	svd           string
 	iters         int
 	tol           float64
 	seed          int64
 	timeout       time.Duration
 	quiet         bool
+}
+
+// svdMethod resolves the -svd flag for the distributed configs.
+func (d *distRun) svdMethod() hypertensor.SVDMethod {
+	m, err := parseSVD(d.svd)
+	if err != nil {
+		fail(err)
+	}
+	return m
 }
 
 func (d *distRun) partition(x *hypertensor.SparseTensor, p int) *hypertensor.Partition {
@@ -348,7 +402,7 @@ func (d *distRun) partition(x *hypertensor.SparseTensor, p int) *hypertensor.Par
 func (d *distRun) runSimulated(x *hypertensor.SparseTensor, p int) {
 	part := d.partition(x, p)
 	res, err := hypertensor.DecomposeDistributed(x, part, hypertensor.DistConfig{
-		Ranks: d.ranks, MaxIters: d.iters, Tol: d.tol, Seed: d.seed,
+		Ranks: d.ranks, MaxIters: d.iters, Tol: d.tol, Seed: d.seed, SVD: d.svdMethod(),
 	})
 	if err != nil {
 		fail(err)
@@ -383,7 +437,7 @@ func (d *distRun) runTCP(x *hypertensor.SparseTensor, rank int, peerList string,
 	}
 	part := d.partition(x, len(peers))
 	res, err := hypertensor.DecomposeDistributedWorld(context.Background(), w, x, part, hypertensor.DistConfig{
-		Ranks: d.ranks, MaxIters: d.iters, Tol: d.tol, Seed: d.seed,
+		Ranks: d.ranks, MaxIters: d.iters, Tol: d.tol, Seed: d.seed, SVD: d.svdMethod(),
 	})
 	if err != nil {
 		fail(err)
@@ -425,6 +479,7 @@ func (d *distRun) runSpawn(np int) {
 			"-seed", strconv.FormatInt(d.seed, 10),
 			"-grain", d.grain,
 			"-method", d.method,
+			"-svd", d.svd,
 			"-dist", "tcp",
 			"-rank", strconv.Itoa(r),
 			"-peers", strings.Join(addrs, ","),

@@ -33,6 +33,7 @@ func main() {
 		dtree   = flag.Bool("dtree", false, "run the dimension-tree vs flat TTMc comparison")
 		format  = flag.Bool("format", false, "run the CSF vs COO storage-format comparison")
 		scaling = flag.Bool("scaling", false, "run the thread-scaling sweep (per-thread speedup table)")
+		solver  = flag.Bool("solver", false, "run the randomized-vs-Lanczos TRSVD solver comparison")
 		schedIn = flag.String("sched", "balanced", "scaling sweep schedule: balanced | dynamic | static")
 		jsonOut = flag.String("json", "", "write the scaling report as machine-readable JSON to this path")
 		basePth = flag.String("baseline", "", "compare the scaling report against this baseline JSON; exit 1 on regression")
@@ -48,7 +49,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "seed for datasets and partitioners")
 	)
 	flag.Parse()
-	if !*all && *table == 0 && !*met && !*dtree && !*format && !*scaling {
+	if !*all && *table == 0 && !*met && !*dtree && !*format && !*scaling && !*solver {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -148,6 +149,11 @@ func main() {
 	}
 	if *format {
 		if _, err := bench.FormatCompare(o, out); err != nil {
+			fail(err)
+		}
+	}
+	if *solver {
+		if _, err := bench.Solver(o, out); err != nil {
 			fail(err)
 		}
 	}

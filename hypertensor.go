@@ -82,8 +82,11 @@ type (
 	// InitMethod selects factor initialization (InitRandom, InitHOSVD).
 	InitMethod = core.InitMethod
 	// SVDMethod selects the TRSVD solver (SVDLanczos, SVDSubspace,
-	// SVDGram).
+	// SVDGram, SVDRandomized).
 	SVDMethod = core.SVDMethod
+	// SketchKind selects the randomized solver's sketching operator
+	// (SketchGauss, SketchCount).
+	SketchKind = core.SketchKind
 	// TTMcStrategy selects the TTMc evaluation path (TTMcFlat,
 	// TTMcDTree).
 	TTMcStrategy = core.TTMcStrategy
@@ -131,9 +134,13 @@ const (
 	InitRandom = core.InitRandom
 	InitHOSVD  = core.InitHOSVD
 
-	SVDLanczos  = core.SVDLanczos
-	SVDSubspace = core.SVDSubspace
-	SVDGram     = core.SVDGram
+	SVDLanczos    = core.SVDLanczos
+	SVDSubspace   = core.SVDSubspace
+	SVDGram       = core.SVDGram
+	SVDRandomized = core.SVDRandomized
+
+	SketchGauss = core.SketchGauss
+	SketchCount = core.SketchCount
 
 	TTMcFlat  = core.TTMcFlat
 	TTMcDTree = core.TTMcDTree

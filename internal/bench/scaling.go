@@ -75,6 +75,10 @@ type ScalingRow struct {
 	// Dist holds the multi-process transport rows (one per rank count in
 	// distNPs), measured over TCP loopback.
 	Dist []DistCell `json:"dist,omitempty"`
+	// Solver is the randomized-vs-Lanczos TRSVD comparison at the
+	// sweep's largest thread count (madds and |Δfit| deterministic and
+	// gated; seconds host-gated; eps_ranks gated with a small slack).
+	Solver *SolverCell `json:"solver,omitempty"`
 }
 
 // ScalingReport is the machine-readable output of `htbench -scaling
@@ -95,8 +99,10 @@ type ScalingReport struct {
 // Schema 2 added trsvd_sec per cell and allocs_per_sweep per row;
 // schema 3 added the update-path gates (update_sweeps, update_madds);
 // schema 4 added the multi-process transport rows (dist: np,
-// net_bytes_per_sweep, sweep_sec over a TCP loopback mesh).
-const scalingSchema = 4
+// net_bytes_per_sweep, sweep_sec over a TCP loopback mesh); schema 5
+// added the per-dataset solver comparison (rand vs lanczos TRSVD
+// seconds and madds, |Δfit|, and the eps-selected ranks).
+const scalingSchema = 5
 
 // distNPs are the multi-process rank counts measured per dataset.
 var distNPs = []int{2, 4}
@@ -115,6 +121,12 @@ const timeNoiseFloorSec = 0.025
 // shared-memory thread cells; the network-volume gate, which is
 // deterministic, carries the regression signal at small scales.
 const distTimeNoiseFloorSec = 0.075
+
+// dfitNoiseFloor is the absolute slack of the randomized-solver
+// accuracy gate: when the baseline |Δfit| is essentially zero, a few
+// ulps of cross-build drift would otherwise trip the fractional
+// tolerance.
+const dfitNoiseFloor = 1e-6
 
 // allocNoiseFloor is the absolute allocs-per-sweep slack of the
 // allocation gate: GC timing can empty a sync.Pool mid-sweep and force
@@ -242,6 +254,10 @@ func Scaling(o Options, sched par.Schedule, w io.Writer) (*ScalingReport, error)
 			}
 			row.Dist = append(row.Dist, cell)
 		}
+		row.Solver, err = SolverCompare(x, ranks, o.Iters, o.Reps, maxInt(o.Threads), o.Seed+31)
+		if err != nil {
+			return nil, fmt.Errorf("%s solver comparison: %w", name, err)
+		}
 		rep.Rows = append(rep.Rows, row)
 		for i, cell := range row.Cells {
 			first := ""
@@ -277,7 +293,18 @@ func Scaling(o Options, sched par.Schedule, w io.Writer) (*ScalingReport, error)
 		}
 	}
 	td.Render(w)
+	renderSolverTable(rep, w)
 	return rep, nil
+}
+
+func maxInt(vs []int) int {
+	m := 1
+	for _, v := range vs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
 }
 
 // measureDist runs the distributed HOOI over a real TCP mesh on
@@ -553,6 +580,47 @@ func CompareScaling(base, cur *ScalingReport, tol, timeTol float64, w io.Writer)
 				exceeds(dc.SweepSec, bd.SweepSec, timeTol) {
 				return fmt.Errorf("bench: %s np=%d sweep time regressed %.4fs -> %.4fs (> %.0f%%)",
 					c.Dataset, dc.NP, bd.SweepSec, dc.SweepSec, timeTol*100)
+			}
+		}
+		// The solver-comparison gates: madds are deterministic operation
+		// counts (fractional tolerance), |Δfit| is the randomized solver's
+		// accuracy contract (fractional tolerance plus an absolute floor —
+		// at baseline |Δfit| near zero a few ulps of drift are not
+		// signal), and the eps-selected ranks may move by at most
+		// epsRankSlack per mode. Wall clock follows the host rules below.
+		if b.Solver != nil {
+			if c.Solver == nil {
+				return fmt.Errorf("bench: %s no longer reports the solver comparison present in the baseline", c.Dataset)
+			}
+			if exceeds(float64(c.Solver.RandMadds), float64(b.Solver.RandMadds), tol) {
+				return fmt.Errorf("bench: %s randomized-solver madds regressed %d -> %d (> %.0f%%)",
+					c.Dataset, b.Solver.RandMadds, c.Solver.RandMadds, tol*100)
+			}
+			if exceeds(float64(c.Solver.LanczosMadds), float64(b.Solver.LanczosMadds), tol) {
+				return fmt.Errorf("bench: %s Lanczos-solver madds regressed %d -> %d (> %.0f%%)",
+					c.Dataset, b.Solver.LanczosMadds, c.Solver.LanczosMadds, tol*100)
+			}
+			if c.Solver.RandDFit > b.Solver.RandDFit*(1+tol)+dfitNoiseFloor {
+				return fmt.Errorf("bench: %s randomized-solver |dfit| regressed %.3e -> %.3e (> %.0f%% + %.0e)",
+					c.Dataset, b.Solver.RandDFit, c.Solver.RandDFit, tol*100, dfitNoiseFloor)
+			}
+			if c.Solver.Eps == b.Solver.Eps {
+				if len(c.Solver.EpsRanks) != len(b.Solver.EpsRanks) {
+					return fmt.Errorf("bench: %s eps-selected ranks changed arity %v -> %v",
+						c.Dataset, b.Solver.EpsRanks, c.Solver.EpsRanks)
+				}
+				for n := range c.Solver.EpsRanks {
+					d := c.Solver.EpsRanks[n] - b.Solver.EpsRanks[n]
+					if d < -epsRankSlack || d > epsRankSlack {
+						return fmt.Errorf("bench: %s eps-selected ranks drifted %v -> %v (> ±%d in mode %d)",
+							c.Dataset, b.Solver.EpsRanks, c.Solver.EpsRanks, epsRankSlack, n+1)
+					}
+				}
+			}
+			if timeGate && timeTol > 0 && c.Solver.RandTRSVDSec-b.Solver.RandTRSVDSec >= timeNoiseFloorSec &&
+				exceeds(c.Solver.RandTRSVDSec, b.Solver.RandTRSVDSec, timeTol) {
+				return fmt.Errorf("bench: %s randomized-solver TRSVD time regressed %.4fs -> %.4fs (> %.0f%%)",
+					c.Dataset, b.Solver.RandTRSVDSec, c.Solver.RandTRSVDSec, timeTol*100)
 			}
 		}
 		if !timeGate || timeTol <= 0 {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"hypertensor/internal/dense"
+	"hypertensor/internal/par"
 	"hypertensor/internal/symbolic"
 	"hypertensor/internal/tensor"
 	"hypertensor/internal/ttm"
@@ -56,6 +57,9 @@ type Engine struct {
 	// warm-start vectors, so warm re-convergence sweeps stay on the
 	// zero-allocation discipline of the cold path.
 	warmBuf [][]float64
+	// ranksBuf backs currentRanks, keeping the per-sweep core formation
+	// allocation-free.
+	ranksBuf []int
 
 	flatFlops int64 // flat-kernel madds (tree/fiber keep their own counters)
 	symTime   time.Duration
@@ -88,10 +92,66 @@ func NewEngine(p *Plan) *Engine {
 		e.fiber.SetSchedule(e.opts.Schedule)
 	}
 	e.symTime = time.Since(start)
-	e.state = NewSweepState(initFactors(p.x, e.opts), e.opts.Seed)
+	e.state = NewSweepState(initFactors(p.x, e.opts, startRanks(p.x, e.opts)), e.opts.Seed)
+	e.state.Sketch = e.opts.Sketch
+	e.state.Oversample = e.opts.Oversample
+	e.state.PowerIters = e.opts.PowerIters
 	e.ys = make([]*dense.Matrix, e.order)
 	e.shapeYs()
 	return e
+}
+
+// startRanks resolves the per-mode ranks the factors start with: the
+// requested Ranks for fixed-rank runs; under Eps, the Initial factors'
+// column counts when given and otherwise a small probe rank (adaptive
+// selection grows it within a sweep or two).
+func startRanks(x *tensor.COO, opts Options) []int {
+	if opts.Eps <= 0 {
+		return opts.Ranks
+	}
+	ranks := make([]int, x.Order())
+	for n := range ranks {
+		switch {
+		case opts.Initial != nil:
+			ranks[n] = opts.Initial[n].Cols
+		default:
+			r := 4
+			if opts.Ranks != nil && opts.Ranks[n] < r {
+				r = opts.Ranks[n]
+			}
+			if x.Dims[n] < r {
+				r = x.Dims[n]
+			}
+			ranks[n] = r
+		}
+	}
+	return ranks
+}
+
+// currentRanks returns the per-mode factor column counts — the live
+// ranks, which under Eps evolve between mode solves — in a reused
+// buffer (copy before retaining).
+func (e *Engine) currentRanks() []int {
+	if len(e.ranksBuf) != e.order {
+		e.ranksBuf = make([]int, e.order)
+	}
+	for n, u := range e.state.Factors {
+		e.ranksBuf[n] = u.Cols
+	}
+	return e.ranksBuf
+}
+
+// frobSq is ‖y‖²_F with the fixed-block deterministic reduction, so
+// adaptive-rank thresholds are bitwise identical for every thread count.
+func frobSq(y *dense.Matrix, threads int) float64 {
+	return par.SumBlocks(y.Rows, threads, func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			row := y.Row(i)
+			s += dense.DotUnrolled(row, row)
+		}
+		return s
+	})
 }
 
 // Result returns the most recent Run/Update result, or nil before the
@@ -191,6 +251,17 @@ func (e *Engine) converge(ctx context.Context) (*Result, error) {
 
 	var memBase runtime.MemStats
 	allocFrom := -1
+	randSolver := opts.SVD == SVDRandomized || opts.Eps > 0
+	// The streaming single-pass sketch engages only on warm
+	// re-convergence after an Update: there the retained right bases and
+	// Ritz energies sit at the previous fixed point, so the first
+	// projection usually confirms convergence and the solve ends after
+	// one sketch-plus-projection round (the same discipline as the
+	// Lanczos warm start). Cold sweeps keep the adaptive power-iterated
+	// solves — on nearly flat spectra the early sweeps pick the subspace
+	// basin the whole trajectory settles into, and an under-resolved
+	// solve there shifts the final fit by far more than it saves.
+	e.state.SinglePass = e.warmReady && randSolver
 	fits := NewFitTracker(e.normX, opts.Tol)
 	for iter := 0; iter < opts.MaxIters; iter++ {
 		if ctx != nil {
@@ -206,6 +277,16 @@ func (e *Engine) converge(ctx context.Context) (*Result, error) {
 		}
 		for n := 0; n < e.order; n++ {
 			sm := &e.sym.Modes[n]
+			if opts.Eps > 0 {
+				// Adaptive rank resizes factors mid-sweep, so this
+				// mode's matricization buffer may need a new column
+				// count (∏ of the other modes' current ranks).
+				rows := sm.NumRows()
+				colsY := ttm.RowSize(e.state.Factors, n)
+				if e.ys[n] == nil || e.ys[n].Rows != rows || e.ys[n].Cols != colsY {
+					e.ys[n] = dense.NewMatrix(rows, colsY)
+				}
+			}
 
 			t0 := time.Now()
 			switch {
@@ -220,14 +301,36 @@ func (e *Engine) converge(ctx context.Context) (*Result, error) {
 			res.Timings.TTMc += time.Since(t0)
 
 			t0 = time.Now()
-			var warm []float64
-			if e.warmReady {
-				warm = e.warmVec(n, sm)
+			var uc *dense.Matrix
+			var matvecs int
+			if opts.Eps > 0 {
+				tau := opts.Eps * opts.Eps * e.normX * e.normX / float64(e.order)
+				capR := 0
+				if opts.Ranks != nil {
+					capR = opts.Ranks[n]
+				}
+				var rank int
+				var err error
+				uc, rank, matvecs, err = e.state.SolveDenseEps(
+					e.ys[n], n, e.state.Factors[n].Cols, capR, opts.Threads, tau, frobSq(e.ys[n], opts.Threads))
+				if err != nil {
+					return nil, fmt.Errorf("core: TRSVD failed in mode %d: %w", n, err)
+				}
+				if rank != e.state.Factors[n].Cols {
+					e.state.Factors[n] = dense.NewMatrix(e.x.Dims[n], rank)
+				}
+			} else {
+				var warm []float64
+				if e.warmReady {
+					warm = e.warmVec(n, sm)
+				}
+				var err error
+				uc, matvecs, err = e.state.SolveDense(e.ys[n], n, opts.Ranks[n], opts.SVD, opts.Threads, warm)
+				if err != nil {
+					return nil, fmt.Errorf("core: TRSVD failed in mode %d: %w", n, err)
+				}
 			}
-			uc, err := e.state.SolveDense(e.ys[n], n, opts.Ranks[n], opts.SVD, opts.Threads, warm)
-			if err != nil {
-				return nil, fmt.Errorf("core: TRSVD failed in mode %d: %w", n, err)
-			}
+			res.TRSVDMadds += int64(matvecs) * int64(e.ys[n].Rows) * int64(e.ys[n].Cols)
 			scatterRows(e.state.Factors[n], uc, sm)
 			if e.tree != nil {
 				e.tree.Invalidate(n)
@@ -237,7 +340,7 @@ func (e *Engine) converge(ctx context.Context) (*Result, error) {
 
 		t0 := time.Now()
 		last := e.order - 1
-		g := ttm.Core(e.ys[last], &e.sym.Modes[last], e.state.Factors[last], opts.Ranks, opts.Threads)
+		g := ttm.Core(e.ys[last], &e.sym.Modes[last], e.state.Factors[last], e.currentRanks(), opts.Threads)
 		res.Core = g
 		res.Timings.Core += time.Since(t0)
 
@@ -259,6 +362,7 @@ func (e *Engine) converge(ctx context.Context) (*Result, error) {
 		res.Timings.TTMcNodes = e.tree.NodeTime() - nodeTime0
 	}
 	res.Factors = e.state.Factors
+	res.ChosenRanks = append([]int(nil), e.currentRanks()...)
 	e.firstRun = false
 	e.warmReady = true
 	e.res = res

@@ -60,6 +60,14 @@ type Result struct {
 	// excluded). Only measured when Options.MeasureAllocs is set; zero
 	// otherwise.
 	AllocsPerSweep int64
+	// ChosenRanks are the per-mode ranks the decomposition ended with:
+	// equal to Options.Ranks for fixed-rank runs, the eps-selected ranks
+	// for adaptive-rank (Options.Eps) runs.
+	ChosenRanks []int
+	// TRSVDMadds counts the operator multiply-adds spent inside the
+	// TRSVD solves (operator applications x matricization size, summed
+	// over all solves) — for the randomized solver, the sketch flops.
+	TRSVDMadds int64
 
 	// Update accounting, populated by Engine.Update (zero for cold
 	// solves): the dirty-subtree cost of the re-convergence versus the

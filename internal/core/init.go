@@ -9,10 +9,12 @@ import (
 )
 
 // initFactors produces the initial orthonormal factor matrices
-// (Algorithm 1, line 1). The tensor is reached through the storage
-// abstraction; initialization is always seeded from the caller's
-// tensor, so both storage formats start HOOI from the same factors.
-func initFactors(x tensor.Sparse, opts Options) []*dense.Matrix {
+// (Algorithm 1, line 1) at the given per-mode ranks (the requested
+// ranks, or the starting probe ranks under adaptive selection). The
+// tensor is reached through the storage abstraction; initialization is
+// always seeded from the caller's tensor, so both storage formats start
+// HOOI from the same factors.
+func initFactors(x tensor.Sparse, opts Options, ranks []int) []*dense.Matrix {
 	factors := make([]*dense.Matrix, x.Order())
 	if opts.Initial != nil {
 		for n, u := range opts.Initial {
@@ -22,13 +24,16 @@ func initFactors(x tensor.Sparse, opts Options) []*dense.Matrix {
 	}
 	switch opts.Init {
 	case InitHOSVD:
+		// One workspace serves all modes: the sketch scratch grows to
+		// the largest mode once instead of allocating per call.
+		ws := trsvd.NewWorkspace()
 		for n := range factors {
-			factors[n] = dense.Orthonormalize(trsvd.RangeFinder(x, n, opts.Ranks[n], opts.Seed+int64(n)))
+			factors[n] = dense.Orthonormalize(trsvd.RangeFinder(x, n, ranks[n], opts.Seed+int64(n), opts.Threads, ws))
 		}
 	default:
 		rng := rand.New(rand.NewSource(opts.Seed))
 		for n := range factors {
-			factors[n] = dense.Orthonormalize(dense.RandomNormal(x.Shape()[n], opts.Ranks[n], rng))
+			factors[n] = dense.Orthonormalize(dense.RandomNormal(x.Shape()[n], ranks[n], rng))
 		}
 	}
 	return factors

@@ -14,6 +14,7 @@ import (
 	"hypertensor/internal/dense"
 	"hypertensor/internal/par"
 	"hypertensor/internal/tensor"
+	"hypertensor/internal/trsvd"
 )
 
 // Schedule selects how the parallel kernels distribute their loop
@@ -112,12 +113,50 @@ const (
 	// SVDGram forms the small column-side Gram matrix explicitly
 	// (ablation; feasible because Y_(n) has only ∏_{t≠n} R_t columns).
 	SVDGram
+	// SVDRandomized is the sketched range-finder solver
+	// (trsvd.Randomized): a deterministic Gaussian or CountSketch panel
+	// through the operator, power iterations, CholeskyQR2 Gram
+	// whitening, and a projected small SVD — a handful of BLAS3 passes
+	// instead of Lanczos's GEMV chain, at equal fit on the benchmark
+	// presets. Options.Eps switches it to adaptive rank selection.
+	SVDRandomized
+)
+
+// SketchKind re-exports trsvd.SketchKind for Options.Sketch.
+type SketchKind = trsvd.SketchKind
+
+const (
+	// SketchGauss is the dense counter-based pseudo-Gaussian sketch
+	// (the default).
+	SketchGauss = trsvd.SketchGauss
+	// SketchCount is the one-nonzero-per-row CountSketch.
+	SketchCount = trsvd.SketchCount
 )
 
 // Options configure a Tucker/HOOI decomposition.
 type Options struct {
-	// Ranks holds the target rank R_n per mode. Required.
+	// Ranks holds the target rank R_n per mode. Required for fixed-rank
+	// runs; optional under Eps, where it caps the adaptive per-mode
+	// ranks.
 	Ranks []int
+	// Eps, when positive, switches to adaptive (epsilon-truncation) rank
+	// selection: each mode's rank is chosen from the sketched spectrum
+	// so the estimated tail energy stays below the per-mode threshold
+	// eps²·‖X‖²/N (the BTAS threshold split), growing the sketch
+	// geometrically until the bound is certified. The decomposition then
+	// satisfies ‖X − X̂‖ ≲ eps·‖X‖. Implies SVDRandomized. Must lie in
+	// (0, 1].
+	Eps float64
+	// Sketch selects the randomized solver's sketching operator
+	// (SketchGauss by default; SVDRandomized and Eps runs only).
+	Sketch SketchKind
+	// Oversample adds extra sketch columns beyond the target rank in the
+	// randomized solver (0 selects 8).
+	Oversample int
+	// PowerIters caps the randomized solver's power-iteration rounds
+	// (0 selects 6, negative selects none); the solver stops below the
+	// cap as soon as its Ritz energies settle.
+	PowerIters int
 	// MaxIters caps the number of ALS sweeps. 0 selects 50.
 	MaxIters int
 	// Tol stops the iteration when the fit improves by less than this
@@ -165,6 +204,9 @@ func (o *Options) withDefaults() Options {
 	if out.Tol == 0 {
 		out.Tol = 1e-5
 	}
+	if out.Eps > 0 {
+		out.SVD = SVDRandomized
+	}
 	return out
 }
 
@@ -173,24 +215,43 @@ func (o *Options) Validate(x *tensor.COO) error {
 	if x.NNZ() == 0 {
 		return fmt.Errorf("core: cannot decompose an empty tensor")
 	}
-	if len(o.Ranks) != x.Order() {
-		return fmt.Errorf("core: %d ranks for an order-%d tensor", len(o.Ranks), x.Order())
+	if o.Eps != 0 && !(o.Eps > 0 && o.Eps <= 1) {
+		return fmt.Errorf("core: Eps %v outside (0, 1]", o.Eps)
 	}
-	for n, r := range o.Ranks {
-		if r < 1 {
-			return fmt.Errorf("core: rank %d in mode %d must be positive", r, n)
+	if o.Eps > 0 {
+		// Adaptive rank: Ranks is optional and only caps the selection,
+		// so the cross-mode product constraint does not apply.
+		if o.Ranks != nil && len(o.Ranks) != x.Order() {
+			return fmt.Errorf("core: %d rank caps for an order-%d tensor", len(o.Ranks), x.Order())
 		}
-		if r > x.Dims[n] {
-			return fmt.Errorf("core: rank %d exceeds mode-%d size %d", r, n, x.Dims[n])
-		}
-		other := 1
-		for t, rt := range o.Ranks {
-			if t != n {
-				other *= rt
+		for n, r := range o.Ranks {
+			if r < 1 {
+				return fmt.Errorf("core: rank cap %d in mode %d must be positive", r, n)
+			}
+			if r > x.Dims[n] {
+				return fmt.Errorf("core: rank cap %d exceeds mode-%d size %d", r, n, x.Dims[n])
 			}
 		}
-		if r > other {
-			return fmt.Errorf("core: rank %d in mode %d exceeds the product of the other ranks (%d); Y_(%d) cannot have that many singular vectors", r, n, other, n)
+	} else {
+		if len(o.Ranks) != x.Order() {
+			return fmt.Errorf("core: %d ranks for an order-%d tensor", len(o.Ranks), x.Order())
+		}
+		for n, r := range o.Ranks {
+			if r < 1 {
+				return fmt.Errorf("core: rank %d in mode %d must be positive", r, n)
+			}
+			if r > x.Dims[n] {
+				return fmt.Errorf("core: rank %d exceeds mode-%d size %d", r, n, x.Dims[n])
+			}
+			other := 1
+			for t, rt := range o.Ranks {
+				if t != n {
+					other *= rt
+				}
+			}
+			if r > other {
+				return fmt.Errorf("core: rank %d in mode %d exceeds the product of the other ranks (%d); Y_(%d) cannot have that many singular vectors", r, n, other, n)
+			}
 		}
 	}
 	if o.Format == FormatCSF && o.CSFModeOrder != nil {
@@ -210,7 +271,16 @@ func (o *Options) Validate(x *tensor.COO) error {
 			return fmt.Errorf("core: %d initial factors for an order-%d tensor", len(o.Initial), x.Order())
 		}
 		for n, u := range o.Initial {
-			if u.Rows != x.Dims[n] || u.Cols != o.Ranks[n] {
+			if u.Rows != x.Dims[n] {
+				return fmt.Errorf("core: initial factor %d has %d rows, want %d", n, u.Rows, x.Dims[n])
+			}
+			// Under Eps the initial column counts are just the starting
+			// ranks; fixed-rank runs require an exact shape match.
+			if o.Eps > 0 {
+				if u.Cols < 1 || u.Cols > x.Dims[n] {
+					return fmt.Errorf("core: initial factor %d has %d columns for mode size %d", n, u.Cols, x.Dims[n])
+				}
+			} else if u.Cols != o.Ranks[n] {
 				return fmt.Errorf("core: initial factor %d has shape %dx%d, want %dx%d",
 					n, u.Rows, u.Cols, x.Dims[n], o.Ranks[n])
 			}

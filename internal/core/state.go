@@ -27,6 +27,17 @@ type SweepState struct {
 	// re-convergence sweeps after an update keep drawing fresh
 	// deterministic seeds instead of replaying the first sweep's.
 	Step int64
+	// Sketch, Oversample and PowerIters configure the randomized solver
+	// (passed through to trsvd.Options on every solve).
+	Sketch     trsvd.SketchKind
+	Oversample int
+	PowerIters int
+	// SinglePass switches the randomized solver to its streaming variant
+	// (sketch seeded from the previous solve's right basis, previous
+	// Ritz energies feeding the first convergence check). The Engine
+	// raises it once warm re-convergence begins, mirroring the Lanczos
+	// warm-start discipline.
+	SinglePass bool
 }
 
 // NewSweepState wraps initial factors (owned by the state from here on)
@@ -46,43 +57,110 @@ func NewSweepState(factors []*dense.Matrix, seed int64) *SweepState {
 // next builds the options of the upcoming solve and advances the seed
 // schedule.
 func (s *SweepState) next(n int, warm []float64) trsvd.Options {
-	o := trsvd.Options{Seed: s.SeedBase + 7919*s.Step, Work: s.Work[n], WarmLeft: warm}
+	o := trsvd.Options{
+		Seed: s.SeedBase + 7919*s.Step, Work: s.Work[n], WarmLeft: warm,
+		Sketch: s.Sketch, Oversample: s.Oversample, PowerIters: s.PowerIters,
+		SinglePass: s.SinglePass,
+	}
 	s.Step++
 	return o
 }
 
 // SolveDense runs the selected TRSVD solver on the compacted matricized
 // tensor for mode n and returns its |J_n| x rank left singular vector
-// block. warm optionally supplies a left warm-start vector (Lanczos
-// only; see trsvd.Options.WarmLeft).
-func (s *SweepState) SolveDense(y *dense.Matrix, n, rank int, method SVDMethod, threads int, warm []float64) (*dense.Matrix, error) {
+// block plus the solver's operator-application count. warm optionally
+// supplies a left warm-start vector (Lanczos only; see
+// trsvd.Options.WarmLeft).
+func (s *SweepState) SolveDense(y *dense.Matrix, n, rank int, method SVDMethod, threads int, warm []float64) (*dense.Matrix, int, error) {
 	sopts := s.next(n, warm)
+	op := &trsvd.DenseOperator{A: y, Threads: threads}
+	var r *trsvd.Result
+	var err error
 	switch method {
 	case SVDSubspace:
-		r, err := trsvd.SubspaceIteration(&trsvd.DenseOperator{A: y, Threads: threads}, rank, sopts)
-		if err != nil {
-			return nil, err
-		}
-		return r.U, nil
+		r, err = trsvd.SubspaceIteration(op, rank, sopts)
 	case SVDGram:
-		r, err := trsvd.GramSVD(y, rank, threads, sopts)
-		if err != nil {
-			return nil, err
-		}
-		return r.U, nil
+		r, err = trsvd.GramSVD(y, rank, threads, sopts)
+	case SVDRandomized:
+		r, err = trsvd.Randomized(op, rank, sopts)
 	default:
-		r, err := trsvd.Lanczos(&trsvd.DenseOperator{A: y, Threads: threads}, rank, sopts)
+		r, err = trsvd.Lanczos(op, rank, sopts)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	return r.U, r.MatVecs, nil
+}
+
+// SolveDenseEps runs the randomized solver with epsilon-truncation
+// adaptive rank: starting from the guess (typically the mode's previous
+// rank), the sketch grows geometrically until the sketched spectrum
+// crosses the per-mode threshold tau = eps²·‖X‖²/N or the cap is hit,
+// and the rank is the number of retained directions (trsvd.
+// EpsRankSelect). frob2 is ‖Y_(n)‖²_F, the energy budget the tail is
+// measured against. Returns the compacted rank-column basis, the chosen
+// rank, and the accumulated operator-application count.
+func (s *SweepState) SolveDenseEps(y *dense.Matrix, n, guess, capR, threads int, tau, frob2 float64) (*dense.Matrix, int, int, error) {
+	maxR := y.Cols
+	if y.Rows < maxR {
+		maxR = y.Rows
+	}
+	if capR > 0 && capR < maxR {
+		maxR = capR
+	}
+	if maxR < 1 {
+		maxR = 1
+	}
+	k := guess
+	if k < 1 {
+		k = 1
+	}
+	if k > maxR {
+		k = maxR
+	}
+	matvecs := 0
+	for {
+		r, err := trsvd.Randomized(&trsvd.DenseOperator{A: y, Threads: threads}, k, s.next(n, nil))
 		if err != nil {
-			return nil, err
+			return nil, 0, 0, err
 		}
-		return r.U, nil
+		matvecs += r.MatVecs
+		rank, grow := trsvd.EpsRankSelect(r.Sigma, frob2, tau)
+		if rank > maxR {
+			rank = maxR
+		}
+		if !grow || k >= maxR {
+			if rank == r.U.Cols {
+				return r.U, rank, matvecs, nil
+			}
+			u := dense.NewMatrix(r.U.Rows, rank)
+			for i := 0; i < u.Rows; i++ {
+				copy(u.Row(i), r.U.Row(i)[:rank])
+			}
+			return u, rank, matvecs, nil
+		}
+		k *= 2
+		if k > maxR {
+			k = maxR
+		}
 	}
 }
 
-// SolveOperator runs the Lanczos solver on a matrix-free (possibly
+// SolveOperator runs the selected solver on a matrix-free (possibly
 // distributed) operator for mode n — the path the simulated ranks use.
-func (s *SweepState) SolveOperator(op trsvd.Operator, n, rank int, warm []float64) (*trsvd.Result, error) {
-	return trsvd.Lanczos(op, rank, s.next(n, warm))
+// Only the operator-interface solvers apply (Lanczos, the default, and
+// SVDRandomized/SVDSubspace); SVDGram needs an explicit matrix and
+// falls back to Lanczos here.
+func (s *SweepState) SolveOperator(op trsvd.Operator, n, rank int, method SVDMethod, warm []float64) (*trsvd.Result, error) {
+	sopts := s.next(n, warm)
+	switch method {
+	case SVDRandomized:
+		return trsvd.Randomized(op, rank, sopts)
+	case SVDSubspace:
+		return trsvd.SubspaceIteration(op, rank, sopts)
+	default:
+		return trsvd.Lanczos(op, rank, sopts)
+	}
 }
 
 // FitTracker accumulates the per-sweep fit trajectory and implements

@@ -13,8 +13,15 @@ import (
 
 // STHOSVDOptions configure the sequentially truncated HOSVD.
 type STHOSVDOptions struct {
-	// Ranks holds the target rank per mode. Required.
+	// Ranks holds the target rank per mode. Required for fixed-rank
+	// runs; optional under Eps, where it caps the adaptive ranks.
 	Ranks []int
+	// Eps, when positive, selects each mode's rank adaptively: the
+	// sketched projected spectrum is truncated at the per-mode energy
+	// threshold eps²·‖X‖²/N (the BTAS threshold split), and the sketch
+	// grows geometrically until the crossing is inside it — the
+	// classical error-controlled ST-HOSVD. Must lie in (0, 1].
+	Eps float64
 	// ModeOrder optionally fixes the processing order (a permutation of
 	// 0..N-1). Nil processes modes in ascending order; processing small
 	// modes first shrinks the intermediates fastest, the standard
@@ -54,7 +61,14 @@ func STHOSVD(x *tensor.COO, opts STHOSVDOptions) (*Result, error) {
 		return nil, fmt.Errorf("core: cannot decompose an empty tensor")
 	}
 	order := x.Order()
-	if len(opts.Ranks) != order {
+	if opts.Eps != 0 && !(opts.Eps > 0 && opts.Eps <= 1) {
+		return nil, fmt.Errorf("core: Eps %v outside (0, 1]", opts.Eps)
+	}
+	if opts.Eps > 0 {
+		if opts.Ranks != nil && len(opts.Ranks) != order {
+			return nil, fmt.Errorf("core: %d rank caps for an order-%d tensor", len(opts.Ranks), order)
+		}
+	} else if len(opts.Ranks) != order {
 		return nil, fmt.Errorf("core: %d ranks for an order-%d tensor", len(opts.Ranks), order)
 	}
 	for n, r := range opts.Ranks {
@@ -88,31 +102,97 @@ func STHOSVD(x *tensor.COO, opts STHOSVDOptions) (*Result, error) {
 	normX := x.Norm(opts.Threads)
 	s := ttm.FromCOO(x)
 	factors := make([]*dense.Matrix, order)
+	chosen := make([]int, order)
+	tau := opts.Eps * opts.Eps * normX * normX / float64(order)
 	for _, n := range modeOrder {
-		k := opts.Ranks[n] + oversample
-		if k > x.Dims[n] {
-			k = x.Dims[n]
+		if opts.Eps > 0 {
+			capR := 0
+			if opts.Ranks != nil {
+				capR = opts.Ranks[n]
+			}
+			factors[n] = adaptiveFactor(s, n, capR, oversample, power, tau, opts.Seed+101*int64(n))
+		} else {
+			k := opts.Ranks[n] + oversample
+			if k > x.Dims[n] {
+				k = x.Dims[n]
+			}
+			sketch := sketchMode(s, n, k, opts.Seed+101*int64(n))
+			basis := dense.Orthonormalize(sketch)
+			for it := 0; it < power; it++ {
+				// One subspace refinement: project the mode-n Gram action
+				// through the semi-sparse entries, Z = Y_(n) (Y_(n)^T B).
+				basis = dense.Orthonormalize(gramApply(s, n, basis))
+			}
+			// Truncate the refined basis to R_n columns via the projected
+			// small eigenproblem: B' = B·Q where Q holds the top
+			// eigenvectors of Bᵀ Y Yᵀ B.
+			factors[n] = truncateBasis(s, n, basis, opts.Ranks[n])
 		}
-		sketch := sketchMode(s, n, k, opts.Seed+101*int64(n))
-		basis := dense.Orthonormalize(sketch)
-		for it := 0; it < power; it++ {
-			// One subspace refinement: project the mode-n Gram action
-			// through the semi-sparse entries, Z = Y_(n) (Y_(n)^T B).
-			basis = dense.Orthonormalize(gramApply(s, n, basis))
-		}
-		// Truncate the refined basis to R_n columns via the projected
-		// small eigenproblem: B' = B·Q where Q holds the top
-		// eigenvectors of Bᵀ Y Yᵀ B.
-		factors[n] = truncateBasis(s, n, basis, opts.Ranks[n])
+		chosen[n] = factors[n].Cols
 		s = s.Contract(n, factors[n])
 	}
-	res.Core = s.DenseCore(opts.Ranks)
+	res.Core = s.DenseCore(chosen)
 	res.Factors = factors
+	res.ChosenRanks = chosen
 	res.Fit = fitFromNorms(normX, res.Core.Norm())
 	res.FitHistory = []float64{res.Fit}
 	res.Iters = 1
 	res.Timings.TTMc = time.Since(start)
 	return res, nil
+}
+
+// adaptiveFactor finds one mode's factor under epsilon truncation: a
+// sketched basis of b columns is refined and projected exactly like the
+// fixed-rank path, but the kept rank is the number of projected
+// eigenvalues (≈ σ²) at or above the per-mode threshold tau, and b
+// doubles until the spectrum's threshold crossing lies inside the
+// sketch (or the mode size / rank cap is reached), so the tail bound is
+// certified rather than assumed.
+func adaptiveFactor(s *ttm.SemiSparse, n, capR, oversample, power int, tau float64, seed int64) *dense.Matrix {
+	dim := s.Dims[n]
+	maxR := dim
+	if capR > 0 && capR < maxR {
+		maxR = capR
+	}
+	b := 8 + oversample
+	if b > dim {
+		b = dim
+	}
+	for {
+		basis := dense.Orthonormalize(sketchMode(s, n, b, seed))
+		for it := 0; it < power; it++ {
+			basis = dense.Orthonormalize(gramApply(s, n, basis))
+		}
+		z := gramApply(s, n, basis) // Y Yᵀ B
+		m := dense.MatMulTA(basis, z, 1)
+		symmetrize(m)
+		q, lam, _ := dense.SVD(m)
+		kept := 0
+		for _, l := range lam {
+			if !(l >= tau) {
+				break
+			}
+			kept++
+		}
+		if kept < b || b >= dim || kept >= maxR {
+			r := kept
+			if r < 1 {
+				r = 1
+			}
+			if r > maxR {
+				r = maxR
+			}
+			qTop := dense.NewMatrix(q.Rows, r)
+			for i := 0; i < q.Rows; i++ {
+				copy(qTop.Row(i), q.Row(i)[:r])
+			}
+			return dense.MatMul(basis, qTop, 1)
+		}
+		b *= 2
+		if b > dim {
+			b = dim
+		}
+	}
 }
 
 // sketchMode computes S = Y_(n)·Ω for the semi-sparse tensor's mode-n
@@ -207,7 +287,18 @@ func truncateBasis(s *ttm.SemiSparse, n int, b *dense.Matrix, r int) *dense.Matr
 	}
 	z := gramApply(s, n, b) // Y Yᵀ B
 	m := dense.MatMulTA(b, z, 1)
-	// Symmetrize against rounding before the eigen-decomposition.
+	symmetrize(m)
+	q, _, _ := dense.SVD(m)
+	qTop := dense.NewMatrix(q.Rows, r)
+	for i := 0; i < q.Rows; i++ {
+		copy(qTop.Row(i), q.Row(i)[:r])
+	}
+	return dense.MatMul(b, qTop, 1)
+}
+
+// symmetrize averages m against its transpose in place — rounding from
+// the two sparse sweeps otherwise perturbs the eigen-decomposition.
+func symmetrize(m *dense.Matrix) {
 	for i := 0; i < m.Rows; i++ {
 		for j := i + 1; j < m.Cols; j++ {
 			v := 0.5 * (m.At(i, j) + m.At(j, i))
@@ -215,12 +306,6 @@ func truncateBasis(s *ttm.SemiSparse, n int, b *dense.Matrix, r int) *dense.Matr
 			m.Set(j, i, v)
 		}
 	}
-	q, _, _ := dense.SVD(m)
-	qTop := dense.NewMatrix(q.Rows, r)
-	for i := 0; i < q.Rows; i++ {
-		copy(qTop.Row(i), q.Row(i)[:r])
-	}
-	return dense.MatMul(b, qTop, 1)
 }
 
 // groupByOtherKeys clusters entry ids by their sparse keys excluding

@@ -194,6 +194,59 @@ func sortByNormDesc(idx []int, nrms []float64) {
 	}
 }
 
+// GramWhitenInto computes a whitening combination for a symmetric
+// positive semi-definite Gram matrix g = YᵀY: columns of c satisfy
+// (Y·C)ᵀ(Y·C) = I on the numerically significant subspace, via the
+// eigendecomposition g = V·Λ·Vᵀ and C = V·Λ^{-1/2}. Directions whose
+// eigenvalue falls below a relative cutoff are dropped (their column of
+// c is zeroed), so a rank-deficient panel yields an orthonormal basis
+// of its actual range plus explicit zero columns. c must be g.Rows x
+// g.Rows and is fully overwritten.
+//
+// Returns the retained rank and the condition number λmax/λmin of the
+// retained spectrum (+Inf when everything was cut). One whitening pass
+// leaves O(cond·eps) orthogonality error, so callers gate a second pass
+// on the returned condition: re-whitening when it is large (recompute
+// the Gram of Y·C, whiten again) is the CholeskyQR2 discipline, giving
+// orthonormality to machine precision without any distributed QR —
+// only Gram reductions.
+func (wk *SVDWork) GramWhitenInto(c, g *Matrix) (int, float64) {
+	n := g.Rows
+	if g.Cols != n || c.Rows != n || c.Cols != n {
+		panic("dense: GramWhitenInto requires square g and matching c")
+	}
+	v, lam, _ := wk.SVD(g) // symmetric PSD: SVD == eigendecomposition
+	cut := 0.0
+	if n > 0 {
+		cut = 1e-14 * lam[0]
+	}
+	rank := 0
+	for j := 0; j < n; j++ {
+		if lam[j] > cut && lam[j] > 1e-300 {
+			rank++
+		}
+	}
+	for i := 0; i < n; i++ {
+		dst := c.Row(i)
+		src := v.Row(i)
+		for j := 0; j < rank; j++ {
+			dst[j] = src[j] / math.Sqrt(lam[j])
+		}
+		for j := rank; j < n; j++ {
+			dst[j] = 0
+		}
+	}
+	cond := math.Inf(1)
+	if rank > 0 {
+		cond = lam[0] / lam[rank-1]
+	}
+	return rank, cond
+}
+
+// TransposeInto writes aᵀ into dst, reusing dst's storage when large
+// enough, and returns the (possibly reallocated) destination.
+func TransposeInto(dst, a *Matrix) *Matrix { return transposeInto(dst, a) }
+
 // transposeInto writes a^T into dst, reusing its storage when large
 // enough. Uninitialized reuse is safe: the loop writes every element.
 func transposeInto(dst, a *Matrix) *Matrix {

@@ -28,6 +28,11 @@ type Config struct {
 	// Initial optionally supplies explicit initial factor matrices;
 	// when nil, DefaultInitial(x.Dims, Ranks, Seed) is used.
 	Initial []*dense.Matrix
+	// SVD selects the per-mode solver (default Lanczos). The randomized
+	// solver's decisions are all made on replicated b×b data after fixed
+	// rank-order reductions, so ranks with zero owned rows stay in
+	// lockstep with the rest of the world.
+	SVD core.SVDMethod
 }
 
 // ModeStats carries one rank's per-mode work and communication counts
@@ -189,6 +194,7 @@ func DecomposeWorld(ctx context.Context, world mpi.Runner, x *tensor.COO, part *
 		me := c.Rank()
 		setupStart := time.Now()
 		rk := newRankState(c, x, part, gsym, allOwned, cfg.Ranks, initial, cfg.Seed)
+		rk.svd = cfg.SVD
 		symTime := time.Since(setupStart)
 
 		c.Barrier()
@@ -324,6 +330,7 @@ type rankState struct {
 	me, p   int
 	dims    []int
 	ranks   []int
+	svd     core.SVDMethod
 	part    *Partition
 	xloc    *tensor.COO
 	lsym    *symbolic.Structure
@@ -490,7 +497,7 @@ func (rk *rankState) ttmc(n int) {
 func (rk *rankState) trsvd(n int) {
 	m := &rk.modes[n]
 	op := &rowDistOperator{a: m.yOwn, c: rk.c, gids: m.gids, tmp: make([]float64, m.yOwn.Cols)}
-	sres, err := rk.state.SolveOperator(op, n, rk.ranks[n], nil)
+	sres, err := rk.state.SolveOperator(op, n, rk.ranks[n], rk.svd, nil)
 	if err != nil {
 		panic(fmt.Sprintf("dist: TRSVD failed in mode %d: %v", n, err))
 	}
@@ -553,5 +560,16 @@ func (o *rowDistOperator) RowDot(a, b []float64) float64 {
 
 func (o *rowDistOperator) GlobalRow(local int) int64 { return o.gids[local] }
 
+// RowGram folds the local Gram block YᵀY of the owned rows with one b²
+// AllReduce — the single collective the randomized solver's CholeskyQR2
+// panel orthonormalization needs per pass, replacing a distributed QR.
+// Ranks owning zero rows contribute a zero block and receive the same
+// replicated Gram as everyone else.
+func (o *rowDistOperator) RowGram(y, g *dense.Matrix) {
+	dense.MatMulTAInto(g, y, y, 1)
+	copy(g.Data, o.c.AllReduceSum(g.Data))
+}
+
 var _ trsvd.Operator = (*rowDistOperator)(nil)
 var _ trsvd.GlobalRowIDer = (*rowDistOperator)(nil)
+var _ trsvd.RowGramer = (*rowDistOperator)(nil)

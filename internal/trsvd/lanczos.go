@@ -33,6 +33,30 @@ type Options struct {
 	// is numerically zero (the deterministic random start is used then).
 	// The other solvers ignore it.
 	WarmLeft []float64
+	// Sketch selects the Randomized solver's sketching operator
+	// (SketchGauss by default). The other solvers ignore it.
+	Sketch SketchKind
+	// Oversample adds extra sketch columns beyond the target rank in the
+	// Randomized solver (0 selects 8). More oversampling buys accuracy
+	// on slowly decaying spectra at one extra operator column per unit.
+	Oversample int
+	// PowerIters caps the power-iteration refinement rounds of the
+	// Randomized solver: 0 selects 6, negative selects none. Each round
+	// sharpens the sketched subspace at the cost of two extra block
+	// operator passes; the solver stops below the cap as soon as the
+	// Ritz energies settle (see ritzTolCold/ritzTolWarm), so the cap
+	// only binds on slowly decaying spectra. Small explicit caps (1-2)
+	// trade trajectory accuracy for throughput.
+	PowerIters int
+	// SinglePass switches the Randomized solver to its streaming
+	// variant: the sketch is seeded from the right singular basis the
+	// workspace retained from the previous solve (falling back to a
+	// fresh random sketch when none is resident) and the retained Ritz
+	// energies feed the first convergence check, so a solve whose
+	// operator has stopped moving costs two block passes instead of
+	// 2 + 2·rounds. Intended for the Engine.Update re-convergence path,
+	// where the previous factors already sit next to the solution.
+	SinglePass bool
 }
 
 // Result holds the leading singular triplets computed by a solver.

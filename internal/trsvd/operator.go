@@ -83,9 +83,14 @@ func (o *DenseOperator) MatMat(w, y *dense.Matrix) { dense.MatMulInto(y, o.A, w,
 // deterministic reduction.
 func (o *DenseOperator) MatTMat(y, z *dense.Matrix) { dense.MatMulTAInto(z, o.A, y, o.Threads) }
 
+// RowGram computes g = YᵀY with the fixed-block deterministic BLAS3
+// reduction — the shared-memory fast path of the RowGramer extension.
+func (o *DenseOperator) RowGram(y, g *dense.Matrix) { dense.MatMulTAInto(g, y, y, o.Threads) }
+
 var _ Operator = (*DenseOperator)(nil)
 var _ GlobalRowIDer = (*DenseOperator)(nil)
 var _ BlockOperator = (*DenseOperator)(nil)
+var _ RowGramer = (*DenseOperator)(nil)
 
 // BlockOperator is an optional Operator extension for applying the
 // operator to a whole panel at once. The blocked solvers
@@ -101,6 +106,18 @@ type BlockOperator interface {
 	// cols x b; distributed implementations reduce Z across ranks so
 	// every rank receives the identical panel.
 	MatTMat(y, z *dense.Matrix)
+}
+
+// RowGramer is an optional Operator extension computing the global Gram
+// matrix g = YᵀY of a local row-space panel (Y LocalRows x b, g b x b)
+// in one pass. Distributed implementations reduce the local Gram across
+// ranks so every rank receives the identical replicated g — the
+// communication primitive the CholeskyQR2 orthonormalization of the
+// Randomized solver is built on (one b² AllReduce replaces a
+// distributed QR). Without the extension the solver falls back to
+// b(b+1)/2 RowDot collectives.
+type RowGramer interface {
+	RowGram(y, g *dense.Matrix)
 }
 
 // opThreads returns the operator's shared-memory thread budget for the

@@ -1,0 +1,430 @@
+package trsvd
+
+import (
+	"fmt"
+	"math"
+
+	"hypertensor/internal/dense"
+)
+
+// SketchKind selects the sketching operator of the Randomized solver.
+type SketchKind int
+
+const (
+	// SketchGauss is the dense counter-based pseudo-Gaussian sketch
+	// (GaussHash): every input row feeds every sketch column. The
+	// default, and the robust choice.
+	SketchGauss SketchKind = iota
+	// SketchCount is a CountSketch: every input row lands in exactly one
+	// hashed sketch column with a random sign, so forming A·Ω touches
+	// each column of A once. Only sensible when the column count is well
+	// above the sketch size; degenerate sketches are repaired by the
+	// whitening step at some accuracy cost.
+	SketchCount
+)
+
+func (o Options) oversample() int {
+	if o.Oversample > 0 {
+		return o.Oversample
+	}
+	return 8
+}
+
+func (o Options) powerIters() int {
+	if o.PowerIters > 0 {
+		return o.PowerIters
+	}
+	if o.PowerIters < 0 {
+		return 0
+	}
+	return 6
+}
+
+// ritzTolCold and ritzTolWarm are the adaptive power-iteration stopping
+// tolerances: the solve ends as soon as the top-k Ritz energies move by
+// less than the tolerance (relative to the leading energy) between
+// successive projections. Cold solves run tight — on nearly flat
+// spectra the first sweep picks the subspace basin every later sweep
+// refines, so an under-resolved cold solve shifts the whole trajectory.
+// Warm streaming solves start next to the answer and only track drift,
+// so they stop earlier. Both comparisons run on replicated values
+// produced by fixed-order reductions, so every thread count, schedule,
+// and transport takes the identical number of iterations.
+const (
+	ritzTolCold = 1e-8
+	ritzTolWarm = 1e-7
+)
+
+// whitenCond is the Gram condition number (λmax/λmin) above which an
+// intermediate whitening pass is followed by a second one: one pass
+// leaves O(cond·eps) orthogonality error, so the threshold keeps the
+// intermediate bases orthonormal to ~1e-8 while the well-conditioned
+// rounds skip half the panel traffic.
+const whitenCond = 1e8
+
+// maxRelDiffK returns max_j |a_j - b_j| scaled by the current leading
+// value, over the first k entries.
+func maxRelDiffK(a, b []float64, k int) float64 {
+	scale := math.Abs(a[0])
+	if scale == 0 {
+		scale = 1
+	}
+	m := 0.0
+	for j := 0; j < k; j++ {
+		d := math.Abs(a[j] - b[j])
+		if d > m {
+			m = d
+		}
+	}
+	return m / scale
+}
+
+// Randomized computes the k leading left singular vectors with a
+// sketched range finder (Halko–Martinsson–Tropp): Y = A·Ω for a
+// deterministic b = k + oversample column sketch Ω, then adaptive power
+// iterations that sharpen the captured subspace until the Ritz spectrum
+// settles. Each round orthonormalizes Y, takes one projection pass
+// B = AᵀQ whose small SVD yields the current Ritz values, and stops as
+// soon as the top-k values move by less than ritzTol (or the PowerIters
+// cap is reached); otherwise the B panel — already the power-iteration
+// input — is CGS2-orthonormalized and pushed back through A. A solve
+// that stops after r rounds costs 2 + 2r block operator passes riding
+// the tiled BLAS3 kernels (via BlockOperator when the operator provides
+// it), against ~2·(2k+10) GEMV passes for Lanczos — the randomized
+// TRSVD path of Minster–Li–Ballard with spectrum-converged adaptivity,
+// on the paper's row-distributed operators.
+//
+// Orthonormalization never uses a distributed QR: the local panel is
+// whitened through its small global Gram matrix (G = YᵀY via one
+// fixed-block reduction, C = V·Λ^{-1/2}), applied twice — the
+// CholeskyQR2 discipline — so the basis is orthonormal to machine
+// precision with two b x b eigenproblems as the only serial work. The
+// replicated power-iteration panels are stabilized with the same
+// two-pass classical Gram–Schmidt used by the Lanczos solver.
+//
+// The streaming single-pass variant (Options.SinglePass) additionally
+// seeds the sketch with the previous solve's right basis and carries
+// its spectrum into the first Ritz check: once the underlying operator
+// has nearly stopped moving between solves — warm re-convergence after
+// an Engine.Update, the late sweeps of ALS — the very first projection
+// matches the carried spectrum and the solve returns after a single
+// sketch-plus-projection round.
+//
+// Everything is deterministic: sketches come from the counter-based
+// GaussHash, panel products use the fixed-block reductions, and all
+// small math (including the iteration-count decisions) runs on
+// replicated matrices — so results are bitwise identical across thread
+// counts, schedules, and distributed transports. All panels live in the
+// workspace; in steady state only the returned Result.U allocates.
+func Randomized(op Operator, k int, opts Options) (*Result, error) {
+	cols := op.Cols()
+	if k <= 0 {
+		return nil, fmt.Errorf("trsvd: k = %d must be positive", k)
+	}
+	if k > cols {
+		return nil, fmt.Errorf("trsvd: k = %d exceeds column count %d", k, cols)
+	}
+	rows := op.LocalRows()
+	b := k + opts.oversample()
+	if b > cols {
+		b = cols
+	}
+	ws := opts.work()
+	threads := opThreads(op)
+	res := &Result{}
+
+	// Sketch W (cols x b, replicated). The streaming variant seeds the
+	// leading columns with the retained right basis of the previous
+	// solve, so one block pass already lands next to the old subspace;
+	// the remaining columns stay random to catch directions the delta
+	// opened up.
+	w := dense.ReuseMatrixUninit(ws.panelW, cols, b)
+	ws.panelW = w
+	warm := 0
+	if opts.SinglePass && ws.vPrev != nil && ws.vPrev.Rows == cols {
+		warm = ws.vPrev.Cols
+		if warm > k {
+			warm = k
+		}
+		for i := 0; i < cols; i++ {
+			copy(w.Row(i)[:warm], ws.vPrev.Row(i)[:warm])
+		}
+	}
+	fillSketch(w, warm, opts.Sketch, opts.Seed)
+
+	y := dense.ReuseMatrixUninit(ws.panelY, rows, b)
+	ws.panelY = y
+	opMatMat(op, w, y, ws, &res.MatVecs)
+
+	maxPower := opts.powerIters()
+	coeff := dense.ReuseVec(ws.coeff, b)
+	ws.coeff = coeff
+	g := dense.ReuseMatrix(ws.gram, b, b)
+	ws.gram = g
+	g2 := dense.ReuseMatrix(ws.gram2, b, b)
+	ws.gram2 = g2
+	c1 := dense.ReuseMatrix(ws.white, b, b)
+	ws.white = c1
+	c2 := dense.ReuseMatrix(ws.white2, b, b)
+	ws.white2 = c2
+	q := dense.ReuseMatrixUninit(ws.qpanel, rows, b)
+	ws.qpanel = q
+	bm := dense.ReuseMatrixUninit(ws.panelB, cols, b)
+	ws.panelB = bm
+
+	// The Ritz energies the first convergence check compares against:
+	// the streaming variant carries the previous solve's values (the
+	// operator barely moved, so a matching first projection ends the
+	// solve single-pass); a cold solve has nothing to compare and always
+	// takes at least one power round.
+	var prevLam []float64
+	if warm > 0 && len(ws.sigStream) >= k {
+		prevLam = ws.sigStream
+	}
+
+	var lam []float64
+	for it := 0; ; it++ {
+		// CholeskyQR: whiten Y through its small global Gram. One pass
+		// leaves O(κ²·eps) orthogonality error, which would bias the Ritz
+		// energies below and stall the convergence check on slowly
+		// decaying spectra — so a second whitening pass runs whenever the
+		// Gram's condition says the error exceeds the noise the check can
+		// absorb. Well-conditioned rounds (the common warm case) keep the
+		// single cheap pass.
+		rowGram(op, y, g, ws)
+		_, cond := ws.svd.GramWhitenInto(c1, g)
+		dense.MatMulInto(q, y, c1, threads)
+		y, q = q, y
+		ws.panelY, ws.qpanel = y, q
+		if cond > whitenCond {
+			rowGram(op, y, g, ws)
+			ws.svd.GramWhitenInto(c2, g)
+			dense.MatMulInto(q, y, c2, threads)
+			y, q = q, y
+			ws.panelY, ws.qpanel = y, q
+		}
+
+		// Projection pass B = AᵀQ (replicated). The eigenvalues of the
+		// tiny b x b Gram BᵀB are the captured Ritz energies λ_j = σ_j² —
+		// exactly the quantities the HOOI fit is made of — so the
+		// convergence check costs no operator pass and no large SVD.
+		opMatTMat(op, y, bm, ws, &res.MatVecs)
+		dense.MatMulTAInto(g2, bm, bm, threads)
+		_, lam, _ = ws.svd.SVD(g2)
+		tol := ritzTolWarm
+		if warm == 0 {
+			tol = ritzTolCold
+		}
+		if prevLam != nil && maxRelDiffK(lam, prevLam, k) <= tol {
+			break
+		}
+		if it >= maxPower {
+			break
+		}
+		prevLam = append(ws.sigStream[:0], lam[:k]...)
+		ws.sigStream = prevLam
+
+		// Power round: Y ← A·orth(B). The CGS2 orthonormalization runs
+		// on the transposed panel so each basis vector is a contiguous
+		// row, exactly like the Lanczos bases; without it the σ²-scaled
+		// columns of B would wash out the trailing directions.
+		t := dense.TransposeInto(ws.sketchT, bm)
+		ws.sketchT = t
+		orthRowsCGS2(t, coeff, threads)
+		z := dense.TransposeInto(ws.panelZ, t)
+		ws.panelZ = z
+		opMatMat(op, z, y, ws, &res.MatVecs)
+	}
+	// Retain the Ritz energies for the next streaming solve's first
+	// check (before the SVD calls below recycle lam's backing array).
+	ws.sigStream = append(ws.sigStream[:0], lam[:k]...)
+
+	// CholeskyQR2 second pass on the final basis: the first whitening
+	// left O(κ²·eps); this Gram is O(1)-conditioned, so its whitening C2
+	// repairs Q to machine precision. The projection panel follows
+	// algebraically — Q2 = Q·C2 ⇒ T = Q2ᵀA = C2ᵀ·Bᵀ, i.e. P = B·C2 —
+	// so the repair costs no operator pass. The SVD of T yields the
+	// sketched spectrum and, through V, the right basis retained for the
+	// next streaming solve.
+	rowGram(op, y, g, ws)
+	ws.svd.GramWhitenInto(c2, g)
+	dense.MatMulInto(q, y, c2, threads)
+	y, q = q, y
+	ws.panelY, ws.qpanel = y, q
+	p := dense.ReuseMatrixUninit(ws.panelZ, cols, b)
+	ws.panelZ = p
+	dense.MatMulInto(p, bm, c2, threads)
+	t := dense.TransposeInto(ws.sketchT, p)
+	ws.sketchT = t
+	pu, sig, pv := ws.svd.SVD(t)
+
+	// U = Q·P(:, :k): Y already holds the orthonormal basis, so the left
+	// vectors are one rows x b by b x k product away.
+	puK := dense.ReuseMatrixUninit(ws.vk, b, k)
+	ws.vk = puK
+	for i := 0; i < b; i++ {
+		copy(puK.Row(i), pu.Row(i)[:k])
+	}
+	u := dense.NewMatrix(rows, k)
+	dense.MatMulInto(u, y, puK, threads)
+	sigma := make([]float64, k)
+	copy(sigma, sig[:k])
+	// Numerically null directions (a rank-deficient operator) come back
+	// with denormal singular values whose pu columns duplicate retained
+	// directions instead of vanishing. Zero them explicitly so
+	// completeBasis replaces them with deterministic orthonormal fill,
+	// matching the Lanczos rank-deficiency contract.
+	cut := 1e-10 * sigma[0]
+	for j := 0; j < k; j++ {
+		if sigma[j] <= cut {
+			sigma[j] = 0
+			for i := 0; i < rows; i++ {
+				u.Set(i, j, 0)
+			}
+		}
+	}
+
+	// Retain V(:, :k) for the next streaming solve's warm sketch.
+	vp := dense.ReuseMatrixUninit(ws.vPrev, cols, k)
+	ws.vPrev = vp
+	for i := 0; i < cols; i++ {
+		copy(vp.Row(i), pv.Row(i)[:k])
+	}
+
+	completeBasis(op, u, sigma, opts, ws)
+	res.U = u
+	res.Sigma = sigma
+	res.Converged = true
+	return res, nil
+}
+
+// fillSketch writes the sketch entries of columns [from, b) — the
+// columns not already seeded from a previous basis. Entries are pure
+// functions of (seed, row, column), so the sketch is identical on every
+// rank, thread count, and transport.
+func fillSketch(w *dense.Matrix, from int, kind SketchKind, seed int64) {
+	cols, b := w.Rows, w.Cols
+	if from >= b {
+		return
+	}
+	if kind == SketchCount {
+		width := uint64(b - from)
+		for i := 0; i < cols; i++ {
+			row := w.Row(i)
+			for j := from; j < b; j++ {
+				row[j] = 0
+			}
+			z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(i)*0xBF58476D1CE4E5B9 + 0x94D049BB133111EB
+			z ^= z >> 30
+			z *= 0xBF58476D1CE4E5B9
+			z ^= z >> 27
+			z *= 0x94D049BB133111EB
+			z ^= z >> 31
+			sign := 1.0
+			if z&1 == 1 {
+				sign = -1
+			}
+			row[from+int((z>>1)%width)] = sign
+		}
+		return
+	}
+	for i := 0; i < cols; i++ {
+		row := w.Row(i)
+		for j := from; j < b; j++ {
+			row[j] = GaussHash(seed, int64(i), int64(j))
+		}
+	}
+}
+
+// orthRowsCGS2 orthonormalizes the rows of t in place with two-pass
+// classical Gram–Schmidt — the same CGS2 discipline as the Lanczos
+// reorthogonalization, on the same contiguous-rows layout: per row one
+// GEMV coefficient sweep against the rows above it, one fused update
+// sweep, and a second pass when the norm drops. Numerically dependent
+// rows are zeroed (the sketch carried a redundant direction); the Gram
+// whitening downstream tolerates the explicit zero.
+func orthRowsCGS2(t *dense.Matrix, coeff []float64, threads int) {
+	var view dense.Matrix
+	for s := 0; s < t.Rows; s++ {
+		v := t.Row(s)
+		if s > 0 {
+			view.Rows, view.Cols = s, t.Cols
+			view.Data = t.Data[:s*t.Cols]
+			for pass := 0; pass < 2; pass++ {
+				before := dense.Nrm2(v)
+				dense.GemvInto(coeff[:s], &view, v, threads)
+				for r := 0; r < s; r++ {
+					dense.Axpy(-coeff[r], t.Row(r), v)
+				}
+				if dense.Nrm2(v) > 0.7*before {
+					break
+				}
+			}
+		}
+		nrm := dense.Nrm2(v)
+		if nrm > 1e-12 {
+			dense.Scal(1/nrm, v)
+		} else {
+			zero(v)
+		}
+	}
+}
+
+// rowGram computes the global Gram matrix g = YᵀY of a local row-space
+// panel: through the operator's RowGramer extension when available (one
+// fixed-block reduction — one AllReduce in the distributed case), and
+// otherwise through b(b+1)/2 RowDot collectives over the transposed
+// panel. Every rank receives the identical replicated g either way.
+func rowGram(op Operator, y, g *dense.Matrix, ws *Workspace) {
+	if rg, ok := op.(RowGramer); ok {
+		rg.RowGram(y, g)
+		return
+	}
+	bt := dense.TransposeInto(ws.bt, y)
+	ws.bt = bt
+	for a := 0; a < y.Cols; a++ {
+		ra := bt.Row(a)
+		for c := a; c < y.Cols; c++ {
+			d := op.RowDot(ra, bt.Row(c))
+			g.Set(a, c, d)
+			g.Set(c, a, d)
+		}
+	}
+}
+
+// EpsRankSelect applies the epsilon-truncation rule (the BTAS per-mode
+// threshold split) to a sketched spectrum: sigma holds the descending
+// singular value estimates of one mode's matricization, frob2 its full
+// squared Frobenius mass, and tau the per-mode threshold
+// eps²·‖X‖²/N. The returned rank counts the values with σ² ≥ tau,
+// clamped to [1, len(sigma)]. grow reports that the sketch cannot
+// certify the choice — every sketched value cleared the threshold AND
+// the unseen tail still carries more than tau of energy, so a larger
+// sketch might reveal more retainable directions; callers grow the
+// sketch geometrically and re-solve until grow is false or a cap is
+// hit. Non-finite inputs never panic: a NaN sigma terminates the
+// retained prefix, and a NaN tail suppresses growth.
+func EpsRankSelect(sigma []float64, frob2, tau float64) (rank int, grow bool) {
+	kept := 0
+	tail := frob2
+	for _, s := range sigma {
+		s2 := s * s
+		tail -= s2
+		if !(s2 >= tau) {
+			break
+		}
+		kept++
+	}
+	rank = kept
+	if rank < 1 {
+		rank = 1
+	}
+	if len(sigma) == 0 {
+		return rank, false
+	}
+	if rank > len(sigma) {
+		rank = len(sigma)
+	}
+	grow = kept == len(sigma) && tail > tau && !math.IsNaN(tail)
+	return rank, grow
+}

@@ -2,6 +2,7 @@ package trsvd
 
 import (
 	"hypertensor/internal/dense"
+	"hypertensor/internal/par"
 	"hypertensor/internal/tensor"
 )
 
@@ -16,31 +17,93 @@ import (
 // through the tensor.Sparse mode streams, so COO and CSF tensors feed
 // the same operator; the result depends on the nonzero set and, up to
 // floating-point rounding, not on the storage order.
-func RangeFinder(x tensor.Sparse, mode, k int, seed int64) *dense.Matrix {
+//
+// The nonzeros are grouped by mode-n coordinate with a stable counting
+// sort, then rows are accumulated owner-computes over the par pool:
+// each output row is summed by exactly one worker in storage order — a
+// stronger determinism discipline than a fixed-block reduction, since
+// there is no reduction at all — so the result is bitwise identical to
+// the serial scan for every thread count. The grouping scratch and the
+// returned matrix live in the workspace (nil allocates per call); the
+// result is overwritten by the next RangeFinder call on that workspace.
+func RangeFinder(x tensor.Sparse, mode, k int, seed int64, threads int, ws *Workspace) *dense.Matrix {
+	if ws == nil {
+		ws = &Workspace{}
+	}
 	dims := x.Shape()
-	s := dense.NewMatrix(dims[mode], k)
+	nr := dims[mode]
+	s := dense.ReuseMatrix(ws.rfOut, nr, k)
+	ws.rfOut = s
 	order := x.Order()
 	streams := make([][]int32, order)
 	for m := 0; m < order; m++ {
 		streams[m] = x.ModeStream(m)
 	}
 	vals := x.Values()
-	for t := 0; t < x.NNZ(); t++ {
-		// Linearize the non-mode coordinates into the sketch column id.
-		var col int64
-		for m := 0; m < order; m++ {
-			if m == mode {
-				continue
-			}
-			col = col*int64(dims[m]) + int64(streams[m][t])
-		}
-		row := s.Row(int(streams[mode][t]))
-		v := vals[t]
-		for j := 0; j < k; j++ {
-			row[j] += v * GaussHash(seed, col, int64(j))
-		}
+	nnz := x.NNZ()
+
+	// Stable counting sort of nonzero ids by mode coordinate: after the
+	// scatter, off[r] is the end of row r's group (its start is
+	// off[r-1]), and within a group ids keep storage order.
+	ms := streams[mode]
+	off := reuseInt32(ws.rfOff, nr+1)
+	ws.rfOff = off
+	for i := range off {
+		off[i] = 0
 	}
+	for t := 0; t < nnz; t++ {
+		off[ms[t]+1]++
+	}
+	for r := 0; r < nr; r++ {
+		off[r+1] += off[r]
+	}
+	perm := reuseInt32(ws.rfPerm, nnz)
+	ws.rfPerm = perm
+	for t := 0; t < nnz; t++ {
+		r := ms[t]
+		perm[off[r]] = int32(t)
+		off[r]++
+	}
+
+	par.ForDynamicWorker(nr, threads, 64, func(_, lo, hi int) {
+		for r := lo; r < hi; r++ {
+			start := 0
+			if r > 0 {
+				start = int(off[r-1])
+			}
+			row := s.Row(r)
+			for _, t32 := range perm[start:int(off[r])] {
+				t := int(t32)
+				// Linearize the non-mode coordinates into the sketch
+				// column id.
+				var col int64
+				for m := 0; m < order; m++ {
+					if m == mode {
+						continue
+					}
+					col = col*int64(dims[m]) + int64(streams[m][t])
+				}
+				v := vals[t]
+				for j := 0; j < k; j++ {
+					row[j] += v * GaussHash(seed, col, int64(j))
+				}
+			}
+		}
+	})
 	return s
+}
+
+// reuseInt32 returns a length-n int32 slice reusing v's backing array
+// when it is large enough (contents unspecified).
+func reuseInt32(v []int32, n int) []int32 {
+	if cap(v) < n {
+		grown := n
+		if 2*cap(v) > grown {
+			grown = 2 * cap(v)
+		}
+		return make([]int32, grown)[:n]
+	}
+	return v[:n]
 }
 
 // GaussHash returns a deterministic pseudo-Gaussian sample for the

@@ -34,6 +34,26 @@ type Workspace struct {
 
 	// Small vectors shared by ritz extraction and basis completion.
 	col, other, sig, prevSig []float64
+
+	// Randomized sketch solver: the transposed replicated panel the CGS2
+	// orthonormalization streams over, the projected B = AᵀQ panel, the
+	// two Gram-whitening combinations and their product, the local
+	// whitened panel, and the persisted right singular basis that seeds
+	// the next single-pass (streaming) sketch.
+	sketchT, panelB *dense.Matrix
+	white, white2   *dense.Matrix
+	qpanel, gram2   *dense.Matrix
+	vPrev           *dense.Matrix
+	// sigStream carries the previous solve's top-k Ritz energies between
+	// streaming solves: the first convergence check of a warm solve
+	// compares against it, ending the solve single-pass once the
+	// operator has stopped moving.
+	sigStream []float64
+
+	// RangeFinder: counting-sort row grouping (permutation + offsets)
+	// and the sketch output matrix.
+	rfPerm, rfOff []int32
+	rfOut         *dense.Matrix
 }
 
 // NewWorkspace returns an empty workspace ready for Options.Work.
