@@ -129,7 +129,7 @@ func BenchmarkDTreeVsFlat(b *testing.B) {
 // -benchtime=1x as a format-regression smoke.
 func BenchmarkCSFVsCOO(b *testing.B) {
 	o := benchOpts()
-	var cooB, csfB, flopRatio float64
+	var cooB, csfB, altoB, flopRatio float64
 	for i := 0; i < b.N; i++ {
 		rows, err := bench.FormatCompare(o, io.Discard)
 		if err != nil {
@@ -139,17 +139,21 @@ func BenchmarkCSFVsCOO(b *testing.B) {
 			if r.CSFBytes >= r.COOBytes {
 				b.Fatalf("%s: CSF index bytes %d not below COO %d", r.Dataset, r.CSFBytes, r.COOBytes)
 			}
+			if r.ALTOBytes >= r.COOBytes {
+				b.Fatalf("%s: ALTO index bytes %d not below COO %d", r.Dataset, r.ALTOBytes, r.COOBytes)
+			}
 			if r.FitDelta > 1e-8 {
 				b.Fatalf("%s: formats diverge by %g", r.Dataset, r.FitDelta)
 			}
 			if r.Dataset == "flickr" {
-				cooB, csfB = r.BytesPerNNZ()
+				cooB, csfB, altoB = r.BytesPerNNZ()
 				flopRatio = float64(r.COOFlops) / float64(r.CSFFlops)
 			}
 		}
 	}
 	b.ReportMetric(cooB, "coo-B/nnz")
 	b.ReportMetric(csfB, "csf-B/nnz")
+	b.ReportMetric(altoB, "alto-B/nnz")
 	b.ReportMetric(flopRatio, "coo/csf-flops")
 }
 

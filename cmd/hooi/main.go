@@ -9,6 +9,7 @@
 //	hooi -input x.tns -ranks 10,10,10 -svd rand -sketch gauss
 //	hooi -input x.tns -eps 0.25
 //	hooi -input x.tns -ranks 10,10,10 -format csf
+//	hooi -input x.tns -ranks 10,10,10 -format alto
 //	hooi -input x.tns -ranks 5,5,5,5 -format csf -ttmc dtree
 //	hooi -input x.tns -ranks 10,10,10 -ttmc dtree -update delta.tns
 //	hooi -input x.tns -ranks 5,5,5,5 -dist 16 -grain fine -method hp
@@ -63,7 +64,7 @@ func main() {
 		oversmp = flag.Int("oversample", 0, "randomized solver oversampling columns (0 = default 8)")
 		power   = flag.Int("power", 0, "randomized solver power-iteration cap (0 = default 6, negative = none); the solver stops early once its Ritz energies settle")
 		ttmc    = flag.String("ttmc", "flat", "TTMc strategy: flat | dtree (memoized dimension tree)")
-		format  = flag.String("format", "coo", "sparse storage format: coo | csf (compressed sparse fibers)")
+		format  = flag.String("format", "coo", hypertensor.FormatUsage())
 		seed    = flag.Int64("seed", 1, "random seed")
 		distM   = flag.String("dist", "", "distributed mode: a rank count (simulated, in-process), \"tcp\" (join a multi-process group as one rank), or \"spawn\" (fork -np rank processes locally); empty or 0 = shared memory")
 		grain   = flag.String("grain", "fine", "distributed task grain: fine | coarse")
@@ -204,13 +205,9 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown ttmc strategy %q", *ttmc))
 	}
-	switch *format {
-	case "coo":
-		opts.Format = hypertensor.FormatCOO
-	case "csf":
-		opts.Format = hypertensor.FormatCSF
-	default:
-		fail(fmt.Errorf("unknown storage format %q", *format))
+	opts.Format, err = hypertensor.ParseFormat(*format)
+	if err != nil {
+		fail(err)
 	}
 	opts.MeasureAllocs = !*quiet
 	plan, err := hypertensor.NewPlan(x, opts)

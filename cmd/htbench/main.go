@@ -31,7 +31,7 @@ func main() {
 		table   = flag.Int("table", 0, "regenerate one table (1-5)")
 		met     = flag.Bool("met", false, "run the MET single-core comparison")
 		dtree   = flag.Bool("dtree", false, "run the dimension-tree vs flat TTMc comparison")
-		format  = flag.Bool("format", false, "run the CSF vs COO storage-format comparison")
+		format  = flag.Bool("format", false, "run the COO vs CSF vs ALTO storage-format comparison")
 		scaling = flag.Bool("scaling", false, "run the thread-scaling sweep (per-thread speedup table)")
 		solver  = flag.Bool("solver", false, "run the randomized-vs-Lanczos TRSVD solver comparison")
 		schedIn = flag.String("sched", "balanced", "scaling sweep schedule: balanced | dynamic | static")

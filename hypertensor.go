@@ -58,8 +58,14 @@ type (
 	CSFTensor = tensor.CSF
 	// CSFOptions configure BuildCSF (storage mode order, threads).
 	CSFOptions = tensor.CSFOptions
+	// ALTOTensor is an N-mode sparse tensor in adaptive linearized
+	// tensor order: one sorted stream of bit-interleaved coordinate
+	// keys, 8 or 16 bytes of index per nonzero.
+	ALTOTensor = tensor.ALTO
+	// ALTOOptions configure BuildALTO (threads).
+	ALTOOptions = tensor.ALTOOptions
 	// Format selects the storage layout Decompose runs on (FormatCOO,
-	// FormatCSF).
+	// FormatCSF, FormatALTO).
 	Format = core.Format
 	// DenseTensor is a dense N-mode tensor (e.g. the Tucker core).
 	DenseTensor = tensor.Dense
@@ -145,8 +151,9 @@ const (
 	TTMcFlat  = core.TTMcFlat
 	TTMcDTree = core.TTMcDTree
 
-	FormatCOO = core.FormatCOO
-	FormatCSF = core.FormatCSF
+	FormatCOO  = core.FormatCOO
+	FormatCSF  = core.FormatCSF
+	FormatALTO = core.FormatALTO
 
 	ScheduleBalanced = core.ScheduleBalanced
 	ScheduleDynamic  = core.ScheduleDynamic
@@ -176,6 +183,32 @@ func NewSparseTensor(dims []int, capacity int) *SparseTensor {
 func BuildCSF(x *SparseTensor, opts CSFOptions) *CSFTensor {
 	return tensor.NewCSF(x, opts)
 }
+
+// BuildALTO converts a coordinate tensor to adaptive-linearized-
+// tensor-order storage — the same conversion Decompose performs
+// internally when Options.Format is FormatALTO. Each nonzero's
+// coordinates are bit-interleaved into a single 64-bit (or split
+// 128-bit) key and the keys are sorted and deduplicated into one
+// linear stream; the ALTOTensor reports its per-mode bit widths,
+// index footprint (IndexBytes), and mode streams, and ToCOO converts
+// back. Panics if the shape needs more than 128 interleaved bits.
+func BuildALTO(x *SparseTensor, opts ALTOOptions) *ALTOTensor {
+	return tensor.NewALTO(x, opts)
+}
+
+// ParseFormat parses a storage-format name ("coo", "csf", "alto") as
+// spelled by the CLI -format flags; FormatNames lists the accepted
+// spellings and FormatUsage renders the flag help text. All three
+// derive from the same table, so a new format cannot reach one
+// without the others.
+func ParseFormat(s string) (Format, error) { return core.ParseFormat(s) }
+
+// FormatNames lists the accepted storage-format spellings in enum
+// order.
+func FormatNames() []string { return core.FormatNames() }
+
+// FormatUsage renders the canonical -format flag usage string.
+func FormatUsage() string { return core.FormatUsage() }
 
 // ReadTensorFile loads a tensor in .tns text format (1-based
 // coordinates, optional "# dims:" header).

@@ -44,6 +44,18 @@ type DistCell struct {
 	SweepSec         float64 `json:"sweep_sec"`
 }
 
+// AltoCell is the ALTO storage-format measurement of one dataset:
+// linearized-key index bytes (8 or 16 per nonzero, machine
+// independent), TTMc madds per sweep (machine independent — the
+// linearized kernels count the same nnz x row-size convention as the
+// flat path), and the measured sweep seconds at the sweep's largest
+// thread count (host gated like the thread cells).
+type AltoCell struct {
+	IndexBytes    int64   `json:"index_bytes"`
+	MaddsPerSweep int64   `json:"madds_per_sweep"`
+	SweepSec      float64 `json:"sweep_sec"`
+}
+
 // ScalingRow is the scaling sweep of one dataset. MaddsPerSweep,
 // IndexBytes, and AllocsPerSweep are (near-)machine-independent and
 // gated by the CI regression check; the timings are gated only against
@@ -79,6 +91,9 @@ type ScalingRow struct {
 	// sweep's largest thread count (madds and |Δfit| deterministic and
 	// gated; seconds host-gated; eps_ranks gated with a small slack).
 	Solver *SolverCell `json:"solver,omitempty"`
+	// Alto is the ALTO storage-format row (schema 6): index bytes and
+	// madds deterministic and gated, seconds host-gated.
+	Alto *AltoCell `json:"alto,omitempty"`
 }
 
 // ScalingReport is the machine-readable output of `htbench -scaling
@@ -101,8 +116,10 @@ type ScalingReport struct {
 // schema 4 added the multi-process transport rows (dist: np,
 // net_bytes_per_sweep, sweep_sec over a TCP loopback mesh); schema 5
 // added the per-dataset solver comparison (rand vs lanczos TRSVD
-// seconds and madds, |Δfit|, and the eps-selected ranks).
-const scalingSchema = 5
+// seconds and madds, |Δfit|, and the eps-selected ranks); schema 6
+// added the per-dataset ALTO storage-format cell (alto: index_bytes,
+// madds_per_sweep, sweep_sec).
+const scalingSchema = 6
 
 // distNPs are the multi-process rank counts measured per dataset.
 var distNPs = []int{2, 4}
@@ -258,6 +275,10 @@ func Scaling(o Options, sched par.Schedule, w io.Writer) (*ScalingReport, error)
 		if err != nil {
 			return nil, fmt.Errorf("%s solver comparison: %w", name, err)
 		}
+		row.Alto, err = measureAlto(x, ranks, sched, o.Iters, o.Reps, maxInt(o.Threads), o.Seed+31)
+		if err != nil {
+			return nil, fmt.Errorf("%s alto: %w", name, err)
+		}
 		rep.Rows = append(rep.Rows, row)
 		for i, cell := range row.Cells {
 			first := ""
@@ -294,7 +315,43 @@ func Scaling(o Options, sched par.Schedule, w io.Writer) (*ScalingReport, error)
 	}
 	td.Render(w)
 	renderSolverTable(rep, w)
+	ta := &Table{
+		Title:   "ALTO storage format (largest thread count)",
+		Headers: []string{"Tensor", "alto B/nnz", "madds/sweep", "s/sweep"},
+	}
+	for _, row := range rep.Rows {
+		if row.Alto == nil {
+			continue
+		}
+		ta.AddRow(row.Dataset,
+			fmt.Sprintf("%.1f", float64(row.Alto.IndexBytes)/float64(row.NNZ)),
+			humanCount(row.Alto.MaddsPerSweep), secs(row.Alto.SweepSec))
+	}
+	ta.Render(w)
 	return rep, nil
+}
+
+// measureAlto runs one dataset under FormatALTO at the sweep's largest
+// thread count, min-of-reps like the thread cells, and reports the
+// machine-independent index bytes and madds plus the host-gated sweep
+// seconds.
+func measureAlto(x *tensor.COO, ranks []int, sched par.Schedule, iters, reps, threads int, seed int64) (*AltoCell, error) {
+	cell := &AltoCell{}
+	for rep := 0; rep < reps; rep++ {
+		r, err := core.Decompose(x, core.Options{
+			Ranks: ranks, MaxIters: iters, Tol: -1, Threads: threads,
+			Schedule: sched, Format: core.FormatALTO, Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if s := r.Timings.Total().Seconds() / float64(r.Iters); rep == 0 || s < cell.SweepSec {
+			cell.SweepSec = s
+		}
+		cell.IndexBytes = r.IndexBytes
+		cell.MaddsPerSweep = r.TTMcFlops / int64(r.Iters)
+	}
+	return cell, nil
 }
 
 func maxInt(vs []int) int {
@@ -621,6 +678,27 @@ func CompareScaling(base, cur *ScalingReport, tol, timeTol float64, w io.Writer)
 				exceeds(c.Solver.RandTRSVDSec, b.Solver.RandTRSVDSec, timeTol) {
 				return fmt.Errorf("bench: %s randomized-solver TRSVD time regressed %.4fs -> %.4fs (> %.0f%%)",
 					c.Dataset, b.Solver.RandTRSVDSec, c.Solver.RandTRSVDSec, timeTol*100)
+			}
+		}
+		// The ALTO storage-format gates (schema 6): index bytes and madds
+		// are deterministic functions of the dataset (fractional
+		// tolerance); the sweep seconds follow the host rules below.
+		if b.Alto != nil {
+			if c.Alto == nil {
+				return fmt.Errorf("bench: %s no longer reports the ALTO format cell present in the baseline", c.Dataset)
+			}
+			if exceeds(float64(c.Alto.IndexBytes), float64(b.Alto.IndexBytes), tol) {
+				return fmt.Errorf("bench: %s ALTO index bytes regressed %d -> %d (> %.0f%%)",
+					c.Dataset, b.Alto.IndexBytes, c.Alto.IndexBytes, tol*100)
+			}
+			if exceeds(float64(c.Alto.MaddsPerSweep), float64(b.Alto.MaddsPerSweep), tol) {
+				return fmt.Errorf("bench: %s ALTO madds/sweep regressed %d -> %d (> %.0f%%)",
+					c.Dataset, b.Alto.MaddsPerSweep, c.Alto.MaddsPerSweep, tol*100)
+			}
+			if timeGate && timeTol > 0 && c.Alto.SweepSec-b.Alto.SweepSec >= timeNoiseFloorSec &&
+				exceeds(c.Alto.SweepSec, b.Alto.SweepSec, timeTol) {
+				return fmt.Errorf("bench: %s ALTO sweep time regressed %.4fs -> %.4fs (> %.0f%%)",
+					c.Dataset, b.Alto.SweepSec, c.Alto.SweepSec, timeTol*100)
 			}
 		}
 		if !timeGate || timeTol <= 0 {

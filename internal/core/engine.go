@@ -19,9 +19,10 @@ import (
 // first Update) an engine-owned copy of the evolving tensor. Run
 // converges from the current factors; Update ingests a coordinate
 // delta through the incremental paths of every layer (stable-id COO
-// merge or fiber-local CSF merge, spliced symbolic update lists,
-// per-entry dimension-tree invalidation, warm-started TRSVD) and
-// re-converges in a handful of sweeps instead of a cold solve.
+// merge, fiber-local CSF merge, or linear ALTO key-stream merge,
+// spliced symbolic update lists, per-entry dimension-tree
+// invalidation, warm-started TRSVD) and re-converges in a handful of
+// sweeps instead of a cold solve.
 //
 // An Engine is not safe for concurrent use. Several Engines may share
 // one Plan; each owns its numeric state, and none mutates the plan or
@@ -36,6 +37,7 @@ type Engine struct {
 	// before the first mutation.
 	x       *tensor.COO
 	csf     *tensor.CSF
+	alto    *tensor.ALTO
 	storage tensor.Sparse
 	flatX   *tensor.COO
 	sym     *symbolic.Structure
@@ -47,6 +49,7 @@ type Engine struct {
 
 	tree  *ttm.DTree
 	fiber *ttm.CSFTTMc
+	lin   *ttm.ALTOTTMc
 
 	state     *SweepState
 	ys        []*dense.Matrix
@@ -76,6 +79,7 @@ func NewEngine(p *Plan) *Engine {
 		order:    p.x.Order(),
 		x:        p.x,
 		csf:      p.csf,
+		alto:     p.alto,
 		storage:  p.storage,
 		flatX:    p.flatX,
 		sym:      p.sym,
@@ -90,6 +94,9 @@ func NewEngine(p *Plan) *Engine {
 	case p.useFiber:
 		e.fiber = ttm.NewCSFTTMc(e.csf)
 		e.fiber.SetSchedule(e.opts.Schedule)
+	case p.useLin:
+		e.lin = ttm.NewALTOTTMc(e.alto, e.sym)
+		e.lin.SetSchedule(e.opts.Schedule)
 	}
 	e.symTime = time.Since(start)
 	e.state = NewSweepState(initFactors(p.x, e.opts, startRanks(p.x, e.opts)), e.opts.Seed)
@@ -164,10 +171,13 @@ func (e *Engine) Factors() []*dense.Matrix { return e.state.Factors }
 
 // Tensor returns the engine's current tensor state in coordinate
 // format. For COO engines this is the live stable-id tensor (do not
-// mutate); CSF engines expand a fresh copy.
+// mutate); CSF and ALTO engines expand a fresh copy.
 func (e *Engine) Tensor() *tensor.COO {
-	if e.csf != nil {
+	switch {
+	case e.csf != nil:
 		return e.csf.ToCOO()
+	case e.alto != nil:
+		return e.alto.ToCOO()
 	}
 	return e.x
 }
@@ -198,6 +208,8 @@ func (e *Engine) flopsTotal() int64 {
 		return e.tree.Flops()
 	case e.fiber != nil:
 		return e.fiber.Flops()
+	case e.lin != nil:
+		return e.lin.Flops()
 	}
 	return e.flatFlops
 }
@@ -294,6 +306,8 @@ func (e *Engine) converge(ctx context.Context) (*Result, error) {
 				e.tree.TTMc(e.ys[n], n, e.state.Factors, opts.Threads)
 			case e.fiber != nil:
 				e.fiber.TTMc(e.ys[n], n, e.state.Factors, opts.Threads)
+			case e.lin != nil:
+				e.lin.TTMc(e.ys[n], n, e.state.Factors, opts.Threads)
 			default:
 				ttm.TTMcSched(e.ys[n], e.flatX, sm, e.state.Factors, opts.Threads, opts.Schedule)
 				e.flatFlops += ttm.Flops(e.flatX.NNZ(), e.ys[n].Cols)
@@ -379,7 +393,9 @@ func (e *Engine) ensureOwned() {
 		return
 	}
 	e.owned = true
-	if e.csf != nil {
+	e.sym = e.sym.Clone()
+	switch {
+	case e.csf != nil:
 		e.csf = e.csf.Clone()
 		e.storage = e.csf
 		if e.fiber != nil {
@@ -388,7 +404,16 @@ func (e *Engine) ensureOwned() {
 		if e.tree != nil {
 			e.tree.Rebind(e.csf)
 		}
-	} else {
+	case e.alto != nil:
+		e.alto = e.alto.Clone()
+		e.storage = e.alto
+		if e.lin != nil {
+			e.lin.Rebind(e.alto, e.sym)
+		}
+		if e.tree != nil {
+			e.tree.Rebind(e.alto)
+		}
+	default:
 		e.x = e.x.Clone()
 		e.storage = e.x
 		e.flatX = e.x
@@ -396,14 +421,14 @@ func (e *Engine) ensureOwned() {
 			e.tree.Rebind(e.x)
 		}
 	}
-	e.sym = e.sym.Clone()
 }
 
 // Update ingests a coordinate delta — appended and changed nonzeros,
 // duplicates summed — and re-converges from the current factors. The
 // delta flows through the incremental path of every layer: the tensor
-// merge keeps existing storage positions stable (COO) or splices new
-// fibers without a re-sort (CSF), the symbolic update lists of touched
+// merge keeps existing storage positions stable (COO), splices new
+// fibers without a re-sort (CSF), or linearly merges the sorted key
+// stream (ALTO), the symbolic update lists of touched
 // slices are spliced rather than rebuilt, the dimension tree marks
 // exactly the entries whose group changed as dirty and recomputes only
 // those, and every TRSVD is warm-started from the previous factors. The
@@ -422,7 +447,38 @@ func (e *Engine) UpdateContext(ctx context.Context, delta *tensor.COO) (*Result,
 	e.ensureOwned()
 	start := time.Now()
 	var deltaNNZ int
-	if e.csf != nil {
+	if e.alto != nil {
+		info, err := e.alto.Merge(delta)
+		if err != nil {
+			return nil, err
+		}
+		deltaNNZ = len(info.Updated) + info.Inserted
+		if info.Structural {
+			// Insertions shifted the storage positions of the single key
+			// stream: re-derive the symbolic layers (one stream sweep)
+			// and rebuild the numeric engine on them.
+			e.sym = symbolic.Build(e.alto, e.opts.Threads)
+			switch {
+			case e.tree != nil:
+				e.tree = ttm.NewDTree(e.alto)
+				e.tree.SetSchedule(e.opts.Schedule)
+			case e.lin != nil:
+				e.lin = ttm.NewALTOTTMc(e.alto, e.sym)
+				e.lin.SetSchedule(e.opts.Schedule)
+			default:
+				e.flatX = e.alto.ToCOO()
+			}
+		} else {
+			// Value-only: every position and update list is unchanged;
+			// just tell the tree which entries went stale.
+			if e.tree != nil {
+				e.tree.ApplyDelta(info.Updated, e.alto.NNZ())
+			}
+			if e.tree == nil && e.lin == nil {
+				e.flatX = e.alto.ToCOO() // order-1 corner reads copied values
+			}
+		}
+	} else if e.csf != nil {
 		info, err := e.csf.Merge(delta)
 		if err != nil {
 			return nil, err

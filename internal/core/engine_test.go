@@ -40,7 +40,7 @@ func TestEngineUpdateMatchesScratch(t *testing.T) {
 		if _, err := merged.Merge(delta); err != nil {
 			t.Fatal(err)
 		}
-		for _, format := range []Format{FormatCOO, FormatCSF} {
+		for _, format := range []Format{FormatCOO, FormatCSF, FormatALTO} {
 			for _, strat := range []TTMcStrategy{TTMcFlat, TTMcDTree} {
 				opts := Options{Ranks: ranks, MaxIters: 80, Tol: 1e-10, Seed: 7, TTMc: strat, Format: format}
 				p, err := NewPlan(x, opts)
@@ -138,7 +138,7 @@ func TestEngineUpdateScale02(t *testing.T) {
 func TestEngineUpdateDeterminism(t *testing.T) {
 	x, ranks := presetTensor(t, "flickr", 0.02)
 	delta := gen.Delta(x, 0.01, 0.01, 5)
-	for _, format := range []Format{FormatCOO, FormatCSF} {
+	for _, format := range []Format{FormatCOO, FormatCSF, FormatALTO} {
 		var ref []float64
 		for _, threads := range []int{1, 2, 4, 8} {
 			for _, sched := range []Schedule{ScheduleBalanced, ScheduleDynamic, ScheduleStatic} {

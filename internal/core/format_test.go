@@ -9,9 +9,9 @@ import (
 )
 
 // TestFormatEquivalence checks the acceptance bar of the storage layer:
-// on the 3- and 4-mode benchmark presets, the CSF path must reproduce
-// the COO path's fit to 1e-8 for both TTMc strategies, with strictly
-// smaller index storage.
+// on the 3- and 4-mode benchmark presets, the CSF and ALTO paths must
+// reproduce the COO path's fit to 1e-8 for both TTMc strategies, with
+// strictly smaller index storage.
 func TestFormatEquivalence(t *testing.T) {
 	for _, name := range []string{"netflix", "flickr"} {
 		cfg, err := gen.Preset(name, 0.02)
@@ -35,19 +35,35 @@ func TestFormatEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s coo: %v", name, err)
 			}
+			alto := base
+			alto.Format = FormatALTO
 			rf, err := Decompose(x, csf)
 			if err != nil {
 				t.Fatalf("%s csf: %v", name, err)
+			}
+			ra, err := Decompose(x, alto)
+			if err != nil {
+				t.Fatalf("%s alto: %v", name, err)
 			}
 			if d := math.Abs(rc.Fit - rf.Fit); d > 1e-8 {
 				t.Fatalf("%s strategy=%d: fit diverges by %g (coo %v, csf %v)",
 					name, strategy, d, rc.Fit, rf.Fit)
 			}
-			if rf.Format != FormatCSF || rc.Format != FormatCOO {
+			if d := math.Abs(rf.Fit - ra.Fit); d > 1e-8 {
+				t.Fatalf("%s strategy=%d: ALTO fit diverges from CSF by %g (csf %v, alto %v)",
+					name, strategy, d, rf.Fit, ra.Fit)
+			}
+			if rf.Format != FormatCSF || rc.Format != FormatCOO || ra.Format != FormatALTO {
 				t.Fatalf("%s: Result.Format not recorded", name)
 			}
 			if rf.IndexBytes >= rc.IndexBytes {
 				t.Fatalf("%s: CSF index bytes %d not below COO %d", name, rf.IndexBytes, rc.IndexBytes)
+			}
+			if ra.IndexBytes >= rc.IndexBytes {
+				t.Fatalf("%s: ALTO index bytes %d not below COO %d", name, ra.IndexBytes, rc.IndexBytes)
+			}
+			if ra.IndexBytes != int64(x.Clone().SortDedup().NNZ())*8 {
+				t.Fatalf("%s: ALTO index bytes %d, want 8 per canonical nonzero", name, ra.IndexBytes)
 			}
 			if rf.IndexBytes <= 0 || rc.IndexBytes != int64(x.Order())*int64(x.NNZ())*4 {
 				t.Fatalf("%s: index byte accounting broken", name)
@@ -93,8 +109,23 @@ func TestFormatModeOrderKnob(t *testing.T) {
 // TestFormatStringAndValidate pins the flag spellings the CLI relies
 // on and the error/fallback behavior of the format options.
 func TestFormatStringAndValidate(t *testing.T) {
-	if FormatCOO.String() != "coo" || FormatCSF.String() != "csf" {
+	if FormatCOO.String() != "coo" || FormatCSF.String() != "csf" || FormatALTO.String() != "alto" {
 		t.Fatal("Format.String spelling changed")
+	}
+	for _, name := range FormatNames() {
+		f, err := ParseFormat(name)
+		if err != nil {
+			t.Fatalf("ParseFormat(%q): %v", name, err)
+		}
+		if f.String() != name {
+			t.Fatalf("ParseFormat(%q) round-trips to %q", name, f.String())
+		}
+	}
+	if _, err := ParseFormat("hicoo"); err == nil {
+		t.Fatal("ParseFormat accepted an unknown format")
+	}
+	if usage := FormatUsage(); usage == "" {
+		t.Fatal("FormatUsage is empty")
 	}
 	x := tensor.NewCOO([]int{3, 3}, 0)
 	x.Append([]int{0, 0}, 1)
@@ -110,6 +141,19 @@ func TestFormatStringAndValidate(t *testing.T) {
 	opts.CSFModeOrder = []int{0}
 	if _, err := Decompose(x, opts); err == nil {
 		t.Fatal("short CSFModeOrder accepted")
+	}
+	// An out-of-range Format value errors instead of panicking.
+	bad := Options{Ranks: []int{1, 1}, Format: Format(99), MaxIters: 1, Tol: -1}
+	if _, err := Decompose(x, bad); err == nil {
+		t.Fatal("out-of-range Format accepted")
+	}
+	// A shape wider than the 128-bit split-key limit is rejected up
+	// front under FormatALTO rather than panicking inside the build.
+	wide := tensor.NewCOO([]int{1 << 30, 1 << 30, 1 << 30, 1 << 30, 1 << 30}, 0)
+	wide.Append([]int{0, 0, 0, 0, 0}, 1)
+	wopts := Options{Ranks: []int{1, 1, 1, 1, 1}, Format: FormatALTO, MaxIters: 1, Tol: -1}
+	if _, err := Decompose(wide, wopts); err == nil {
+		t.Fatal("overwide ALTO shape accepted")
 	}
 }
 
@@ -132,5 +176,61 @@ func TestFormatOrder1(t *testing.T) {
 	}
 	if d := math.Abs(rc.Fit - rf.Fit); d > 1e-12 {
 		t.Fatalf("order-1 formats diverge by %g", d)
+	}
+	base.Format = FormatALTO
+	ra, err := Decompose(x, base)
+	if err != nil {
+		t.Fatalf("order-1 ALTO decompose: %v", err)
+	}
+	if d := math.Abs(rc.Fit - ra.Fit); d > 1e-12 {
+		t.Fatalf("order-1 ALTO diverges by %g", d)
+	}
+}
+
+// TestFormatALTODeterminism pins the ALTO acceptance criterion: the fit
+// trajectory of a `-format alto` cold solve is bitwise identical for
+// every thread count and every schedule, on a 3- and a 4-mode preset,
+// for both TTMc strategies (flat drives the linearized kernel, dtree
+// the memoized tree over the ALTO storage order).
+func TestFormatALTODeterminism(t *testing.T) {
+	for _, name := range []string{"netflix", "flickr"} {
+		cfg, err := gen.Preset(name, 0.02)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := gen.Random(cfg)
+		ranks := gen.PaperRanks(x.Order())
+		for n := range ranks {
+			if ranks[n] > x.Dims[n] {
+				ranks[n] = x.Dims[n]
+			}
+		}
+		for _, strategy := range []TTMcStrategy{TTMcFlat, TTMcDTree} {
+			var ref []float64
+			for _, threads := range []int{1, 2, 4, 8} {
+				for _, sched := range []Schedule{ScheduleBalanced, ScheduleDynamic, ScheduleStatic} {
+					opts := Options{Ranks: ranks, MaxIters: 4, Tol: -1, Seed: 11,
+						Format: FormatALTO, TTMc: strategy, Threads: threads, Schedule: sched}
+					r, err := Decompose(x, opts)
+					if err != nil {
+						t.Fatalf("%s strat=%v threads=%d: %v", name, strategy, threads, err)
+					}
+					if ref == nil {
+						ref = r.FitHistory
+						continue
+					}
+					if len(r.FitHistory) != len(ref) {
+						t.Fatalf("%s strat=%v threads=%d sched=%v: trajectory length changed",
+							name, strategy, threads, sched)
+					}
+					for i := range ref {
+						if r.FitHistory[i] != ref[i] {
+							t.Fatalf("%s strat=%v threads=%d sched=%v: fit[%d] = %v, want %v (bit drift)",
+								name, strategy, threads, sched, i, r.FitHistory[i], ref[i])
+						}
+					}
+				}
+			}
+		}
 	}
 }

@@ -12,8 +12,9 @@ import (
 // Timings accumulates wall-clock time per HOOI phase across all
 // iterations; it backs the Table IV / Table V breakdowns.
 type Timings struct {
-	// Convert is the one-time storage-format construction (zero for
-	// FormatCOO; the CSF sort/dedup and fiber-level build otherwise).
+	// Convert is the one-time storage-format construction: zero for
+	// FormatCOO, the sort/dedup and fiber-level build for FormatCSF, the
+	// key encoding and sort/dedup for FormatALTO.
 	Convert  time.Duration
 	Symbolic time.Duration // one-time symbolic TTMc preprocessing (and, for updates, the incremental maintenance)
 	TTMc     time.Duration
@@ -53,7 +54,8 @@ type Result struct {
 	// Format is the sparse storage layout the decomposition ran on.
 	Format Format
 	// IndexBytes is the index storage of that layout (COO: N x nnz x 4
-	// bytes; CSF: the compressed fiber levels and pointers).
+	// bytes; CSF: the compressed fiber levels and pointers; ALTO: 8 or
+	// 16 bytes per nonzero of linearized keys).
 	IndexBytes int64
 	// AllocsPerSweep is the steady-state heap allocation count per ALS
 	// sweep (the first sweep, which grows the workspace arenas, is

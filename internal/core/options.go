@@ -1,15 +1,8 @@
-// Package core implements the shared-memory HOOI algorithm of the paper
-// (Algorithm 1 / Algorithm 3): the alternating least squares sweep that,
-// for each mode, computes the TTMc product with all other factor
-// matrices, extracts the leading left singular vectors of the matricized
-// result (TRSVD), and finally forms the core tensor and the fit measure.
-// A symbolic TTMc preprocessing step (internal/symbolic) is performed
-// once so the numeric iterations are free of index computation and write
-// conflicts.
 package core
 
 import (
 	"fmt"
+	"strings"
 
 	"hypertensor/internal/dense"
 	"hypertensor/internal/par"
@@ -91,14 +84,55 @@ const (
 	// FormatCOO to rounding and stay deterministic for any thread
 	// count.
 	FormatCSF
+	// FormatALTO converts the tensor to the adaptive linearized format
+	// (tensor.ALTO): every coordinate packed into one bit-interleaved
+	// key, all nonzeros in a single sorted stream with no per-mode
+	// replication. The symbolic structure is recovered from the mode-bit
+	// boundaries, and the flat TTMc strategy switches to the
+	// sequential-stream kernels (ttm.ALTOTTMc) with blocked dense
+	// accumulation for short modes and owner-computes emission for long
+	// ones. Index storage is 8 bytes/nnz (16 for shapes above 64
+	// interleaved bits) independent of how compressible the fibers are —
+	// the format that wins on skewed tensors where CSF fibers stay
+	// short. Results match FormatCOO to rounding and stay deterministic
+	// for any thread count.
+	FormatALTO
 )
+
+// formatNames spells the formats the way cmd/hooi's -format flag does,
+// indexed by the Format value. It is the single source of truth the
+// CLI usage strings, the parser, and String derive from.
+var formatNames = [...]string{
+	FormatCOO:  "coo",
+	FormatCSF:  "csf",
+	FormatALTO: "alto",
+}
+
+// FormatNames lists the -format flag spellings in Format value order.
+func FormatNames() []string { return append([]string(nil), formatNames[:]...) }
+
+// FormatUsage is the canonical -format flag description shared by the
+// CLIs and the docs, derived from FormatNames.
+func FormatUsage() string {
+	return "sparse storage format: coo (coordinate streams) | csf (compressed sparse fibers) | alto (adaptive linearized offsets)"
+}
+
+// ParseFormat maps a -format flag spelling to its Format value.
+func ParseFormat(s string) (Format, error) {
+	for f, name := range formatNames {
+		if s == name {
+			return Format(f), nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown storage format %q (formats: %s)", s, strings.Join(formatNames[:], " | "))
+}
 
 // String names the format the way cmd/hooi's -format flag spells it.
 func (f Format) String() string {
-	if f == FormatCSF {
-		return "csf"
+	if int(f) < 0 || int(f) >= len(formatNames) {
+		return fmt.Sprintf("Format(%d)", int(f))
 	}
-	return "coo"
+	return formatNames[f]
 }
 
 // SVDMethod selects the truncated SVD solver used for the TRSVD step.
@@ -176,8 +210,8 @@ type Options struct {
 	// TTMc selects the TTMc evaluation strategy (flat reference path or
 	// memoized dimension tree).
 	TTMc TTMcStrategy
-	// Format selects the sparse storage layout (coordinate streams or
-	// compressed sparse fibers).
+	// Format selects the sparse storage layout (coordinate streams,
+	// compressed sparse fibers, or adaptive linearized offsets).
 	Format Format
 	// CSFModeOrder overrides the CSF storage mode permutation
 	// (ModeOrder[0] is the root level). nil selects shortest-mode-first.
@@ -252,6 +286,14 @@ func (o *Options) Validate(x *tensor.COO) error {
 			if r > other {
 				return fmt.Errorf("core: rank %d in mode %d exceeds the product of the other ranks (%d); Y_(%d) cannot have that many singular vectors", r, n, other, n)
 			}
+		}
+	}
+	if int(o.Format) < 0 || int(o.Format) >= len(formatNames) {
+		return fmt.Errorf("core: unknown storage format %d", int(o.Format))
+	}
+	if o.Format == FormatALTO {
+		if b := tensor.ALTOTotalBits(x.Dims); b > 128 {
+			return fmt.Errorf("core: shape %v needs %d interleaved bits; the ALTO split-key limit is 128", x.Dims, b)
 		}
 	}
 	if o.Format == FormatCSF && o.CSFModeOrder != nil {

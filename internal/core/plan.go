@@ -8,9 +8,9 @@ import (
 )
 
 // Plan is the immutable per-tensor analysis of a decomposition: the
-// validated options, the storage-format build (CSF conversion when
-// requested), the symbolic update lists, the TTMc strategy choice, and
-// the tensor norm. Everything in a Plan is a pure function of (tensor,
+// validated options, the storage-format build (CSF or ALTO conversion
+// when requested), the symbolic update lists, the TTMc strategy choice,
+// and the tensor norm. Everything in a Plan is a pure function of (tensor,
 // options) and is never mutated afterwards, so one Plan can back any
 // number of Engines — the resident handles that own the mutable factor
 // state and ingest deltas. Decompose is NewPlan + NewEngine + Run.
@@ -19,6 +19,7 @@ type Plan struct {
 	x    *tensor.COO // the caller's tensor; engines clone before mutating
 
 	csf     *tensor.CSF
+	alto    *tensor.ALTO
 	storage tensor.Sparse
 	flatX   *tensor.COO // coordinate view for the flat kernel
 	sym     *symbolic.Structure
@@ -26,6 +27,7 @@ type Plan struct {
 
 	useTree  bool
 	useFiber bool
+	useLin   bool
 
 	convertTime  time.Duration
 	symbolicTime time.Duration
@@ -43,11 +45,17 @@ func NewPlan(x *tensor.COO, optsIn Options) (*Plan, error) {
 	}
 	p := &Plan{opts: optsIn.withDefaults(), x: x}
 	var storage tensor.Sparse = x
-	if p.opts.Format == FormatCSF {
+	switch p.opts.Format {
+	case FormatCSF:
 		start := time.Now()
 		p.csf = tensor.NewCSF(x, tensor.CSFOptions{ModeOrder: p.opts.CSFModeOrder, Threads: p.opts.Threads})
 		p.convertTime = time.Since(start)
 		storage = p.csf
+	case FormatALTO:
+		start := time.Now()
+		p.alto = tensor.NewALTO(x, tensor.ALTOOptions{Threads: p.opts.Threads})
+		p.convertTime = time.Since(start)
+		storage = p.alto
 	}
 	p.storage = storage
 	p.normX = storage.Norm(p.opts.Threads)
@@ -64,8 +72,12 @@ func NewPlan(x *tensor.COO, optsIn Options) (*Plan, error) {
 		p.useTree = true
 	case p.csf != nil && x.Order() >= 2:
 		p.useFiber = true
+	case p.alto != nil && x.Order() >= 2:
+		p.useLin = true
 	case p.csf != nil:
 		p.flatX = p.csf.ToCOO()
+	case p.alto != nil:
+		p.flatX = p.alto.ToCOO()
 	}
 	p.symbolicTime = time.Since(start)
 	return p, nil

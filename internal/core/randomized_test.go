@@ -197,7 +197,10 @@ func TestEngineUpdateRandomizedSinglePass(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if d := math.Abs(ru.Fit - rc.Fit); d > 1e-7 {
+	// The warm path streams sketches while the cold path recomputes
+	// them, so the two fits agree only approximately; 1e-6 leaves room
+	// for ulp-level input perturbations without masking real drift.
+	if d := math.Abs(ru.Fit - rc.Fit); d > 1e-6 {
 		t.Fatalf("single-pass incremental fit %v vs cold randomized %v (|d|=%g)", ru.Fit, rc.Fit, d)
 	}
 	if ru.UpdateSweeps <= 0 {

@@ -1,18 +1,3 @@
-// Package dist implements the distributed-memory parallel HOOI of the
-// paper (Algorithm 4) over simulated MPI ranks (internal/mpi). Tasks are
-// partitioned either coarse-grain (one task per tensor slice, partitioned
-// per mode) or fine-grain (one task per nonzero), with placement by the
-// multilevel hypergraph partitioner, at random, or in contiguous blocks —
-// the fine-hp / fine-rd / coarse-hp / coarse-bl configurations of the
-// paper's evaluation.
-//
-// Each rank stores only its local nonzeros, computes partial TTMc rows
-// for the slices those nonzeros touch, folds partials to the slice
-// owners, runs a row-distributed Lanczos TRSVD in SPMD lockstep (the
-// column-space vectors are replicated through deterministic AllReduce,
-// so every rank observes bitwise-identical iterates), and exchanges the
-// updated factor rows it owns. Per-rank work and communication
-// statistics back the Table II-IV reproductions.
 package dist
 
 import (

@@ -74,12 +74,22 @@ type Structure struct {
 // counting sort over its index stream (histogram, prefix sum, scatter);
 // on a CSF tensor the fiber hierarchy is exploited directly — see
 // buildModeCSF — so the structures come out identical for the same
-// storage order but cheaper.
+// storage order but cheaper. On an ALTO tensor all N fiber groupings
+// are recovered from the mode-bit boundaries of the linearized keys in
+// one parallel stream sweep (each key is de-linearized once for all
+// modes) before the per-mode counting sorts run.
 func Build(t tensor.Sparse, threads int) *Structure {
 	s := &Structure{Modes: make([]Mode, t.Order())}
 	if c, ok := t.(*tensor.CSF); ok && c.Order() > 1 {
 		par.For(t.Order(), threads, 1, func(n int) {
 			s.Modes[n] = buildModeCSF(c, n)
+		})
+		return s
+	}
+	if a, ok := t.(*tensor.ALTO); ok {
+		streams := a.MaterializeStreams(threads)
+		par.For(t.Order(), threads, 1, func(n int) {
+			s.Modes[n] = buildMode(streams[n], t.Shape()[n], n)
 		})
 		return s
 	}

@@ -1,0 +1,500 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+
+	"hypertensor/internal/par"
+)
+
+// ALTO is a sparse tensor in adaptive linearized tensor-offset format
+// (Laukemann et al.): every nonzero's coordinates are packed into one
+// bit-interleaved linearized key, and the tensor is a single stream of
+// (key, value) pairs sorted by key. Each mode m is allocated exactly
+// ceil(log2(dims[m])) key bits, and the per-mode bits are interleaved
+// round-robin from the least-significant position — modes drop out of
+// the rotation as their bits are exhausted, so longer modes own the
+// high bits (the "adaptive" allocation). Consecutive keys therefore
+// address nonzeros that are close in every mode at once, and the format
+// is mode-agnostic: one stream serves all N TTMc modes, where CSF keeps
+// a per-root-mode hierarchy and COO keeps N index streams.
+//
+// Shapes needing at most 64 interleaved bits store one uint64 key per
+// nonzero (8 index bytes/nnz, vs COO's 4N); larger shapes fall back to
+// a split 128-bit key (lo + hi words, 16 bytes/nnz) up to 128 total
+// bits. The storage order of nonzeros is ascending key order, which
+// differs from the source COO order; symbolic structures built from an
+// ALTO must be used with that ALTO.
+type ALTO struct {
+	dims []int
+	// bits[m] is the number of key bits allocated to mode m
+	// (ceil(log2(dims[m])); 0 for modes of length 1).
+	bits []int
+	// pos[m][j] is the global key-bit position holding bit j of the
+	// mode-m coordinate (LSB first). Positions >= 64 live in hi.
+	pos   [][]uint
+	total int // total interleaved bits across all modes
+
+	lo  []uint64 // low key words, ascending
+	hi  []uint64 // high key words; nil unless total > 64
+	val []float64
+
+	// Lazily de-linearized per-mode index streams (conversion caches;
+	// they do not count toward IndexBytes).
+	streams    [][]int32
+	streamOnce []sync.Once
+}
+
+// ALTOOptions configure ALTO construction.
+type ALTOOptions struct {
+	// Threads bounds construction parallelism; 0 uses GOMAXPROCS.
+	Threads int
+}
+
+// altoLayout computes the adaptive bit allocation for the given shape:
+// per-mode bit counts and the global position of every mode bit under
+// round-robin interleaving from the LSB.
+func altoLayout(dims []int) (bitCounts []int, pos [][]uint, total int) {
+	order := len(dims)
+	bitCounts = make([]int, order)
+	pos = make([][]uint, order)
+	for m, d := range dims {
+		b := bits.Len(uint(d - 1)) // bits to address 0..d-1; 0 when d == 1
+		bitCounts[m] = b
+		pos[m] = make([]uint, 0, b)
+		total += b
+	}
+	next := uint(0)
+	for taken := make([]int, order); ; {
+		progressed := false
+		for m := 0; m < order; m++ {
+			if taken[m] < bitCounts[m] {
+				pos[m] = append(pos[m], next)
+				next++
+				taken[m]++
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return bitCounts, pos, total
+}
+
+// ALTOTotalBits returns the number of interleaved key bits the given
+// shape needs. Shapes above 128 bits cannot be stored in ALTO format
+// (NewALTO panics; option validation should reject them first).
+func ALTOTotalBits(dims []int) int {
+	total := 0
+	for _, d := range dims {
+		total += bits.Len(uint(d - 1))
+	}
+	return total
+}
+
+// altoMaxBits is the widest supported interleaved key (lo + hi words).
+const altoMaxBits = 128
+
+// encodeAt packs the coordinates of nonzero i of the mode-major streams
+// cols into a split linearized key.
+func altoEncodeAt(pos [][]uint, cols [][]int32, i int) (lo, hi uint64) {
+	for m, ps := range pos {
+		c := uint64(uint32(cols[m][i]))
+		for j, p := range ps {
+			b := (c >> uint(j)) & 1
+			if p < 64 {
+				lo |= b << p
+			} else {
+				hi |= b << (p - 64)
+			}
+		}
+	}
+	return lo, hi
+}
+
+// altoDecode extracts one mode's coordinate from a split key by
+// gathering the mode's bit positions.
+func altoDecode(ps []uint, lo, hi uint64) int32 {
+	var v int32
+	for j, p := range ps {
+		var b uint64
+		if p < 64 {
+			b = (lo >> p) & 1
+		} else {
+			b = (hi >> (p - 64)) & 1
+		}
+		v |= int32(b) << uint(j)
+	}
+	return v
+}
+
+// NewALTO builds an ALTO tensor from a coordinate tensor. The input is
+// not mutated. Construction encodes every nonzero's linearized key in
+// parallel, then runs the standard sort/dedup discipline of
+// COO.SortDedupOrder on the key stream: duplicate coordinates are
+// merged by summation and exact-zero sums are dropped, exactly as the
+// COO and CSF builds do, so the three formats hold the same canonical
+// nonzero set. The result is independent of the thread count. It panics
+// when the shape needs more than 128 interleaved bits or a coordinate
+// is out of range.
+func NewALTO(x *COO, opts ALTOOptions) *ALTO {
+	bitCounts, pos, total := altoLayout(x.Dims)
+	if total > altoMaxBits {
+		panic(fmt.Sprintf("tensor: ALTO shape %v needs %d interleaved bits; the split-key limit is %d", x.Dims, total, altoMaxBits))
+	}
+	threads := par.DefaultThreads(opts.Threads)
+	a := &ALTO{
+		dims:       append([]int(nil), x.Dims...),
+		bits:       bitCounts,
+		pos:        pos,
+		total:      total,
+		streams:    make([][]int32, x.Order()),
+		streamOnce: make([]sync.Once, x.Order()),
+	}
+	n := x.NNZ()
+	if n == 0 {
+		return a
+	}
+
+	split := total > 64
+	lo := make([]uint64, n)
+	var hi []uint64
+	if split {
+		hi = make([]uint64, n)
+	}
+	bad := make([]bool, threads)
+	par.ForWorker(n, threads, func(w, from, to int) {
+		for i := from; i < to; i++ {
+			for m, d := range x.Dims {
+				if c := x.Idx[m][i]; c < 0 || int(c) >= d {
+					bad[w] = true
+				}
+			}
+			l, h := altoEncodeAt(pos, x.Idx, i)
+			lo[i] = l
+			if split {
+				hi[i] = h
+			}
+		}
+	})
+	for _, b := range bad {
+		if b {
+			panic("tensor: coordinate out of range in ALTO build")
+		}
+	}
+
+	// Sort/dedup over the interleaved keys — the same permutation-sort,
+	// run-sum, drop-exact-zero machinery as COO.SortDedupOrder, with the
+	// interleaved key replacing the lexicographic one.
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	// Tie-break equal keys on the original position, matching the
+	// COO/CSF dedup discipline: duplicates are summed in appearance
+	// order, so all formats produce bitwise-identical canonical values.
+	if split {
+		sort.Slice(perm, func(p, q int) bool {
+			i, j := perm[p], perm[q]
+			if hi[i] != hi[j] {
+				return hi[i] < hi[j]
+			}
+			if lo[i] != lo[j] {
+				return lo[i] < lo[j]
+			}
+			return i < j
+		})
+	} else {
+		sort.Slice(perm, func(p, q int) bool {
+			i, j := perm[p], perm[q]
+			if lo[i] != lo[j] {
+				return lo[i] < lo[j]
+			}
+			return i < j
+		})
+	}
+	outLo := make([]uint64, 0, n)
+	var outHi []uint64
+	if split {
+		outHi = make([]uint64, 0, n)
+	}
+	outVal := make([]float64, 0, n)
+	same := func(i, j int) bool {
+		if lo[i] != lo[j] {
+			return false
+		}
+		return !split || hi[i] == hi[j]
+	}
+	for i := 0; i < n; {
+		j := i
+		var sum float64
+		for j < n && same(perm[j], perm[i]) {
+			sum += x.Val[perm[j]]
+			j++
+		}
+		if sum != 0 {
+			outLo = append(outLo, lo[perm[i]])
+			if split {
+				outHi = append(outHi, hi[perm[i]])
+			}
+			outVal = append(outVal, sum)
+		}
+		i = j
+	}
+	a.lo, a.hi, a.val = outLo, outHi, outVal
+	return a
+}
+
+// Order returns the number of modes N.
+func (a *ALTO) Order() int { return len(a.dims) }
+
+// Shape returns the mode sizes. The slice is owned by the tensor.
+func (a *ALTO) Shape() []int { return a.dims }
+
+// NNZ returns the number of stored nonzeros.
+func (a *ALTO) NNZ() int { return len(a.val) }
+
+// Bits returns the number of key bits allocated to mode m.
+func (a *ALTO) Bits(m int) int { return a.bits[m] }
+
+// TotalBits returns the width of the interleaved key in bits.
+func (a *ALTO) TotalBits() int { return a.total }
+
+// Split reports whether keys use the 128-bit two-word fallback.
+func (a *ALTO) Split() bool { return a.hi != nil }
+
+// keyAt returns the split key of the nonzero at storage position i
+// (hi is 0 on the 64-bit path).
+func (a *ALTO) keyAt(i int) (lo, hi uint64) {
+	if a.hi != nil {
+		return a.lo[i], a.hi[i]
+	}
+	return a.lo[i], 0
+}
+
+// keyLess orders split keys.
+func keyLess(lo1, hi1, lo2, hi2 uint64) bool {
+	if hi1 != hi2 {
+		return hi1 < hi2
+	}
+	return lo1 < lo2
+}
+
+// ModeIndex de-linearizes the mode-m coordinate of the nonzero at
+// storage position i straight from its key (mask/shift bit gather).
+func (a *ALTO) ModeIndex(i, m int) int32 {
+	lo, hi := a.keyAt(i)
+	return altoDecode(a.pos[m], lo, hi)
+}
+
+// Coord writes the coordinates of the nonzero at storage position i
+// into dst (length >= Order) and returns it.
+func (a *ALTO) Coord(i int, dst []int) []int {
+	lo, hi := a.keyAt(i)
+	for m := range a.dims {
+		dst[m] = int(altoDecode(a.pos[m], lo, hi))
+	}
+	return dst
+}
+
+// Value returns the value of the nonzero at storage position i.
+func (a *ALTO) Value(i int) float64 { return a.val[i] }
+
+// Values returns the nonzero values in storage order.
+func (a *ALTO) Values() []float64 { return a.val }
+
+// ModeStream de-linearizes (and caches) the mode-m index of every
+// nonzero in storage order. Safe for concurrent callers.
+func (a *ALTO) ModeStream(m int) []int32 {
+	a.streamOnce[m].Do(func() {
+		if a.streams[m] != nil {
+			return // pre-seeded by Clone or MaterializeStreams
+		}
+		out := make([]int32, a.NNZ())
+		ps := a.pos[m]
+		par.For(a.NNZ(), 0, 0, func(i int) {
+			lo, hi := a.keyAt(i)
+			out[i] = altoDecode(ps, lo, hi)
+		})
+		a.streams[m] = out
+	})
+	return a.streams[m]
+}
+
+// MaterializeStreams de-linearizes every mode's index stream in one
+// parallel pass over the key stream (each key is loaded once and all N
+// coordinates are gathered from it), seeds the per-mode caches, and
+// returns them. The symbolic build uses this to recover all fiber
+// groupings from the mode-bit boundaries with a single stream sweep
+// instead of N separate decodes.
+func (a *ALTO) MaterializeStreams(threads int) [][]int32 {
+	n := a.NNZ()
+	order := a.Order()
+	decoded := make([][]int32, order)
+	need := false
+	for m := 0; m < order; m++ {
+		if a.streams[m] == nil {
+			decoded[m] = make([]int32, n)
+			need = true
+		}
+	}
+	if need {
+		par.ForWorker(n, par.DefaultThreads(threads), func(w, from, to int) {
+			for i := from; i < to; i++ {
+				lo, hi := a.keyAt(i)
+				for m := 0; m < order; m++ {
+					if decoded[m] != nil {
+						decoded[m][i] = altoDecode(a.pos[m], lo, hi)
+					}
+				}
+			}
+		})
+	}
+	out := make([][]int32, order)
+	for m := 0; m < order; m++ {
+		m := m
+		a.streamOnce[m].Do(func() {
+			if a.streams[m] == nil {
+				a.streams[m] = decoded[m]
+			}
+		})
+		out[m] = a.streams[m]
+	}
+	return out
+}
+
+// Norm returns the Frobenius norm, parallel over nonzeros with a
+// fixed-block reduction (bitwise identical for any thread count).
+func (a *ALTO) Norm(threads int) float64 {
+	return math.Sqrt(par.SumBlocks(a.NNZ(), threads, func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += a.val[i] * a.val[i]
+		}
+		return s
+	}))
+}
+
+// IndexBytes reports the linearized key storage: 8 bytes per nonzero on
+// the 64-bit path, 16 on the split path. The lazily de-linearized
+// mode-stream caches are conversion scratch and excluded.
+func (a *ALTO) IndexBytes() int64 {
+	per := int64(8)
+	if a.hi != nil {
+		per = 16
+	}
+	return per * int64(a.NNZ())
+}
+
+// ToCOO converts back to coordinate format (in ALTO key order).
+func (a *ALTO) ToCOO() *COO {
+	out := NewCOO(a.dims, a.NNZ())
+	for m := range a.dims {
+		out.Idx[m] = append(out.Idx[m], a.ModeStream(m)...)
+	}
+	out.Val = append(out.Val, a.val...)
+	return out
+}
+
+// Clone returns a deep copy. The key and value arrays are copied; the
+// lazily de-linearized stream caches are shared (they are replaced
+// wholesale, never mutated in place, so sharing is safe). A resident
+// engine clones the plan's tensor before its first in-place Merge so
+// the plan stays reusable.
+func (a *ALTO) Clone() *ALTO {
+	out := &ALTO{
+		dims:       append([]int(nil), a.dims...),
+		bits:       append([]int(nil), a.bits...),
+		pos:        a.pos, // immutable after construction
+		total:      a.total,
+		lo:         append([]uint64(nil), a.lo...),
+		val:        append([]float64(nil), a.val...),
+		streams:    append([][]int32(nil), a.streams...),
+		streamOnce: make([]sync.Once, a.Order()),
+	}
+	if a.hi != nil {
+		out.hi = append([]uint64(nil), a.hi...)
+	}
+	return out
+}
+
+// Validate checks the structural invariants: the bit layout matches the
+// shape, keys are strictly ascending with no bits outside the allocated
+// positions, decoded coordinates are in range, and any cached stream
+// agrees with de-linearization. Used by tests and available to callers
+// ingesting untrusted structures.
+func (a *ALTO) Validate() error {
+	bitCounts, pos, total := altoLayout(a.dims)
+	if total != a.total || len(bitCounts) != len(a.bits) {
+		return fmt.Errorf("alto: bit layout inconsistent with shape %v", a.dims)
+	}
+	for m := range bitCounts {
+		if bitCounts[m] != a.bits[m] || len(pos[m]) != len(a.pos[m]) {
+			return fmt.Errorf("alto: mode %d bit allocation inconsistent", m)
+		}
+		for j := range pos[m] {
+			if pos[m][j] != a.pos[m][j] {
+				return fmt.Errorf("alto: mode %d bit %d at position %d, want %d", m, j, a.pos[m][j], pos[m][j])
+			}
+		}
+	}
+	if (a.hi != nil) != (a.total > 64) {
+		return fmt.Errorf("alto: split storage does not match %d-bit keys", a.total)
+	}
+	n := a.NNZ()
+	if len(a.lo) != n || (a.hi != nil && len(a.hi) != n) {
+		return fmt.Errorf("alto: key stream length does not match %d values", n)
+	}
+	var loMask, hiMask uint64
+	for _, ps := range a.pos {
+		for _, p := range ps {
+			if p < 64 {
+				loMask |= 1 << p
+			} else {
+				hiMask |= 1 << (p - 64)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := a.keyAt(i)
+		if lo&^loMask != 0 || hi&^hiMask != 0 {
+			return fmt.Errorf("alto: key %d has bits outside the allocated positions", i)
+		}
+		if i > 0 {
+			plo, phi := a.keyAt(i - 1)
+			if !keyLess(plo, phi, lo, hi) {
+				return fmt.Errorf("alto: keys not strictly ascending at %d", i)
+			}
+		}
+		for m, d := range a.dims {
+			if c := altoDecode(a.pos[m], lo, hi); c < 0 || int(c) >= d {
+				return fmt.Errorf("alto: nonzero %d mode-%d coordinate %d out of range [0,%d)", i, m, c, d)
+			}
+		}
+	}
+	for m, s := range a.streams {
+		if s == nil {
+			continue
+		}
+		if len(s) != n {
+			return fmt.Errorf("alto: mode %d stream cache has %d entries for %d nonzeros", m, len(s), n)
+		}
+		for i, c := range s {
+			if c != a.ModeIndex(i, m) {
+				return fmt.Errorf("alto: mode %d stream cache stale at %d", m, i)
+			}
+		}
+	}
+	return nil
+}
+
+// String summarizes the tensor.
+func (a *ALTO) String() string {
+	return fmt.Sprintf("ALTO(dims=%v, nnz=%d, bits=%d)", a.dims, a.NNZ(), a.total)
+}
+
+var _ Sparse = (*ALTO)(nil)

@@ -1,0 +1,206 @@
+package tensor
+
+import (
+	"sort"
+	"sync"
+)
+
+// ALTOMergeInfo reports what an ALTO delta merge did.
+type ALTOMergeInfo struct {
+	// Updated lists the storage positions whose value changed,
+	// ascending, in the POST-merge storage order. When Structural is
+	// false the storage order did not change, so these are also valid
+	// pre-merge positions — the property the incremental invalidation
+	// layers rely on.
+	Updated []int32
+	// Inserted is the number of new coordinates merged into the key
+	// stream.
+	Inserted int
+	// Structural reports whether the merge changed the key stream
+	// (Inserted > 0): storage positions shifted and any symbolic
+	// structure built from this tensor must be rebuilt. Value-only
+	// merges leave every position intact.
+	Structural bool
+	// OldNNZ is the nonzero count before the merge.
+	OldNNZ int
+}
+
+// Merge ingests a delta tensor in place. Delta nonzeros whose
+// coordinates already exist update the stored value without touching
+// the key stream (positions stay stable; exact-zero sums keep their
+// entry). Genuinely new coordinates are merged into the sorted key
+// stream with one linear pass — the single-stream layout needs no
+// fiber splicing or re-press, which is why ALTO is the natural merge
+// substrate — at the cost of shifting the positions after the first
+// insertion point (reported via Structural, like CSF).
+//
+// The delta is canonicalized (encoded to interleaved keys, sorted,
+// duplicates summed, exact-zero sums dropped) without mutating the
+// caller's delta, and fully validated before the first mutation: shape
+// mismatches and out-of-range coordinates error with the tensor
+// untouched. Unlike the COO/CSF merges, the linearized key space may
+// exceed 64 bits — the split-key fallback covers shapes up to 128
+// interleaved bits.
+func (a *ALTO) Merge(delta *COO) (*ALTOMergeInfo, error) {
+	if err := validateDeltaShape(a.dims, delta); err != nil {
+		return nil, err
+	}
+	info := &ALTOMergeInfo{OldNNZ: a.NNZ()}
+	if delta.NNZ() == 0 {
+		return info, nil
+	}
+	dlo, dhi, dval := a.encodeSortDedup(delta)
+	if len(dval) == 0 {
+		return info, nil
+	}
+	split := a.hi != nil
+	dkey := func(j int) (uint64, uint64) {
+		if split {
+			return dlo[j], dhi[j]
+		}
+		return dlo[j], 0
+	}
+
+	// Classify every delta entry against the existing key stream.
+	// Nothing is mutated yet.
+	n := a.NNZ()
+	inserted := 0
+	for j := range dval {
+		jlo, jhi := dkey(j)
+		p := sort.Search(n, func(i int) bool {
+			ilo, ihi := a.keyAt(i)
+			return !keyLess(ilo, ihi, jlo, jhi)
+		})
+		if p == n || func() bool { plo, phi := a.keyAt(p); return plo != jlo || phi != jhi }() {
+			inserted++
+		}
+	}
+
+	if inserted == 0 {
+		// Value-only fast path: every position stays put. The delta is
+		// key-sorted, so the matched positions come out ascending.
+		for j := range dval {
+			jlo, jhi := dkey(j)
+			p := sort.Search(n, func(i int) bool {
+				ilo, ihi := a.keyAt(i)
+				return !keyLess(ilo, ihi, jlo, jhi)
+			})
+			a.val[p] += dval[j]
+			info.Updated = append(info.Updated, int32(p))
+		}
+		return info, nil
+	}
+
+	// Structural: one linear merge of the two sorted key streams.
+	info.Structural = true
+	info.Inserted = inserted
+	n2 := n + inserted
+	newLo := make([]uint64, 0, n2)
+	var newHi []uint64
+	if split {
+		newHi = make([]uint64, 0, n2)
+	}
+	newVal := make([]float64, 0, n2)
+	emit := func(lo, hi uint64, v float64) {
+		newLo = append(newLo, lo)
+		if split {
+			newHi = append(newHi, hi)
+		}
+		newVal = append(newVal, v)
+	}
+	i, j := 0, 0
+	for i < n || j < len(dval) {
+		switch {
+		case j == len(dval):
+			lo, hi := a.keyAt(i)
+			emit(lo, hi, a.val[i])
+			i++
+		case i == n:
+			lo, hi := dkey(j)
+			emit(lo, hi, dval[j])
+			j++
+		default:
+			ilo, ihi := a.keyAt(i)
+			jlo, jhi := dkey(j)
+			switch {
+			case keyLess(ilo, ihi, jlo, jhi):
+				emit(ilo, ihi, a.val[i])
+				i++
+			case keyLess(jlo, jhi, ilo, ihi):
+				emit(jlo, jhi, dval[j])
+				j++
+			default:
+				info.Updated = append(info.Updated, int32(len(newVal)))
+				emit(ilo, ihi, a.val[i]+dval[j])
+				i++
+				j++
+			}
+		}
+	}
+
+	// Commit: key stream, values, and dropped de-linearization caches
+	// (positions shifted, so the cached streams are stale).
+	a.lo, a.hi, a.val = newLo, newHi, newVal
+	a.streams = make([][]int32, a.Order())
+	a.streamOnce = make([]sync.Once, a.Order())
+	return info, nil
+}
+
+// encodeSortDedup canonicalizes a validated delta for merging: every
+// entry is encoded to its interleaved key, sorted, duplicates are
+// summed, and exact-zero sums are dropped — the same canonical form the
+// from-scratch build produces.
+func (a *ALTO) encodeSortDedup(delta *COO) (lo, hi []uint64, val []float64) {
+	m := delta.NNZ()
+	split := a.hi != nil
+	elo := make([]uint64, m)
+	var ehi []uint64
+	if split {
+		ehi = make([]uint64, m)
+	}
+	for j := 0; j < m; j++ {
+		l, h := altoEncodeAt(a.pos, delta.Idx, j)
+		elo[j] = l
+		if split {
+			ehi[j] = h
+		}
+	}
+	perm := make([]int, m)
+	for j := range perm {
+		perm[j] = j
+	}
+	// Appearance-order tie-break, like the from-scratch builds.
+	sort.Slice(perm, func(p, q int) bool {
+		i, j := perm[p], perm[q]
+		var hi1, hi2 uint64
+		if split {
+			hi1, hi2 = ehi[i], ehi[j]
+		}
+		if elo[i] != elo[j] || hi1 != hi2 {
+			return keyLess(elo[i], hi1, elo[j], hi2)
+		}
+		return i < j
+	})
+	lo = make([]uint64, 0, m)
+	if split {
+		hi = make([]uint64, 0, m)
+	}
+	val = make([]float64, 0, m)
+	for p := 0; p < m; {
+		q := p
+		var sum float64
+		for q < m && elo[perm[q]] == elo[perm[p]] && (!split || ehi[perm[q]] == ehi[perm[p]]) {
+			sum += delta.Val[perm[q]]
+			q++
+		}
+		if sum != 0 {
+			lo = append(lo, elo[perm[p]])
+			if split {
+				hi = append(hi, ehi[perm[p]])
+			}
+			val = append(val, sum)
+		}
+		p = q
+	}
+	return lo, hi, val
+}

@@ -1,8 +1,3 @@
-// Package tensor provides the N-mode tensor data structures of the
-// paper: a coordinate-format sparse tensor with mode-major index
-// storage, a dense tensor with matricization helpers, text I/O in the
-// FROSTT-style .tns format, and basic statistics (slice sizes, norms)
-// used by the partitioners and the experiment harness.
 package tensor
 
 import (
@@ -159,7 +154,15 @@ func (t *COO) SortDedupOrder(order []int) *COO {
 	for i := range keys {
 		keys[i] = t.key(i, order)
 	}
-	sort.Slice(perm, func(a, b int) bool { return keys[perm[a]] < keys[perm[b]] })
+	// Tie-break equal keys on the original position: duplicates are
+	// summed in appearance order, so every storage format's dedup
+	// produces bitwise-identical values for the same input.
+	sort.Slice(perm, func(a, b int) bool {
+		if keys[perm[a]] != keys[perm[b]] {
+			return keys[perm[a]] < keys[perm[b]]
+		}
+		return perm[a] < perm[b]
+	})
 
 	outIdx := make([][]int32, t.Order())
 	for m := range outIdx {

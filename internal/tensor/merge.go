@@ -21,12 +21,30 @@ type MergeInfo struct {
 	OldNNZ int
 }
 
-// validateDelta runs the shared pre-mutation checks of the delta-merge
-// entry points (COO.MergeIndexed, CSF.Merge) against the receiver's
-// shape: order and mode sizes must match, every coordinate must be in
-// range, the index streams must be consistent, and the linearized key
-// space must fit 64 bits. Nothing may be mutated before this passes.
+// validateDelta runs the shared pre-mutation checks of the 64-bit-key
+// delta-merge entry points (COO.MergeIndexed, CSF.Merge): the shape
+// checks of validateDeltaShape plus the requirement that the
+// lexicographic linearized key space fits 64 bits. ALTO.Merge uses
+// validateDeltaShape directly — its split keys cover larger shapes.
+// Nothing may be mutated before this passes.
 func validateDelta(dims []int, delta *COO) error {
+	if err := validateDeltaShape(dims, delta); err != nil {
+		return err
+	}
+	var prod float64 = 1
+	for _, d := range dims {
+		prod *= float64(d)
+	}
+	if prod > math.MaxUint64/2 {
+		return fmt.Errorf("tensor: dimensions too large for linearized merge")
+	}
+	return nil
+}
+
+// validateDeltaShape checks a delta against the receiver's shape: order
+// and mode sizes must match, every coordinate must be in range, and the
+// index streams must be consistent.
+func validateDeltaShape(dims []int, delta *COO) error {
 	if delta == nil {
 		return fmt.Errorf("tensor: nil delta")
 	}
@@ -37,13 +55,6 @@ func validateDelta(dims []int, delta *COO) error {
 		if delta.Dims[m] != d {
 			return fmt.Errorf("tensor: delta mode-%d size %d does not match tensor size %d", m, delta.Dims[m], d)
 		}
-	}
-	var prod float64 = 1
-	for _, d := range dims {
-		prod *= float64(d)
-	}
-	if prod > math.MaxUint64/2 {
-		return fmt.Errorf("tensor: dimensions too large for linearized merge")
 	}
 	for m := range delta.Idx {
 		if len(delta.Idx[m]) != delta.NNZ() {

@@ -1,15 +1,3 @@
-// Package trsvd computes a few leading singular triplets of a large
-// dense (possibly distributed) matrix through a matrix-free operator
-// interface, standing in for the PETSc+SLEPc solvers the paper links
-// against (§III.A.2, §III.B).
-//
-// The primary solver is Golub–Kahan–Lanczos bidiagonalization with full
-// reorthogonalization; randomized subspace iteration and an explicit
-// Gram-matrix solver are provided as ablation alternatives. All access
-// to the matrix goes through MatVec (y = Ax) and MatTVec (x = Aᵀy), so
-// the same driver runs on local rows, on the coarse-grain row-distributed
-// Y_(n), and on the fine-grain *sum-distributed* Y_(n), whose operators
-// implement the paper's y-fold / x-allreduce communication scheme.
 package trsvd
 
 import (

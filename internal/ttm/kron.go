@@ -1,10 +1,3 @@
-// Package ttm implements the tensor-times-matrix kernels of the paper:
-// the nonzero-based TTMc formulation (eq. 4 / Algorithm 2) with
-// row-parallel numeric execution over the symbolic update lists, the
-// Kronecker row kernels it is built from, core-tensor formation, and a
-// MET-style TTM-chain baseline that materializes semi-sparse
-// intermediate tensors (the strategy of the Matlab Tensor Toolbox the
-// paper compares against in §V).
 package ttm
 
 import "hypertensor/internal/dense"
