@@ -33,18 +33,25 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"math/rand"
 	"net"
 	"os"
 	"os/exec"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"hypertensor"
 	"hypertensor/internal/dist"
+	"hypertensor/internal/mpi"
 	"hypertensor/internal/par"
 )
 
@@ -77,6 +84,12 @@ func main() {
 		update  = flag.String("update", "", "comma-separated delta tensors (.tns) to ingest incrementally after the initial convergence")
 		updates = flag.Int("updates", 1, "how many times to replay the -update delta list")
 		quiet   = flag.Bool("q", false, "print only the final fit")
+
+		ckptDir    = flag.String("checkpoint", "", "checkpoint directory: write a crash-consistent snapshot every -ckpt-every sweeps and resume from the newest usable one on startup")
+		ckptEvery  = flag.Int("ckpt-every", 1, "sweeps between checkpoints when -checkpoint is set")
+		maxRestart = flag.Int("max-restarts", 3, "-dist spawn: how many times to restart the whole rank group after a process failure before giving up (restarts resume from -checkpoint)")
+		chaosRank  = flag.Int("chaos-kill-rank", -1, "fault injection: rank that dies at -chaos-kill-sweep (spawn children exit hard; simulated ranks fail typed) — for recovery testing")
+		chaosSweep = flag.Int("chaos-kill-sweep", 0, "fault injection: 1-based sweep at which -chaos-kill-rank dies")
 	)
 	flag.Parse()
 	if *input == "" || (*ranksIn == "" && *eps == 0) {
@@ -114,6 +127,8 @@ func main() {
 		d := distRun{
 			input: *input, ranks: ranks, grain: *grain, method: *method, svd: *svd,
 			iters: *iters, tol: *tol, seed: *seed, timeout: *distTO, quiet: *quiet,
+			ckptDir: *ckptDir, ckptEvery: *ckptEvery, maxRestarts: *maxRestart,
+			chaosRank: *chaosRank, chaosSweep: *chaosSweep,
 		}
 		switch *distM {
 		case "tcp":
@@ -214,7 +229,30 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	eng := hypertensor.NewEngine(plan)
+	var eng *hypertensor.Engine
+	if *ckptDir != "" {
+		st, path, lerr := hypertensor.LoadLatestCheckpoint(*ckptDir)
+		switch {
+		case lerr == nil:
+			eng, err = hypertensor.ResumeEngineState(plan, st)
+			if err != nil {
+				fail(err)
+			}
+			if !*quiet {
+				fmt.Printf("resumed from %s (sweep %d)\n", path, st.Sweep)
+			}
+		case errors.Is(lerr, hypertensor.ErrCheckpointNotFound):
+			// Fresh start; the first checkpoint appears below.
+		default:
+			fail(lerr)
+		}
+	}
+	if eng == nil {
+		eng = hypertensor.NewEngine(plan)
+	}
+	if *ckptDir != "" {
+		eng.EnableCheckpoints(*ckptDir, *ckptEvery)
+	}
 	dec, err := eng.Run(context.Background())
 	if err != nil {
 		fail(err)
@@ -356,6 +394,25 @@ type distRun struct {
 	seed          int64
 	timeout       time.Duration
 	quiet         bool
+
+	ckptDir     string
+	ckptEvery   int
+	maxRestarts int
+	chaosRank   int
+	chaosSweep  int
+}
+
+// config assembles the distributed configuration shared by all three
+// launch modes, including checkpointing and (for the simulated
+// transport) in-process fault injection. The TCP children install a
+// hard-exit chaos hook separately — a spawn-mode chaos kill must be a
+// real process death for the supervisor to detect.
+func (d *distRun) config() hypertensor.DistConfig {
+	cfg := hypertensor.DistConfig{
+		Ranks: d.ranks, MaxIters: d.iters, Tol: d.tol, Seed: d.seed, SVD: d.svdMethod(),
+		CheckpointDir: d.ckptDir, CheckpointEvery: d.ckptEvery,
+	}
+	return cfg
 }
 
 // svdMethod resolves the -svd flag for the distributed configs.
@@ -398,9 +455,13 @@ func (d *distRun) partition(x *hypertensor.SparseTensor, p int) *hypertensor.Par
 // runSimulated solves on p in-process simulated ranks.
 func (d *distRun) runSimulated(x *hypertensor.SparseTensor, p int) {
 	part := d.partition(x, p)
-	res, err := hypertensor.DecomposeDistributed(x, part, hypertensor.DistConfig{
-		Ranks: d.ranks, MaxIters: d.iters, Tol: d.tol, Seed: d.seed, SVD: d.svdMethod(),
-	})
+	cfg := d.config()
+	if d.chaosRank >= 0 && d.chaosSweep > 0 {
+		// In-process ranks are goroutines: the chaos kill is a typed
+		// transport fault, and recovery is a rerun of the same command.
+		cfg.Fault = hypertensor.FaultConfig{KillRank: d.chaosRank, KillAtSweep: d.chaosSweep}.SweepHook()
+	}
+	res, err := hypertensor.DecomposeDistributed(x, part, cfg)
 	if err != nil {
 		fail(err)
 	}
@@ -433,10 +494,28 @@ func (d *distRun) runTCP(x *hypertensor.SparseTensor, rank int, peerList string,
 		fail(err)
 	}
 	part := d.partition(x, len(peers))
-	res, err := hypertensor.DecomposeDistributedWorld(context.Background(), w, x, part, hypertensor.DistConfig{
-		Ranks: d.ranks, MaxIters: d.iters, Tol: d.tol, Seed: d.seed, SVD: d.svdMethod(),
-	})
+	cfg := d.config()
+	if d.chaosRank >= 0 && d.chaosSweep > 0 {
+		cfg.Fault = func(r, sweep int) {
+			if r == d.chaosRank && sweep == d.chaosSweep {
+				// A real process death, so the spawn supervisor exercises
+				// its production detect-and-restart path.
+				fmt.Fprintf(os.Stderr, "hooi: rank %d: injected chaos kill at sweep %d\n", r, sweep)
+				os.Exit(137)
+			}
+		}
+	}
+	res, err := hypertensor.DecomposeDistributedWorld(context.Background(), w, x, part, cfg)
 	if err != nil {
+		// Ranks that failed because some OTHER rank died — aborted by
+		// the local teardown, or observing the dead peer's connection
+		// drop — exit with a distinct code, so the supervisor attributes
+		// the failure to the process that actually caused it (which died
+		// with its own exit code) instead of the EOF storm it triggered.
+		if errors.Is(err, mpi.ErrAborted) || errors.Is(err, mpi.ErrPeerDied) || errors.Is(err, mpi.ErrPeerClosed) {
+			fmt.Fprintln(os.Stderr, "hooi:", err)
+			os.Exit(exitSecondary)
+		}
 		fail(err)
 	}
 	if rank != 0 {
@@ -445,9 +524,26 @@ func (d *distRun) runTCP(x *hypertensor.SparseTensor, rank int, peerList string,
 	d.report(part, res, len(peers), fmt.Sprintf("tcp wire=%dB", w.WireBytes()))
 }
 
-// runSpawn binds one loopback listener per rank, then forks this binary
-// -np times in -dist tcp mode, passing each child its pre-bound
-// listener as an inherited file descriptor — race-free ephemeral ports.
+// exitSecondary is the exit code of a rank process whose run was
+// aborted by another rank's failure: its own error carries no root
+// cause, and the supervisor skips it when attributing the failure.
+const exitSecondary = 3
+
+// rankFailure is the supervisor's record of one failed rank attempt:
+// the first rank (in completion order) whose exit carried a root cause.
+type rankFailure struct {
+	rank    int
+	code    int
+	summary string
+}
+
+// runSpawn binds one loopback listener per rank, forks this binary -np
+// times in -dist tcp mode (passing each child its pre-bound listener as
+// an inherited file descriptor — race-free ephemeral ports), and
+// supervises the group: if a rank process dies and -checkpoint is set,
+// the whole world is restarted with exponential backoff and resumes
+// from the last coordinated checkpoint. Without -checkpoint a failure
+// is terminal, propagated with the originating rank's exit code.
 func (d *distRun) runSpawn(np int) {
 	if np < 1 {
 		fail(fmt.Errorf("-dist spawn needs -np >= 1"))
@@ -456,6 +552,41 @@ func (d *distRun) runSpawn(np int) {
 	if err != nil {
 		fail(err)
 	}
+	maxAttempts := 1
+	if d.ckptDir != "" && d.maxRestarts > 0 {
+		maxAttempts += d.maxRestarts
+	}
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	for attempt := 0; ; attempt++ {
+		failure := d.spawnOnce(exe, np, attempt)
+		if failure == nil {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "hooi: rank %d failed (exit %d): %s\n", failure.rank, failure.code, failure.summary)
+		if attempt+1 >= maxAttempts {
+			if d.ckptDir == "" {
+				fmt.Fprintln(os.Stderr, "hooi: no -checkpoint directory; cannot restart")
+			}
+			os.Exit(failure.code)
+		}
+		// Exponential backoff with jitter: doubles from 250ms, capped at
+		// 5s, +/-20% so restarted groups don't thunder in lockstep.
+		backoff := 250 * time.Millisecond << attempt
+		if backoff > 5*time.Second {
+			backoff = 5 * time.Second
+		}
+		backoff += time.Duration(rng.Int63n(int64(2*backoff/5)+1)) - backoff/5
+		fmt.Fprintf(os.Stderr, "hooi: restarting %d ranks from checkpoint %s in %v (attempt %d of %d)\n",
+			np, d.ckptDir, backoff.Round(time.Millisecond), attempt+2, maxAttempts)
+		time.Sleep(backoff)
+	}
+}
+
+// spawnOnce launches and waits for one full rank group. It returns nil
+// when every rank exits cleanly, else the failure of the originating
+// rank: the earliest-exiting rank whose code is not exitSecondary
+// (falling back to the earliest failure when every exit is secondary).
+func (d *distRun) spawnOnce(exe string, np, attempt int) *rankFailure {
 	lns := make([]*net.TCPListener, np)
 	addrs := make([]string, np)
 	for r := 0; r < np; r++ {
@@ -467,6 +598,7 @@ func (d *distRun) runSpawn(np int) {
 		addrs[r] = ln.Addr().String()
 	}
 	cmds := make([]*exec.Cmd, np)
+	stderrs := make([]*bytes.Buffer, np)
 	for r := 0; r < np; r++ {
 		args := []string{
 			"-input", d.input,
@@ -486,13 +618,23 @@ func (d *distRun) runSpawn(np int) {
 		if d.quiet {
 			args = append(args, "-q")
 		}
+		if d.ckptDir != "" {
+			args = append(args, "-checkpoint", d.ckptDir, "-ckpt-every", strconv.Itoa(d.ckptEvery))
+		}
+		if attempt == 0 && d.chaosRank >= 0 && d.chaosSweep > 0 {
+			// Chaos kills fire on the first attempt only: the restarted
+			// group must be able to finish the run.
+			args = append(args, "-chaos-kill-rank", strconv.Itoa(d.chaosRank),
+				"-chaos-kill-sweep", strconv.Itoa(d.chaosSweep))
+		}
 		f, err := lns[r].File() // dup of the listening socket for the child
 		if err != nil {
 			fail(err)
 		}
 		cmd := exec.Command(exe, args...)
 		cmd.Stdout = os.Stdout
-		cmd.Stderr = os.Stderr
+		stderrs[r] = &bytes.Buffer{}
+		cmd.Stderr = io.MultiWriter(os.Stderr, stderrs[r])
 		cmd.ExtraFiles = []*os.File{f} // child fd 3
 		if err := cmd.Start(); err != nil {
 			fail(fmt.Errorf("spawning rank %d: %v", r, err))
@@ -501,14 +643,63 @@ func (d *distRun) runSpawn(np int) {
 		lns[r].Close()
 		cmds[r] = cmd
 	}
-	status := 0
+
+	// Wait for every rank concurrently, recording completion order: the
+	// first process to die with a root cause is the one to blame (ranks
+	// it takes down exit later, and with exitSecondary).
+	type exit struct {
+		code  int
+		order int
+	}
+	exits := make([]exit, np)
+	var order atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(np)
 	for r, cmd := range cmds {
-		if err := cmd.Wait(); err != nil {
-			fmt.Fprintf(os.Stderr, "hooi: rank %d: %v\n", r, err)
-			status = 1
+		go func(r int, cmd *exec.Cmd) {
+			defer wg.Done()
+			code := 0
+			if err := cmd.Wait(); err != nil {
+				code = -1
+				var ee *exec.ExitError
+				if errors.As(err, &ee) {
+					code = ee.ExitCode()
+				}
+			}
+			exits[r] = exit{code: code, order: int(order.Add(1))}
+		}(r, cmd)
+	}
+	wg.Wait()
+
+	var failure *rankFailure
+	failOrder := np + 1
+	secondary := true
+	for r, e := range exits {
+		if e.code == 0 {
+			continue
+		}
+		rootCause := e.code != exitSecondary
+		// A root-cause exit always beats a secondary one; among equals,
+		// earliest completion wins.
+		if failure == nil || (rootCause && secondary) || (rootCause == !secondary && e.order < failOrder) {
+			failure = &rankFailure{rank: r, code: e.code, summary: stderrTail(stderrs[r])}
+			failOrder = e.order
+			secondary = !rootCause
 		}
 	}
-	os.Exit(status)
+	return failure
+}
+
+// stderrTail extracts the last non-empty stderr line of a failed rank
+// for the supervisor's one-line summary.
+func stderrTail(buf *bytes.Buffer) string {
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	for i := len(lines) - 1; i >= 0; i-- {
+		if s := strings.TrimSpace(lines[i]); s != "" {
+			return s
+		}
+	}
+	return "no stderr output"
 }
 
 func (d *distRun) report(part *hypertensor.Partition, res *hypertensor.DistDecomposition, p int, transport string) {

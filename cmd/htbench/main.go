@@ -34,6 +34,7 @@ func main() {
 		format  = flag.Bool("format", false, "run the COO vs CSF vs ALTO storage-format comparison")
 		scaling = flag.Bool("scaling", false, "run the thread-scaling sweep (per-thread speedup table)")
 		solver  = flag.Bool("solver", false, "run the randomized-vs-Lanczos TRSVD solver comparison")
+		chaos   = flag.Bool("chaos", false, "run the fault-injection experiment: seed-swept transport faults plus a kill-and-recover checkpoint demonstration")
 		schedIn = flag.String("sched", "balanced", "scaling sweep schedule: balanced | dynamic | static")
 		jsonOut = flag.String("json", "", "write the scaling report as machine-readable JSON to this path")
 		basePth = flag.String("baseline", "", "compare the scaling report against this baseline JSON; exit 1 on regression")
@@ -49,7 +50,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "seed for datasets and partitioners")
 	)
 	flag.Parse()
-	if !*all && *table == 0 && !*met && !*dtree && !*format && !*scaling && !*solver {
+	if !*all && *table == 0 && !*met && !*dtree && !*format && !*scaling && !*solver && !*chaos {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -154,6 +155,11 @@ func main() {
 	}
 	if *solver {
 		if _, err := bench.Solver(o, out); err != nil {
+			fail(err)
+		}
+	}
+	if *chaos {
+		if _, err := bench.Chaos(o, out); err != nil {
 			fail(err)
 		}
 	}

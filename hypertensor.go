@@ -33,9 +33,11 @@ package hypertensor
 
 import (
 	"fmt"
+	"io"
 
 	"context"
 
+	"hypertensor/internal/checkpoint"
 	"hypertensor/internal/core"
 	"hypertensor/internal/cp"
 	"hypertensor/internal/dense"
@@ -127,6 +129,18 @@ type (
 	// operation; match its cause with errors.Is against the mpi
 	// sentinels (e.g. mpi.ErrPeerDied, mpi.ErrTimeout).
 	TransportError = mpi.Error
+	// CheckpointState is one crash-consistent snapshot of a
+	// decomposition in progress: factors, core, sweep counter, fit
+	// history, and the deterministic seed schedule. Engines produce one
+	// with Snapshot, distributed runs write them at sweep boundaries,
+	// and ResumeEngine / DistConfig.CheckpointDir restore them with a
+	// bitwise-identical continuation of the fit trajectory.
+	CheckpointState = checkpoint.State
+	// FaultConfig drives deterministic fault injection on either
+	// distributed transport (delays, connection drops, frame corruption,
+	// precise rank kills) for recovery testing and the htbench chaos
+	// mode.
+	FaultConfig = mpi.FaultConfig
 	// STHOSVDOptions configure DecomposeSTHOSVD.
 	STHOSVDOptions = core.STHOSVDOptions
 	// CPOptions configure DecomposeCP.
@@ -244,6 +258,35 @@ func NewPlan(x *SparseTensor, opts Options) (*Plan, error) {
 // tensor — Update clones the tensor lazily before its first merge.
 func NewEngine(p *Plan) *Engine { return core.NewEngine(p) }
 
+// ResumeEngine rebuilds a resident engine from a checkpoint stream
+// written by Engine.Snapshot (or found via LoadLatestCheckpoint). The
+// plan must describe an equivalent problem — same tensor, ranks, and
+// seed — which is validated against the checkpoint's recorded norm and
+// configuration before any state is adopted. The resumed engine's fit
+// trajectory continues bitwise identically to the uninterrupted run.
+func ResumeEngine(p *Plan, r io.Reader) (*Engine, error) { return core.ResumeEngine(p, r) }
+
+// ResumeEngineState is ResumeEngine for an already-decoded checkpoint.
+func ResumeEngineState(p *Plan, st *CheckpointState) (*Engine, error) {
+	return core.ResumeEngineState(p, st)
+}
+
+// SaveCheckpoint atomically writes a checkpoint into dir (write to a
+// temp file, fsync, rename) and prunes old ones, keeping the two
+// newest. It returns the written filename.
+func SaveCheckpoint(dir string, st *CheckpointState) (string, error) {
+	return checkpoint.Save(dir, st)
+}
+
+// LoadLatestCheckpoint returns the newest usable checkpoint in dir and
+// its path, skipping torn or corrupt files (the atomic-write discipline
+// means at most the newest can be damaged, and only by external
+// interference). A dir with no usable checkpoint returns
+// checkpoint.ErrNotFound.
+func LoadLatestCheckpoint(dir string) (*CheckpointState, string, error) {
+	return checkpoint.LoadLatest(dir)
+}
+
 // DecomposeSTHOSVD computes a Tucker decomposition with one pass of the
 // sequentially truncated HOSVD: cheaper than HOOI (no ALS iteration)
 // and the standard warm start for it — pass the returned Factors as
@@ -316,6 +359,15 @@ func GeneratePreset(name string, scale float64) (*SparseTensor, error) {
 // tensor of the given order (10 per mode for 3-mode tensors, 5 for
 // 4-mode), clamped to the tensor's dimensions by Decompose's validation.
 func PaperRanks(order int) []int { return gen.PaperRanks(order) }
+
+// ErrCheckpointNotFound reports that a checkpoint directory holds no
+// usable checkpoint — the fresh-start signal, not a failure.
+var ErrCheckpointNotFound = checkpoint.ErrNotFound
+
+// ErrCheckpointMismatch reports a checkpoint that decodes cleanly but
+// belongs to a different problem or configuration than the one it was
+// asked to resume.
+var ErrCheckpointMismatch = checkpoint.ErrMismatch
 
 // Version identifies the library release.
 const Version = "1.0.0"

@@ -186,3 +186,27 @@ func TestHumanCount(t *testing.T) {
 		}
 	}
 }
+
+func TestChaos(t *testing.T) {
+	var buf bytes.Buffer
+	o := quickOpts()
+	o.Iters = 5 // the kill fires at sweep 3; leave room to recover
+	rep, err := Chaos(o, &buf)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	if len(rep.Trials) != chaosTrials {
+		t.Fatalf("%d trials", len(rep.Trials))
+	}
+	for _, trial := range rep.Trials {
+		if !trial.Deterministic {
+			t.Fatalf("seed %d outcome not reproducible", trial.Seed)
+		}
+	}
+	if !rep.Recovered {
+		t.Fatal("kill-and-recover did not complete")
+	}
+	if !strings.Contains(buf.String(), "bitwise identical") {
+		t.Fatal("report missing recovery line")
+	}
+}

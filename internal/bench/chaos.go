@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"hypertensor/internal/dist"
+	"hypertensor/internal/mpi"
+)
+
+// ChaosTrial is one fault-injected distributed solve: the fault seed,
+// the classified outcome, and whether rerunning the same seed
+// reproduced the identical outcome (the determinism contract of
+// mpi.FaultConfig).
+type ChaosTrial struct {
+	Seed          int64
+	Outcome       string // "completed" | "conn-drop" | "corrupt-frame" | "aborted"
+	Detail        string
+	Deterministic bool
+}
+
+// ChaosReport summarizes the -chaos experiment: the seed-swept fault
+// trials and the kill-and-recover demonstration.
+type ChaosReport struct {
+	Trials []ChaosTrial
+	// Recovered is true when the kill-at-sweep run, restarted from its
+	// coordinated checkpoint, finished bitwise identical to the
+	// fault-free control.
+	Recovered bool
+}
+
+// chaosTrials is the number of fault seeds the sweep tries.
+const chaosTrials = 8
+
+// Chaos runs the fault-injection experiment: a seed sweep of
+// probabilistic faults (drops, corruption, delays) over the simulated
+// 4-rank distributed solve, classifying and reproducing each outcome,
+// followed by a deterministic kill of one rank at a sweep boundary and
+// a checkpoint-restore recovery that must reproduce the fault-free
+// result bitwise.
+func Chaos(o Options, w io.Writer) (*ChaosReport, error) {
+	o = o.withDefaults()
+	x, err := dataset("netflix", o.Scale)
+	if err != nil {
+		return nil, err
+	}
+	ranks := ranksFor(x)
+	part, err := dist.MakePartition(x, 4, dist.Fine, dist.MethodHypergraph, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := dist.Config{Ranks: ranks, MaxIters: o.Iters, Tol: -1, Seed: o.Seed}
+	control, err := dist.Decompose(x, part, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := &ChaosReport{}
+
+	run := func(seed int64) (string, string) {
+		world := mpi.NewWorld(4)
+		// Rates are tuned so a seed sweep yields a mix of outcomes: some
+		// runs die of a drop or detected corruption, some survive on
+		// delays alone (and must then match the control bitwise).
+		world.InjectFaults(mpi.FaultConfig{
+			Seed:        seed,
+			DropProb:    6e-6,
+			CorruptProb: 3e-6,
+			DelayProb:   0.02,
+			Delay:       50 * time.Microsecond,
+		})
+		res, err := dist.DecomposeWorld(context.Background(), world, x, part, cfg)
+		switch {
+		case err == nil:
+			if res.Fit != control.Fit {
+				return "completed", fmt.Sprintf("FIT DIVERGED: %.17g vs %.17g", res.Fit, control.Fit)
+			}
+			return "completed", fmt.Sprintf("fit %.6f (bitwise = control)", res.Fit)
+		case errors.Is(err, mpi.ErrBadFrame):
+			return "corrupt-frame", err.Error()
+		case errors.Is(err, mpi.ErrPeerDied):
+			return "conn-drop", err.Error()
+		default:
+			return "aborted", err.Error()
+		}
+	}
+
+	t := &Table{
+		Title:   fmt.Sprintf("Chaos: fault-injected 4-rank solves (netflix, scale=%g, %d sweeps)", o.Scale, o.Iters),
+		Headers: []string{"fault seed", "outcome", "reproducible", "detail"},
+	}
+	for i := 0; i < chaosTrials; i++ {
+		seed := o.Seed*1000 + int64(i)
+		outcome, detail := run(seed)
+		outcome2, detail2 := run(seed)
+		trial := ChaosTrial{
+			Seed: seed, Outcome: outcome, Detail: detail,
+			Deterministic: outcome == outcome2 && detail == detail2,
+		}
+		rep.Trials = append(rep.Trials, trial)
+		t.AddRow(fmt.Sprintf("%d", seed), outcome, fmt.Sprintf("%t", trial.Deterministic), clip(detail, 60))
+	}
+	t.Render(w)
+	for _, trial := range rep.Trials {
+		if !trial.Deterministic {
+			return rep, fmt.Errorf("bench: fault seed %d did not reproduce its outcome", trial.Seed)
+		}
+	}
+
+	// Kill-and-recover: rank 1 dies entering sweep 3; the restarted
+	// world resumes from the sweep-2 coordinated checkpoint and must
+	// finish bitwise identical to the control.
+	dir, err := os.MkdirTemp("", "htbench-chaos-")
+	if err != nil {
+		return rep, err
+	}
+	defer os.RemoveAll(dir)
+	ckpt := cfg
+	ckpt.CheckpointDir = dir
+	ckpt.CheckpointEvery = 2
+	killed := ckpt
+	killed.Fault = mpi.FaultConfig{KillRank: 1, KillAtSweep: 3}.SweepHook()
+	if _, err := dist.Decompose(x, part, killed); err == nil {
+		return rep, fmt.Errorf("bench: injected kill at sweep 3 did not fail the run")
+	}
+	res, err := dist.Decompose(x, part, ckpt)
+	if err != nil {
+		return rep, fmt.Errorf("bench: recovery run: %w", err)
+	}
+	if len(res.FitHistory) != len(control.FitHistory) {
+		return rep, fmt.Errorf("bench: recovered run took %d sweeps, control %d", len(res.FitHistory), len(control.FitHistory))
+	}
+	for i := range control.FitHistory {
+		if res.FitHistory[i] != control.FitHistory[i] {
+			return rep, fmt.Errorf("bench: recovered fit diverged at sweep %d: %.17g vs %.17g",
+				i+1, res.FitHistory[i], control.FitHistory[i])
+		}
+	}
+	rep.Recovered = true
+	fmt.Fprintf(w, "kill-and-recover: rank 1 killed at sweep 3, world restarted from %s,\n", "sweep-2 checkpoint")
+	fmt.Fprintf(w, "  recovered fit trajectory bitwise identical to the fault-free control (%d sweeps, fit %.6f)\n",
+		res.Iters, res.Fit)
+	return rep, nil
+}
+
+// clip shortens a detail string for table rendering.
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

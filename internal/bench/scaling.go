@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -56,6 +57,20 @@ type AltoCell struct {
 	SweepSec      float64 `json:"sweep_sec"`
 }
 
+// CheckpointCell is the crash-recovery measurement of one dataset:
+// the serialized checkpoint size (a deterministic function of the
+// dims and ranks — factors, core, history, and a fixed-size header —
+// so it is machine independent and gated like index bytes), plus the
+// wall seconds to encode a snapshot and to decode-and-validate it back
+// into a resident engine (host gated like the thread cells). The
+// restored engine's result is asserted bitwise equal to the original
+// before the cell is reported.
+type CheckpointCell struct {
+	Bytes      int64   `json:"bytes"`
+	WriteSec   float64 `json:"write_sec"`
+	RestoreSec float64 `json:"restore_sec"`
+}
+
 // ScalingRow is the scaling sweep of one dataset. MaddsPerSweep,
 // IndexBytes, and AllocsPerSweep are (near-)machine-independent and
 // gated by the CI regression check; the timings are gated only against
@@ -94,6 +109,9 @@ type ScalingRow struct {
 	// Alto is the ALTO storage-format row (schema 6): index bytes and
 	// madds deterministic and gated, seconds host-gated.
 	Alto *AltoCell `json:"alto,omitempty"`
+	// Checkpoint is the crash-recovery row (schema 7): checkpoint bytes
+	// deterministic and gated, write/restore seconds host-gated.
+	Checkpoint *CheckpointCell `json:"checkpoint,omitempty"`
 }
 
 // ScalingReport is the machine-readable output of `htbench -scaling
@@ -118,8 +136,9 @@ type ScalingReport struct {
 // added the per-dataset solver comparison (rand vs lanczos TRSVD
 // seconds and madds, |Δfit|, and the eps-selected ranks); schema 6
 // added the per-dataset ALTO storage-format cell (alto: index_bytes,
-// madds_per_sweep, sweep_sec).
-const scalingSchema = 6
+// madds_per_sweep, sweep_sec); schema 7 added the per-dataset
+// checkpoint cell (checkpoint: bytes, write_sec, restore_sec).
+const scalingSchema = 7
 
 // distNPs are the multi-process rank counts measured per dataset.
 var distNPs = []int{2, 4}
@@ -279,6 +298,10 @@ func Scaling(o Options, sched par.Schedule, w io.Writer) (*ScalingReport, error)
 		if err != nil {
 			return nil, fmt.Errorf("%s alto: %w", name, err)
 		}
+		row.Checkpoint, err = measureCheckpoint(x, ranks, sched, o.Iters, o.Reps, maxInt(o.Threads), o.Seed+31)
+		if err != nil {
+			return nil, fmt.Errorf("%s checkpoint: %w", name, err)
+		}
 		rep.Rows = append(rep.Rows, row)
 		for i, cell := range row.Cells {
 			first := ""
@@ -328,6 +351,18 @@ func Scaling(o Options, sched par.Schedule, w io.Writer) (*ScalingReport, error)
 			humanCount(row.Alto.MaddsPerSweep), secs(row.Alto.SweepSec))
 	}
 	ta.Render(w)
+	tc := &Table{
+		Title:   "Checkpoint/restore (converged engine snapshot)",
+		Headers: []string{"Tensor", "ckpt bytes", "write s", "restore s"},
+	}
+	for _, row := range rep.Rows {
+		if row.Checkpoint == nil {
+			continue
+		}
+		tc.AddRow(row.Dataset, fmt.Sprintf("%d", row.Checkpoint.Bytes),
+			secs(row.Checkpoint.WriteSec), secs(row.Checkpoint.RestoreSec))
+	}
+	tc.Render(w)
 	return rep, nil
 }
 
@@ -350,6 +385,70 @@ func measureAlto(x *tensor.COO, ranks []int, sched par.Schedule, iters, reps, th
 		}
 		cell.IndexBytes = r.IndexBytes
 		cell.MaddsPerSweep = r.TTMcFlops / int64(r.Iters)
+	}
+	return cell, nil
+}
+
+// measureCheckpoint converges one engine on the dataset, then measures
+// the crash-recovery round trip: Snapshot into a buffer (write), and
+// ResumeEngine from those bytes against a fresh plan (restore —
+// decode, validate, rebuild the resident engine). Both timings are
+// min-of-reps; the byte count is a deterministic function of the dims,
+// ranks, and sweep count. The restored engine must reproduce the
+// original result bitwise, so the cell also acts as a round-trip
+// correctness check inside the bench sweep.
+func measureCheckpoint(x *tensor.COO, ranks []int, sched par.Schedule, iters, reps, threads int, seed int64) (*CheckpointCell, error) {
+	opts := core.Options{
+		Ranks: ranks, MaxIters: iters, Tol: -1, Threads: threads,
+		Schedule: sched, Format: core.FormatCSF, Seed: seed,
+	}
+	p, err := core.NewPlan(x, opts)
+	if err != nil {
+		return nil, err
+	}
+	eng := core.NewEngine(p)
+	want, err := eng.Run(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	cell := &CheckpointCell{}
+	var buf bytes.Buffer
+	for rep := 0; rep < reps; rep++ {
+		buf.Reset()
+		t0 := time.Now()
+		if err := eng.Snapshot(&buf); err != nil {
+			return nil, err
+		}
+		if s := time.Since(t0).Seconds(); rep == 0 || s < cell.WriteSec {
+			cell.WriteSec = s
+		}
+	}
+	cell.Bytes = int64(buf.Len())
+	rp, err := core.NewPlan(x, opts)
+	if err != nil {
+		return nil, err
+	}
+	for rep := 0; rep < reps; rep++ {
+		t0 := time.Now()
+		re, err := core.ResumeEngine(rp, bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return nil, err
+		}
+		if s := time.Since(t0).Seconds(); rep == 0 || s < cell.RestoreSec {
+			cell.RestoreSec = s
+		}
+		if rep == 0 {
+			// The checkpointed trajectory already ran its MaxIters, so Run
+			// returns the restored result without further sweeps.
+			res, err := re.Run(context.Background())
+			if err != nil {
+				return nil, err
+			}
+			if res.Fit != want.Fit || res.Iters != want.Iters {
+				return nil, fmt.Errorf("restored result diverged: fit %.17g/%d sweeps vs %.17g/%d",
+					res.Fit, res.Iters, want.Fit, want.Iters)
+			}
+		}
 	}
 	return cell, nil
 }
@@ -513,7 +612,8 @@ func ReadScalingReport(path string) (*ScalingReport, error) {
 // error describing the first regression found:
 //
 //   - machine-independent gates, always applied: per-dataset TTMc
-//     madds-per-sweep and index bytes must not exceed the baseline by
+//     madds-per-sweep, index bytes, and checkpoint bytes must not
+//     exceed the baseline by
 //     more than tol (fractional, e.g. 0.10), steady-state allocations
 //     per sweep must not exceed the baseline by more than tol plus an
 //     absolute slack of allocNoiseFloor, and the fit trajectory must
@@ -699,6 +799,29 @@ func CompareScaling(base, cur *ScalingReport, tol, timeTol float64, w io.Writer)
 				exceeds(c.Alto.SweepSec, b.Alto.SweepSec, timeTol) {
 				return fmt.Errorf("bench: %s ALTO sweep time regressed %.4fs -> %.4fs (> %.0f%%)",
 					c.Dataset, b.Alto.SweepSec, c.Alto.SweepSec, timeTol*100)
+			}
+		}
+		// The checkpoint gates (schema 7): the serialized size is a
+		// deterministic function of the dims, ranks, and sweep count
+		// (fractional tolerance — growth means the format or the captured
+		// state bloated); the write/restore seconds follow the host rules.
+		if b.Checkpoint != nil {
+			if c.Checkpoint == nil {
+				return fmt.Errorf("bench: %s no longer reports the checkpoint cell present in the baseline", c.Dataset)
+			}
+			if exceeds(float64(c.Checkpoint.Bytes), float64(b.Checkpoint.Bytes), tol) {
+				return fmt.Errorf("bench: %s checkpoint bytes regressed %d -> %d (> %.0f%%)",
+					c.Dataset, b.Checkpoint.Bytes, c.Checkpoint.Bytes, tol*100)
+			}
+			if timeGate && timeTol > 0 && c.Checkpoint.WriteSec-b.Checkpoint.WriteSec >= timeNoiseFloorSec &&
+				exceeds(c.Checkpoint.WriteSec, b.Checkpoint.WriteSec, timeTol) {
+				return fmt.Errorf("bench: %s checkpoint write time regressed %.4fs -> %.4fs (> %.0f%%)",
+					c.Dataset, b.Checkpoint.WriteSec, c.Checkpoint.WriteSec, timeTol*100)
+			}
+			if timeGate && timeTol > 0 && c.Checkpoint.RestoreSec-b.Checkpoint.RestoreSec >= timeNoiseFloorSec &&
+				exceeds(c.Checkpoint.RestoreSec, b.Checkpoint.RestoreSec, timeTol) {
+				return fmt.Errorf("bench: %s checkpoint restore time regressed %.4fs -> %.4fs (> %.0f%%)",
+					c.Dataset, b.Checkpoint.RestoreSec, c.Checkpoint.RestoreSec, timeTol*100)
 			}
 		}
 		if !timeGate || timeTol <= 0 {

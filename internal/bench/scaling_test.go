@@ -49,6 +49,10 @@ func TestScalingReport(t *testing.T) {
 				t.Fatalf("%s np=%d: malformed multi-process cell %+v", row.Dataset, distNPs[i], dc)
 			}
 		}
+		if row.Checkpoint == nil || row.Checkpoint.Bytes <= 0 ||
+			row.Checkpoint.WriteSec <= 0 || row.Checkpoint.RestoreSec <= 0 {
+			t.Fatalf("%s: malformed checkpoint cell %+v", row.Dataset, row.Checkpoint)
+		}
 	}
 	if !strings.Contains(buf.String(), "Thread scaling") {
 		t.Fatal("table output missing title")
@@ -100,6 +104,7 @@ func scalingFixture() *ScalingReport {
 				{NP: 2, NetBytesPerSweep: 50000, SweepSec: 0.8},
 				{NP: 4, NetBytesPerSweep: 90000, SweepSec: 0.6},
 			},
+			Checkpoint: &CheckpointCell{Bytes: 40000, WriteSec: 0.2, RestoreSec: 0.3},
 		}},
 	}
 }
@@ -221,6 +226,33 @@ func TestCompareScalingGates(t *testing.T) {
 		t.Fatalf("missing multi-process cell not caught: %v", err)
 	}
 
+	ckptUp := scalingFixture()
+	ckptUp.Rows[0].Checkpoint.Bytes = 50000 // +25%
+	if err := CompareScaling(base, ckptUp, 0.10, 0.10, &buf); err == nil ||
+		!strings.Contains(err.Error(), "checkpoint bytes") {
+		t.Fatalf("checkpoint-bytes regression not caught: %v", err)
+	}
+
+	ckptSlow := scalingFixture()
+	ckptSlow.Rows[0].Checkpoint.RestoreSec = 0.40 // +33%, above the noise floor
+	if err := CompareScaling(base, ckptSlow, 0.10, 0.10, &buf); err == nil ||
+		!strings.Contains(err.Error(), "checkpoint restore time") {
+		t.Fatalf("checkpoint restore-time regression not caught: %v", err)
+	}
+	// ...but not across hosts: the byte gate still applies, the time gate
+	// does not.
+	ckptSlow.Host = "other/arm64/maxprocs=2"
+	if err := CompareScaling(base, ckptSlow, 0.10, 0.10, &buf); err != nil {
+		t.Fatalf("cross-host checkpoint time gate fired: %v", err)
+	}
+
+	ckptGone := scalingFixture()
+	ckptGone.Rows[0].Checkpoint = nil
+	if err := CompareScaling(base, ckptGone, 0.10, 0.10, &buf); err == nil ||
+		!strings.Contains(err.Error(), "checkpoint cell") {
+		t.Fatalf("missing checkpoint cell not caught: %v", err)
+	}
+
 	fewer := scalingFixture()
 	fewer.Rows[0].Cells = fewer.Rows[0].Cells[:1] // dropped the 8-thread cell
 	if err := CompareScaling(base, fewer, 0.10, 0.10, &buf); err == nil ||
@@ -262,6 +294,9 @@ func TestCommittedBaselineParses(t *testing.T) {
 		}
 		if len(row.Dist) != len(distNPs) {
 			t.Fatalf("baseline row %s has %d multi-process cells, want %d", row.Dataset, len(row.Dist), len(distNPs))
+		}
+		if row.Checkpoint == nil || row.Checkpoint.Bytes <= 0 {
+			t.Fatalf("baseline row %s missing the checkpoint cell", row.Dataset)
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"time"
 
+	"hypertensor/internal/checkpoint"
 	"hypertensor/internal/dense"
 	"hypertensor/internal/par"
 	"hypertensor/internal/symbolic"
@@ -67,6 +68,12 @@ type Engine struct {
 	flatFlops int64 // flat-kernel madds (tree/fiber keep their own counters)
 	symTime   time.Duration
 	res       *Result
+
+	// Checkpointing (EnableCheckpoints) and the one-shot resume state a
+	// ResumeEngine-built engine consumes on its first converge.
+	ckptDir   string
+	ckptEvery int
+	resume    *checkpoint.State
 }
 
 // NewEngine builds a resident handle on the plan's analysis: the
@@ -275,7 +282,25 @@ func (e *Engine) converge(ctx context.Context) (*Result, error) {
 	// solve there shifts the final fit by far more than it saves.
 	e.state.SinglePass = e.warmReady && randSolver
 	fits := NewFitTracker(e.normX, opts.Tol)
-	for iter := 0; iter < opts.MaxIters; iter++ {
+	startIter := 0
+	if rs := e.resume; rs != nil {
+		// One-shot: a ResumeEngine-built engine continues the
+		// interrupted solve from the checkpointed sweep, with the fit
+		// trajectory preseeded so stopping decisions are bitwise
+		// identical to the uninterrupted run's.
+		e.resume = nil
+		startIter = rs.Sweep
+		fits.Restore(rs.FitHistory)
+		res.Core = rs.Core
+		res.Iters = rs.Sweep
+		if n := len(rs.FitHistory); n > 0 {
+			res.Fit = rs.FitHistory[n-1]
+		}
+		if fits.Stopped() {
+			startIter = opts.MaxIters // the original run stopped here
+		}
+	}
+	for iter := startIter; iter < opts.MaxIters; iter++ {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
 				return nil, err
@@ -361,6 +386,11 @@ func (e *Engine) converge(ctx context.Context) (*Result, error) {
 		fit, stop := fits.Record(g.Norm())
 		res.Fit = fit
 		res.Iters = iter + 1
+		if e.ckptDir != "" && e.ckptEvery > 0 && (iter+1)%e.ckptEvery == 0 {
+			if _, err := checkpoint.Save(e.ckptDir, e.midRunState(iter+1, fits.History, g)); err != nil {
+				return nil, fmt.Errorf("core: checkpoint at sweep %d: %w", iter+1, err)
+			}
+		}
 		if stop {
 			break
 		}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"hypertensor/internal/checkpoint"
+	"hypertensor/internal/tensor"
+)
+
+// EnableCheckpoints turns on sweep-boundary checkpointing for this
+// engine: after every `every`-th completed sweep the engine atomically
+// writes its resume state into dir (see package checkpoint for the
+// format and retention policy). Passing every <= 0 disables
+// checkpointing again.
+func (e *Engine) EnableCheckpoints(dir string, every int) {
+	e.ckptDir = dir
+	e.ckptEvery = every
+}
+
+// midRunState assembles the checkpoint view of the engine between two
+// sweeps of converge. The slices alias live engine state — Encode
+// consumes them immediately and does not retain them.
+func (e *Engine) midRunState(sweep int, history []float64, g *tensor.Dense) *checkpoint.State {
+	return &checkpoint.State{
+		Sweep:    sweep,
+		Step:     e.state.Step,
+		SeedBase: e.state.SeedBase,
+		// e.warmReady is only flipped after converge returns, so during
+		// the sweep loop it still holds the converge-entry value — the
+		// one a resumed converge must start from.
+		WarmReady:   e.warmReady,
+		NormX:       e.normX,
+		Factors:     e.state.Factors,
+		Core:        g,
+		FitHistory:  history,
+		ChosenRanks: append([]int(nil), e.currentRanks()...),
+	}
+}
+
+// SnapshotState returns a deep copy of the engine's resume state as of
+// the most recent Run/Update (or the initial factors before the first
+// Run). Resuming from it and calling Run re-issues the interrupted (or
+// next) solve with a bitwise-identical fit trajectory.
+func (e *Engine) SnapshotState() *checkpoint.State {
+	s := &checkpoint.State{
+		Step:      e.state.Step,
+		SeedBase:  e.state.SeedBase,
+		WarmReady: e.warmReady,
+		NormX:     e.normX,
+	}
+	for _, f := range e.state.Factors {
+		s.Factors = append(s.Factors, f.Clone())
+	}
+	if e.res != nil {
+		s.Sweep = e.res.Iters
+		s.FitHistory = append([]float64(nil), e.res.FitHistory...)
+		if e.res.Core != nil {
+			s.Core = e.res.Core.Clone()
+		}
+	}
+	s.ChosenRanks = append([]int(nil), e.currentRanks()...)
+	return s
+}
+
+// Snapshot serializes the engine's resume state to w in the checkpoint
+// format. The contract: rebuild an equivalent Plan over the same
+// tensor and options, ResumeEngine from these bytes, and the resumed
+// solve's fit trajectory is bitwise identical to the one this engine
+// would have produced. The tensor itself is not captured — the caller
+// must rebuild the plan from equivalent input (same format, same
+// canonical nonzeros).
+func (e *Engine) Snapshot(w io.Writer) error {
+	return checkpoint.Write(w, e.SnapshotState())
+}
+
+// ResumeEngine reads a checkpoint from r and reconstructs a resident
+// Engine on p positioned to continue the interrupted solve: restored
+// factors, seed-schedule position, warm-start flag, and fit history.
+// Call Run to converge the remaining sweeps; if the checkpointed
+// trajectory had already stopped (by tolerance or MaxIters), Run
+// returns the restored result without running further sweeps.
+func ResumeEngine(p *Plan, r io.Reader) (*Engine, error) {
+	st, err := checkpoint.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return ResumeEngineState(p, st)
+}
+
+// ResumeEngineState is ResumeEngine for an already-decoded state.
+// The state is validated against the plan (mode count, factor shapes,
+// seed, and a bitwise tensor-norm check that rejects resuming against
+// a different tensor); st is copied, not retained.
+func ResumeEngineState(p *Plan, st *checkpoint.State) (*Engine, error) {
+	if err := validateState(p, st); err != nil {
+		return nil, err
+	}
+	e := NewEngine(p)
+	for n, f := range st.Factors {
+		e.state.Factors[n] = f.Clone()
+	}
+	e.state.Step = st.Step
+	e.warmReady = st.WarmReady
+	e.shapeYs() // under Eps the restored ranks differ from the probe ranks
+	rs := &checkpoint.State{
+		Sweep:      st.Sweep,
+		FitHistory: append([]float64(nil), st.FitHistory...),
+	}
+	if st.Core != nil {
+		rs.Core = st.Core.Clone()
+	}
+	e.resume = rs
+	return e, nil
+}
+
+// validateState rejects checkpoints that cannot continue this plan's
+// solve bitwise identically. All failures wrap checkpoint.ErrMismatch.
+func validateState(p *Plan, st *checkpoint.State) error {
+	if st == nil {
+		return fmt.Errorf("%w: nil state", checkpoint.ErrMismatch)
+	}
+	order := p.x.Order()
+	if len(st.Factors) != order {
+		return fmt.Errorf("%w: checkpoint has %d modes, plan has %d",
+			checkpoint.ErrMismatch, len(st.Factors), order)
+	}
+	for n, f := range st.Factors {
+		if f.Rows != p.x.Dims[n] {
+			return fmt.Errorf("%w: mode %d has %d rows, tensor dim is %d",
+				checkpoint.ErrMismatch, n, f.Rows, p.x.Dims[n])
+		}
+		if f.Cols < 1 || f.Cols > p.x.Dims[n] {
+			return fmt.Errorf("%w: mode %d rank %d out of range",
+				checkpoint.ErrMismatch, n, f.Cols)
+		}
+		if p.opts.Eps <= 0 && f.Cols != p.opts.Ranks[n] {
+			return fmt.Errorf("%w: mode %d rank %d, plan wants %d",
+				checkpoint.ErrMismatch, n, f.Cols, p.opts.Ranks[n])
+		}
+	}
+	if st.SeedBase != p.opts.Seed {
+		return fmt.Errorf("%w: checkpoint seed %d, plan seed %d",
+			checkpoint.ErrMismatch, st.SeedBase, p.opts.Seed)
+	}
+	if math.Float64bits(st.NormX) != math.Float64bits(p.normX) {
+		return fmt.Errorf("%w: tensor norm %v, plan tensor norm %v (different tensor?)",
+			checkpoint.ErrMismatch, st.NormX, p.normX)
+	}
+	return nil
+}

@@ -188,6 +188,27 @@ func (f *FitTracker) Record(normG float64) (fit float64, stop bool) {
 	return fit, stop
 }
 
+// Restore preseeds the tracker with the fit history of an interrupted
+// run, so the next Record extends the trajectory exactly as the
+// uninterrupted run would have: the comparison baseline is the last
+// restored fit (or -Inf when the history is empty).
+func (f *FitTracker) Restore(history []float64) {
+	f.History = append(f.History[:0], history...)
+	f.prev = math.Inf(-1)
+	if n := len(f.History); n > 0 {
+		f.prev = f.History[n-1]
+	}
+}
+
+// Stopped re-derives the stopping decision from the restored history:
+// true when the last two fits already satisfied the stopping rule. A
+// resumed loop must then run no further sweeps — the uninterrupted run
+// stopped at exactly that sweep.
+func (f *FitTracker) Stopped() bool {
+	n := len(f.History)
+	return f.Tol > 0 && n >= 2 && math.Abs(f.History[n-1]-f.History[n-2]) < f.Tol
+}
+
 // FitFromNorms computes 1 - ||X - X̂||/||X|| using the orthonormality
 // identity ||X - X̂||² = ||X||² - ||G||² (the paper's convergence
 // measure, Algorithm 1 line 7).

@@ -2,9 +2,12 @@ package dist
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
 	"time"
 
+	"hypertensor/internal/checkpoint"
 	"hypertensor/internal/core"
 	"hypertensor/internal/dense"
 	"hypertensor/internal/mpi"
@@ -33,6 +36,27 @@ type Config struct {
 	// rank-order reductions, so ranks with zero owned rows stay in
 	// lockstep with the rest of the world.
 	SVD core.SVDMethod
+	// CheckpointDir enables coordinated sweep-boundary checkpoints: rank
+	// 0 writes one atomically (write-temp, fsync, rename) every
+	// CheckpointEvery sweeps, after the sweep's core allreduce — at
+	// which point factors, core, and fit are replicated bitwise on every
+	// rank, so the single rank-0 file is world-consistent by
+	// construction. On startup, if the directory holds a usable
+	// checkpoint that matches this configuration, every rank resumes
+	// from it and the fit trajectory continues bitwise identically to an
+	// uninterrupted run. In multi-process worlds the directory must be
+	// reachable by every process (the spawn launcher runs all ranks on
+	// one host, so a local path works).
+	CheckpointDir string
+	// CheckpointEvery is the sweep interval between checkpoints.
+	// 0 selects 1 (every sweep) when CheckpointDir is set.
+	CheckpointEvery int
+	// Fault, when non-nil, is called by every rank at the top of each
+	// sweep with (rank, 1-based sweep). It exists for fault injection —
+	// mpi.FaultConfig.SweepHook panics a chosen rank at a chosen sweep
+	// so recovery paths can be tested deterministically. Production runs
+	// leave it nil.
+	Fault func(rank, sweep int)
 }
 
 // ModeStats carries one rank's per-mode work and communication counts
@@ -173,6 +197,18 @@ func DecomposeWorld(ctx context.Context, world mpi.Runner, x *tensor.COO, part *
 		initial = DefaultInitial(x.Dims, cfg.Ranks, cfg.Seed)
 	}
 
+	// Resume from the newest usable checkpoint, if any. Every process
+	// loads the same file independently (LoadLatest skips torn or
+	// corrupt files), so all ranks restart from identical state without
+	// a broadcast. An empty or missing directory is a fresh start.
+	resume, err := loadDistResume(cfg, x.Dims, normX)
+	if err != nil {
+		return nil, err
+	}
+	if resume != nil {
+		initial = resume.Factors
+	}
+
 	// allOwned[n][r] lists the mode-n slices owned by rank r, ascending.
 	// It is derived from the shared partition, so every rank can compute
 	// factor-row placement without extra communication.
@@ -190,7 +226,7 @@ func DecomposeWorld(ctx context.Context, world mpi.Runner, x *tensor.COO, part *
 	// shares nothing across ranks — a requirement for the TCP world,
 	// where only the local rank runs in this process.
 	results := make([]*Result, p)
-	err := world.RunContext(ctx, func(c *mpi.Comm) {
+	err = world.RunContext(ctx, func(c *mpi.Comm) {
 		me := c.Rank()
 		setupStart := time.Now()
 		rk := newRankState(c, x, part, gsym, allOwned, cfg.Ranks, initial, cfg.Seed)
@@ -204,10 +240,38 @@ func DecomposeWorld(ctx context.Context, world mpi.Runner, x *tensor.COO, part *
 		// so the stopping decision stays in lockstep.
 		fits := core.NewFitTracker(normX, tol)
 		res := &Result{}
+		startIter := 0
+		resumedSweeps := 0
+		if resume != nil {
+			// newRankState cloned the checkpointed factors in; restore
+			// the rest of the sweep state so the next mode solve draws
+			// exactly the seed the uninterrupted run would have drawn.
+			rk.state.Step = resume.Step
+			fits.Restore(resume.FitHistory)
+			startIter = resume.Sweep
+			resumedSweeps = resume.Sweep
+			res.FitHistory = append(res.FitHistory, resume.FitHistory...)
+			res.Core = resume.Core
+			if n := len(resume.FitHistory); n > 0 {
+				res.Fit = resume.FitHistory[n-1]
+			}
+			if fits.Stopped() {
+				// The checkpointed run had already converged; resuming
+				// must not add sweeps the uninterrupted run never took.
+				startIter = maxIters
+			}
+		}
+		ckptEvery := cfg.CheckpointEvery
+		if ckptEvery <= 0 {
+			ckptEvery = 1
+		}
 		var ttmcTime, trsvdTime, coreTime time.Duration
 		modeComm := make([]int64, order)
-		iters := 0
-		for iter := 0; iter < maxIters; iter++ {
+		iters := resumedSweeps
+		for iter := startIter; iter < maxIters; iter++ {
+			if cfg.Fault != nil {
+				cfg.Fault(me, iter+1)
+			}
 			for n := 0; n < order; n++ {
 				bytesBefore := c.BytesSent()
 
@@ -230,6 +294,31 @@ func DecomposeWorld(ctx context.Context, world mpi.Runner, x *tensor.COO, part *
 			res.FitHistory = append(res.FitHistory, fit)
 			res.Fit = fit
 			res.Core = g
+
+			if cfg.CheckpointDir != "" && (iter+1)%ckptEvery == 0 {
+				// The core allreduce above is the sweep's closing
+				// barrier: once it returns, factors, core, and fit are
+				// replicated bitwise on every rank, so rank 0's view is
+				// the world's view. The trailing barrier keeps ranks
+				// from running into the next sweep (and its injected
+				// faults) before the checkpoint is durable.
+				if me == 0 {
+					st := &checkpoint.State{
+						Sweep:       iter + 1,
+						Step:        rk.state.Step,
+						SeedBase:    cfg.Seed,
+						NormX:       normX,
+						Factors:     rk.factors,
+						Core:        g,
+						FitHistory:  fits.History,
+						ChosenRanks: cfg.Ranks,
+					}
+					if _, err := checkpoint.Save(cfg.CheckpointDir, st); err != nil {
+						panic(fmt.Sprintf("dist: checkpoint at sweep %d: %v", iter+1, err))
+					}
+				}
+				c.Barrier()
+			}
 			if stop {
 				break
 			}
@@ -244,7 +333,9 @@ func DecomposeWorld(ctx context.Context, world mpi.Runner, x *tensor.COO, part *
 		// complete. The gather happens on both transports (keeping byte
 		// accounting identical) and after the BytesSent snapshot (so the
 		// exchange doesn't count itself).
-		divIters := int64(iters)
+		// Stats cover only the sweeps this process executed: a resumed
+		// run's measurements start at the checkpointed sweep.
+		divIters := int64(iters - resumedSweeps)
 		if divIters < 1 {
 			divIters = 1
 		}
@@ -260,7 +351,7 @@ func DecomposeWorld(ctx context.Context, world mpi.Runner, x *tensor.COO, part *
 			local[statsFixedFields+3*n+1] = float64(rk.modes[n].wTRSVD)
 			local[statsFixedFields+3*n+2] = float64(modeComm[n] / divIters)
 		}
-		res.Stats = decodeStats(c.AllGatherV(local), p, order, iters)
+		res.Stats = decodeStats(c.AllGatherV(local), p, order, iters-resumedSweeps)
 		results[me] = res
 	})
 	if err != nil {
@@ -274,6 +365,53 @@ func DecomposeWorld(ctx context.Context, world mpi.Runner, x *tensor.COO, part *
 		}
 	}
 	return nil, fmt.Errorf("dist: no rank produced a result")
+}
+
+// loadDistResume fetches and validates the newest usable checkpoint
+// for a distributed run. It returns (nil, nil) when the feature is off
+// or the directory holds nothing usable (fresh start), a typed
+// checkpoint.ErrMismatch when the checkpoint belongs to a different
+// problem or configuration, and the state otherwise.
+func loadDistResume(cfg Config, dims []int, normX float64) (*checkpoint.State, error) {
+	if cfg.CheckpointDir == "" {
+		return nil, nil
+	}
+	st, path, err := checkpoint.LoadLatest(cfg.CheckpointDir)
+	if errors.Is(err, checkpoint.ErrNotFound) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dist: load checkpoint: %w", err)
+	}
+	if verr := validateDistResume(st, cfg, dims, normX); verr != nil {
+		return nil, fmt.Errorf("dist: checkpoint %s: %w", path, verr)
+	}
+	return st, nil
+}
+
+// validateDistResume rejects checkpoints from a different tensor, rank
+// target, or seed — resuming across any of those would silently produce
+// a trajectory no uninterrupted run could have taken. All failures wrap
+// checkpoint.ErrMismatch.
+func validateDistResume(st *checkpoint.State, cfg Config, dims []int, normX float64) error {
+	if len(st.Factors) != len(dims) {
+		return fmt.Errorf("%w: checkpoint has %d modes, tensor has %d", checkpoint.ErrMismatch, len(st.Factors), len(dims))
+	}
+	for n, f := range st.Factors {
+		if f.Rows != dims[n] {
+			return fmt.Errorf("%w: mode-%d factor has %d rows, tensor dimension is %d", checkpoint.ErrMismatch, n, f.Rows, dims[n])
+		}
+		if f.Cols != cfg.Ranks[n] {
+			return fmt.Errorf("%w: mode-%d factor has %d columns, configured rank is %d", checkpoint.ErrMismatch, n, f.Cols, cfg.Ranks[n])
+		}
+	}
+	if st.SeedBase != cfg.Seed {
+		return fmt.Errorf("%w: checkpoint seed %d, configured seed %d", checkpoint.ErrMismatch, st.SeedBase, cfg.Seed)
+	}
+	if math.Float64bits(st.NormX) != math.Float64bits(normX) {
+		return fmt.Errorf("%w: checkpoint tensor norm %v, this tensor has %v", checkpoint.ErrMismatch, st.NormX, normX)
+	}
+	return nil
 }
 
 // statsFixedFields is the number of scalar fields preceding the

@@ -20,7 +20,9 @@ import (
 // The fixed header after the length field is frameHeaderLen bytes, so
 // length >= frameHeaderLen always. Handshake frames carry an int32
 // payload (protocol fields); bye frames carry none and mark a clean
-// connection shutdown, ordered after all data frames.
+// connection shutdown, ordered after all data frames; heartbeat frames
+// carry none and only prove the peer is alive (they count as wire
+// bytes but never as payload).
 const (
 	frameHeaderLen = 9
 	frameLenSize   = 4
@@ -29,10 +31,12 @@ const (
 	frameInt32     = byte(2)
 	frameHandshake = byte(3)
 	frameBye       = byte(4)
+	frameHeartbeat = byte(5)
 
 	// ProtocolVersion is carried in the connection handshake; both ends
 	// must agree or the connection is refused with ErrHandshake.
-	ProtocolVersion = 1
+	// Version 2 added idle heartbeat frames (frameHeartbeat).
+	ProtocolVersion = 2
 
 	// defaultMaxFrame bounds the accepted frame length (1 GiB): a
 	// corrupt or hostile length prefix must produce a typed error, not
@@ -96,9 +100,9 @@ func validateFrameHeader(length uint32, kind byte, maxFrame int) (int, error) {
 		if payload%4 != 0 {
 			return 0, fmt.Errorf("%w: int32 payload of %d bytes is not a multiple of 4", ErrBadFrame, payload)
 		}
-	case frameBye:
+	case frameBye, frameHeartbeat:
 		if payload != 0 {
-			return 0, fmt.Errorf("%w: bye frame carries %d payload bytes", ErrBadFrame, payload)
+			return 0, fmt.Errorf("%w: control frame kind %d carries %d payload bytes", ErrBadFrame, kind, payload)
 		}
 	default:
 		return 0, fmt.Errorf("%w: unknown frame kind %d", ErrBadFrame, kind)

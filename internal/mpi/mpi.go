@@ -128,6 +128,10 @@ type World struct {
 	done     chan struct{}
 	failOnce sync.Once
 	cause    error // set before done is closed
+
+	// faults, when armed via InjectFaults, wraps every rank endpoint
+	// with deterministic fault injection.
+	faults *FaultConfig
 }
 
 // NewWorld creates a fabric for p ranks.
@@ -157,6 +161,13 @@ const chanDepth = 1024
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.p }
+
+// InjectFaults arms deterministic fault injection on every rank of the
+// world: each rank's endpoint is wrapped in a FaultyTransport when the
+// next Run/RunContext starts. Call before Run; a World with injected
+// faults follows the usual rule that it must not be reused after an
+// error.
+func (w *World) InjectFaults(cfg FaultConfig) { w.faults = &cfg }
 
 // fail records the first failure cause and releases every blocked rank.
 func (w *World) fail(err error) {
@@ -193,7 +204,11 @@ func (w *World) RunContext(ctx context.Context, body func(c *Comm)) error {
 					w.fail(err)
 				}
 			}()
-			body(&Comm{t: &chanEndpoint{w: w, r: rank}})
+			var t transport = &chanEndpoint{w: w, r: rank}
+			if w.faults != nil {
+				t = newFaultyTransport(t, *w.faults)
+			}
+			body(&Comm{t: t})
 		}(r)
 	}
 	bodyDone := make(chan struct{})

@@ -32,6 +32,35 @@ type TCPOptions struct {
 	// MaxFrame caps the accepted wire-frame length in bytes; larger (or
 	// corrupt) length prefixes fail with ErrBadFrame. Default 1 GiB.
 	MaxFrame int
+	// Heartbeat is the idle-heartbeat interval: each peer writer emits
+	// a zero-payload heartbeat frame at this cadence, and a reader that
+	// sees no frame (data or heartbeat) for 4 intervals declares the
+	// peer dead with ErrPeerDied — far sooner than the OS TCP timeout
+	// for a silently vanished host. Default 15s; negative disables
+	// both sides. All ranks of a world must use the same setting.
+	Heartbeat time.Duration
+	// Faults, when non-nil, wraps this rank's transport in a
+	// FaultyTransport during RunContext (deterministic chaos testing).
+	Faults *FaultConfig
+}
+
+// defaultHeartbeat is the idle-heartbeat interval when unset; the
+// liveness window is heartbeatWindowFactor intervals.
+const (
+	defaultHeartbeat      = 15 * time.Second
+	heartbeatWindowFactor = 4
+)
+
+// heartbeatInterval resolves the configured heartbeat cadence (0 when
+// disabled).
+func (o TCPOptions) heartbeatInterval() time.Duration {
+	switch {
+	case o.Heartbeat < 0:
+		return 0
+	case o.Heartbeat == 0:
+		return defaultHeartbeat
+	}
+	return o.Heartbeat
 }
 
 func (o TCPOptions) withDefaults() TCPOptions {
@@ -163,13 +192,15 @@ func ConnectTCP(ctx context.Context, rank int, peers []string, opt TCPOptions) (
 	expected := p - 1 - rank
 	if expected > 0 {
 		go func() {
+			// Exactly one pend per expected inbound peer: acceptPeer
+			// retries transient mid-handshake failures internally, and
+			// after a permanent error (e.g. the main loop closed the
+			// listener) the remaining slots fill with fast errors — so
+			// the result loop below always receives p-1 sends.
 			seen := make(map[int]bool)
 			for i := 0; i < expected; i++ {
 				peer, err := w.acceptPeer(ln, deadline, seen)
 				results <- pend{peer, err}
-				if err != nil {
-					return
-				}
 			}
 		}()
 	}
@@ -218,79 +249,109 @@ func newTCPPeer(rank int, conn net.Conn) *tcpPeer {
 	}
 }
 
-// dialPeer connects to a lower rank, retrying connection-refused while
-// the peer is still binding, and runs the client side of the handshake.
+// sleepBackoff waits for the current backoff step (doubling it toward
+// a 1s cap for the next attempt) or returns the context error when the
+// setup window expires first.
+func sleepBackoff(ctx context.Context, backoff *time.Duration) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(*backoff):
+	}
+	if *backoff < time.Second {
+		*backoff *= 2
+	}
+	return nil
+}
+
+// dialPeer connects to a lower rank with exponential backoff: dial
+// failures (the peer is still binding — or being restarted by a
+// supervisor) and transient mid-handshake connection losses retry
+// until the setup deadline; permanent validation mismatches (protocol
+// version, world size, rank identity) fail immediately.
 func (w *TCPWorld) dialPeer(ctx context.Context, deadline time.Time, addr string, target int) (*tcpPeer, error) {
 	var d net.Dialer
-	var conn net.Conn
+	backoff := 50 * time.Millisecond
 	for {
-		var err error
-		conn, err = d.DialContext(ctx, "tcp", addr)
-		if err == nil {
-			break
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			if sleepBackoff(ctx, &backoff) != nil {
+				return nil, &Error{Rank: w.rankID, Peer: target, Op: "dial",
+					Err: fmt.Errorf("%w: %s unreachable before the dial deadline (last error: %v)", ErrHandshake, addr, err)}
+			}
+			continue
 		}
-		select {
-		case <-ctx.Done():
-			return nil, &Error{Rank: w.rankID, Peer: target, Op: "dial",
-				Err: fmt.Errorf("%w: %s unreachable before the dial deadline (last error: %v)", ErrHandshake, addr, err)}
-		case <-time.After(50 * time.Millisecond):
+		peer := newTCPPeer(target, conn)
+		conn.SetDeadline(deadline)
+		herr := w.writeHandshake(conn, target)
+		transient := true
+		var hs []int32
+		if herr == nil {
+			hs, transient, herr = w.readHandshake(peer.br, target)
+		}
+		if herr == nil && (int(hs[2]) != target || int(hs[3]) != w.rankID) {
+			transient = false
+			herr = &Error{Rank: w.rankID, Peer: target, Op: "handshake",
+				Err: fmt.Errorf("%w: reply names ranks (%d -> %d), want (%d -> %d)", ErrHandshake, hs[2], hs[3], target, w.rankID)}
+		}
+		if herr == nil {
+			return peer, nil
+		}
+		conn.Close()
+		if !transient {
+			return nil, herr
+		}
+		if sleepBackoff(ctx, &backoff) != nil {
+			return nil, herr
 		}
 	}
-	peer := newTCPPeer(target, conn)
-	conn.SetDeadline(deadline)
-	if err := w.writeHandshake(conn, target); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	hs, err := w.readHandshake(peer.br, target)
-	if err != nil {
-		conn.Close()
-		return nil, err
-	}
-	if int(hs[2]) != target || int(hs[3]) != w.rankID {
-		conn.Close()
-		return nil, &Error{Rank: w.rankID, Peer: target, Op: "handshake",
-			Err: fmt.Errorf("%w: reply names ranks (%d -> %d), want (%d -> %d)", ErrHandshake, hs[2], hs[3], target, w.rankID)}
-	}
-	return peer, nil
 }
 
 // acceptPeer accepts one inbound connection from a higher rank and runs
-// the server side of the handshake.
+// the server side of the handshake. Transient failures — a dialer that
+// died mid-handshake and will be redialed — keep accepting; listener
+// errors and validation mismatches are permanent.
 func (w *TCPWorld) acceptPeer(ln net.Listener, deadline time.Time, seen map[int]bool) (*tcpPeer, error) {
-	conn, err := ln.Accept()
-	if err != nil {
-		return nil, &Error{Rank: w.rankID, Peer: -1, Op: "accept",
-			Err: fmt.Errorf("%w: %v", ErrHandshake, err)}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return nil, &Error{Rank: w.rankID, Peer: -1, Op: "accept",
+				Err: fmt.Errorf("%w: %v", ErrHandshake, err)}
+		}
+		conn.SetDeadline(deadline)
+		br := bufio.NewReaderSize(conn, 64<<10)
+		hs, transient, err := w.readHandshake(br, -1)
+		if err != nil {
+			conn.Close()
+			if transient {
+				continue
+			}
+			return nil, err
+		}
+		from := int(hs[2])
+		switch {
+		case int(hs[3]) != w.rankID:
+			err = fmt.Errorf("%w: dialer targeted rank %d, this is rank %d", ErrHandshake, hs[3], w.rankID)
+		case from <= w.rankID || from >= w.p:
+			err = fmt.Errorf("%w: unexpected dialer rank %d (acceptor %d of %d)", ErrHandshake, from, w.rankID, w.p)
+		case seen[from]:
+			err = fmt.Errorf("%w: duplicate connection from rank %d", ErrHandshake, from)
+		}
+		if err != nil {
+			conn.Close()
+			return nil, &Error{Rank: w.rankID, Peer: from, Op: "handshake", Err: err}
+		}
+		peer := newTCPPeer(from, conn)
+		peer.br = br
+		if err := w.writeHandshake(conn, from); err != nil {
+			// The dialer vanished between its handshake and our reply;
+			// it (or its restarted replacement) will dial again.
+			conn.Close()
+			continue
+		}
+		seen[from] = true
+		return peer, nil
 	}
-	conn.SetDeadline(deadline)
-	br := bufio.NewReaderSize(conn, 64<<10)
-	hs, err := w.readHandshake(br, -1)
-	if err != nil {
-		conn.Close()
-		return nil, err
-	}
-	from := int(hs[2])
-	switch {
-	case int(hs[3]) != w.rankID:
-		err = fmt.Errorf("%w: dialer targeted rank %d, this is rank %d", ErrHandshake, hs[3], w.rankID)
-	case from <= w.rankID || from >= w.p:
-		err = fmt.Errorf("%w: unexpected dialer rank %d (acceptor %d of %d)", ErrHandshake, from, w.rankID, w.p)
-	case seen[from]:
-		err = fmt.Errorf("%w: duplicate connection from rank %d", ErrHandshake, from)
-	}
-	if err != nil {
-		conn.Close()
-		return nil, &Error{Rank: w.rankID, Peer: from, Op: "handshake", Err: err}
-	}
-	seen[from] = true
-	peer := newTCPPeer(from, conn)
-	peer.br = br
-	if err := w.writeHandshake(conn, from); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	return peer, nil
 }
 
 // writeHandshake sends (version, worldSize, ownRank, peerRank).
@@ -307,27 +368,31 @@ func (w *TCPWorld) writeHandshake(conn net.Conn, peer int) error {
 }
 
 // readHandshake reads and validates the version and world-size fields;
-// rank fields are validated by the caller (which knows its role).
-func (w *TCPWorld) readHandshake(br *bufio.Reader, peer int) ([]int32, error) {
+// rank fields are validated by the caller (which knows its role). The
+// second return distinguishes transient failures — the connection
+// broke before a complete handshake arrived, so the peer may simply
+// have died mid-setup and be about to retry — from permanent protocol
+// mismatches that no retry can fix.
+func (w *TCPWorld) readHandshake(br *bufio.Reader, peer int) ([]int32, bool, error) {
 	fr, _, err := readFrame(br, w.opt.MaxFrame)
 	if err != nil {
-		return nil, &Error{Rank: w.rankID, Peer: peer, Op: "handshake",
+		return nil, true, &Error{Rank: w.rankID, Peer: peer, Op: "handshake",
 			Err: fmt.Errorf("%w: %v", ErrHandshake, err)}
 	}
 	if fr.kind != frameHandshake || len(fr.msg.i) != 4 {
-		return nil, &Error{Rank: w.rankID, Peer: peer, Op: "handshake",
+		return nil, false, &Error{Rank: w.rankID, Peer: peer, Op: "handshake",
 			Err: fmt.Errorf("%w: first frame is not a handshake", ErrHandshake)}
 	}
 	hs := fr.msg.i
 	if hs[0] != ProtocolVersion {
-		return nil, &Error{Rank: w.rankID, Peer: peer, Op: "handshake",
+		return nil, false, &Error{Rank: w.rankID, Peer: peer, Op: "handshake",
 			Err: fmt.Errorf("%w: protocol version %d, want %d", ErrHandshake, hs[0], ProtocolVersion)}
 	}
 	if int(hs[1]) != w.p {
-		return nil, &Error{Rank: w.rankID, Peer: peer, Op: "handshake",
+		return nil, false, &Error{Rank: w.rankID, Peer: peer, Op: "handshake",
 			Err: fmt.Errorf("%w: peer launched with world size %d, this rank with %d", ErrHandshake, hs[1], w.p)}
 	}
-	return hs, nil
+	return hs, false, nil
 }
 
 // Rank returns this process's rank id.
@@ -412,15 +477,36 @@ func (w *TCPWorld) recv(src int) message {
 // readLoop decodes frames from one peer into its inbox until a clean
 // bye frame, a failure, or local shutdown. A connection error before
 // the bye means the peer died: the whole local world is failed so every
-// blocked operation surfaces the error instead of hanging.
+// blocked operation surfaces the error instead of hanging. With
+// heartbeats enabled, a peer that produces no frame at all for several
+// intervals is declared dead the same way — well before the OS TCP
+// keepalive would notice a silently vanished host.
 func (w *TCPWorld) readLoop(p *tcpPeer) {
 	defer w.readers.Done()
+	var window time.Duration
+	if iv := w.opt.heartbeatInterval(); iv > 0 {
+		window = heartbeatWindowFactor * iv
+	}
 	for {
+		if window > 0 {
+			p.conn.SetReadDeadline(time.Now().Add(window))
+		}
 		fr, _, err := readFrame(p.br, w.opt.MaxFrame)
 		if err != nil {
 			if !w.closed.Load() {
-				werr := &Error{Rank: w.rankID, Peer: p.rank, Op: "recv",
-					Err: fmt.Errorf("%w: %v", ErrPeerDied, err)}
+				cause := fmt.Errorf("%w: %v", ErrPeerDied, err)
+				var ne net.Error
+				switch {
+				case errors.As(err, &ne) && ne.Timeout():
+					cause = fmt.Errorf("%w: rank %d silent for %v (no data or heartbeat frames)",
+						ErrPeerDied, p.rank, window)
+				case errors.Is(err, ErrBadFrame):
+					// Corruption is its own root cause: a peer that sent a
+					// malformed frame is not the same failure as one that
+					// vanished, and diagnosis depends on the distinction.
+					cause = err
+				}
+				werr := &Error{Rank: w.rankID, Peer: p.rank, Op: "recv", Err: cause}
 				p.readErr = werr
 				w.fail(werr)
 			}
@@ -431,6 +517,8 @@ func (w *TCPWorld) readLoop(p *tcpPeer) {
 		case frameBye:
 			close(p.inbox)
 			return
+		case frameHeartbeat:
+			// Liveness only; resets the read deadline and is dropped.
 		case frameFloat64, frameInt32:
 			select {
 			case p.inbox <- fr.msg:
@@ -455,12 +543,29 @@ const maxCoalesce = 256 << 10
 
 // writeLoop drains the peer's send queue, coalescing every message
 // already queued into a single socket write, and finishes with a bye
-// frame when the queue is closed (graceful shutdown).
+// frame when the queue is closed (graceful shutdown). While the queue
+// is idle it emits heartbeat frames at the configured cadence so the
+// peer's reader can distinguish "alive but quiet" from "gone".
 func (w *TCPWorld) writeLoop(p *tcpPeer) {
 	defer close(p.wdone)
 	buf := make([]byte, 0, 64<<10)
+	var hb <-chan time.Time
+	if iv := w.opt.heartbeatInterval(); iv > 0 {
+		t := time.NewTicker(iv)
+		defer t.Stop()
+		hb = t.C
+	}
 	for {
-		m, ok := <-p.sendq
+		var m message
+		var ok bool
+		select {
+		case m, ok = <-p.sendq:
+		case <-hb:
+			if !w.writeAll(p, appendFrame(buf[:0], frameHeartbeat, &message{})) {
+				return
+			}
+			continue
+		}
 		if !ok {
 			break
 		}
@@ -589,7 +694,11 @@ func (w *TCPWorld) RunContext(ctx context.Context, body func(c *Comm)) error {
 				err = recoveredError(w.rankID, e)
 			}
 		}()
-		c := &Comm{t: w}
+		var t transport = w
+		if w.opt.Faults != nil {
+			t = newFaultyTransport(t, *w.opt.Faults)
+		}
+		c := &Comm{t: t}
 		body(c)
 		// The closing barrier keeps any rank from tearing the mesh down
 		// while a peer is still mid-collective.
