@@ -256,6 +256,28 @@ func BenchmarkSolverCompare(b *testing.B) {
 	}
 }
 
+// BenchmarkCommVolume keeps the htbench -comm table wired into the CI
+// benchmark smoke and holds its exactness claim: the realized sparse
+// exchange's expand+fold payload must equal the cut model's byte
+// prediction for every dataset, rank count, and placement method.
+func BenchmarkCommVolume(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.CommVolume(o, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for name, rs := range rows {
+			for _, r := range rs {
+				if r.Realized() != r.ModelBytes {
+					b.Fatalf("%s %s p=%d: realized %d B != cut model %d B",
+						name, r.Method, r.P, r.Realized(), r.ModelBytes)
+				}
+			}
+		}
+	}
+}
+
 // Partitioning ablation: multilevel hypergraph partitioning time and
 // achieved cutsize versus the random baseline.
 func BenchmarkAblationPartitionHypergraph(b *testing.B) {

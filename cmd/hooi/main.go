@@ -76,6 +76,7 @@ func main() {
 		distM   = flag.String("dist", "", "distributed mode: a rank count (simulated, in-process), \"tcp\" (join a multi-process group as one rank), or \"spawn\" (fork -np rank processes locally); empty or 0 = shared memory")
 		grain   = flag.String("grain", "fine", "distributed task grain: fine | coarse")
 		method  = flag.String("method", "hp", "distributed placement: hp | rd | bl")
+		exch    = flag.String("exchange", "sparse", "distributed factor exchange: sparse (point-to-point comm plans) | dense (collectives); trajectories are bitwise identical")
 		np      = flag.Int("np", 4, "rank-process count for -dist spawn")
 		rank    = flag.Int("rank", -1, "this process's rank for -dist tcp")
 		peersIn = flag.String("peers", "", "comma-separated host:port of every rank (index = rank) for -dist tcp")
@@ -126,7 +127,8 @@ func main() {
 		}
 		d := distRun{
 			input: *input, ranks: ranks, grain: *grain, method: *method, svd: *svd,
-			iters: *iters, tol: *tol, seed: *seed, timeout: *distTO, quiet: *quiet,
+			exchange: *exch,
+			iters:    *iters, tol: *tol, seed: *seed, timeout: *distTO, quiet: *quiet,
 			ckptDir: *ckptDir, ckptEvery: *ckptEvery, maxRestarts: *maxRestart,
 			chaosRank: *chaosRank, chaosSweep: *chaosSweep,
 		}
@@ -389,6 +391,7 @@ type distRun struct {
 	ranks         []int
 	grain, method string
 	svd           string
+	exchange      string
 	iters         int
 	tol           float64
 	seed          int64
@@ -408,8 +411,13 @@ type distRun struct {
 // hard-exit chaos hook separately — a spawn-mode chaos kill must be a
 // real process death for the supervisor to detect.
 func (d *distRun) config() hypertensor.DistConfig {
+	ex, err := dist.ParseExchange(d.exchange)
+	if err != nil {
+		fail(err)
+	}
 	cfg := hypertensor.DistConfig{
 		Ranks: d.ranks, MaxIters: d.iters, Tol: d.tol, Seed: d.seed, SVD: d.svdMethod(),
+		Exchange:      ex,
 		CheckpointDir: d.ckptDir, CheckpointEvery: d.ckptEvery,
 	}
 	return cfg
@@ -609,6 +617,7 @@ func (d *distRun) spawnOnce(exe string, np, attempt int) *rankFailure {
 			"-grain", d.grain,
 			"-method", d.method,
 			"-svd", d.svd,
+			"-exchange", d.exchange,
 			"-dist", "tcp",
 			"-rank", strconv.Itoa(r),
 			"-peers", strings.Join(addrs, ","),
@@ -717,14 +726,18 @@ func (d *distRun) report(part *hypertensor.Partition, res *hypertensor.DistDecom
 		fmt.Printf("  rank %d: wall %v, sent %d B payload\n", r, st.RankWall[r].Round(time.Millisecond), st.SentBytes[r])
 	}
 	for n := range st.Mode {
-		var maxC, sumC int64
+		var maxC, sumE, sumF, sumS int64
 		for _, ms := range st.Mode[n] {
-			sumC += ms.CommBytes
-			if ms.CommBytes > maxC {
-				maxC = ms.CommBytes
+			sumE += ms.ExpandBytes
+			sumF += ms.FoldBytes
+			sumS += ms.TRSVDBytes
+			if c := ms.CommBytes(); c > maxC {
+				maxC = c
 			}
 		}
-		fmt.Printf("  mode %d comm: max %d B, avg %.0f B per rank\n", n+1, maxC, float64(sumC)/float64(p))
+		fmt.Printf("  mode %d comm: max %d B, avg %.0f B per rank (expand %.0f, fold %.0f, trsvd %.0f)\n",
+			n+1, maxC, float64(sumE+sumF+sumS)/float64(p),
+			float64(sumE)/float64(p), float64(sumF)/float64(p), float64(sumS)/float64(p))
 	}
 }
 

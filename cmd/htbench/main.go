@@ -34,6 +34,7 @@ func main() {
 		format  = flag.Bool("format", false, "run the COO vs CSF vs ALTO storage-format comparison")
 		scaling = flag.Bool("scaling", false, "run the thread-scaling sweep (per-thread speedup table)")
 		solver  = flag.Bool("solver", false, "run the randomized-vs-Lanczos TRSVD solver comparison")
+		comm    = flag.Bool("comm", false, "run the comm-volume table: modeled hypergraph cut vs realized sparse-exchange bytes per partition method at p=2,4")
 		chaos   = flag.Bool("chaos", false, "run the fault-injection experiment: seed-swept transport faults plus a kill-and-recover checkpoint demonstration")
 		schedIn = flag.String("sched", "balanced", "scaling sweep schedule: balanced | dynamic | static")
 		jsonOut = flag.String("json", "", "write the scaling report as machine-readable JSON to this path")
@@ -50,7 +51,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "seed for datasets and partitioners")
 	)
 	flag.Parse()
-	if !*all && *table == 0 && !*met && !*dtree && !*format && !*scaling && !*solver && !*chaos {
+	if !*all && *table == 0 && !*met && !*dtree && !*format && !*scaling && !*solver && !*chaos && !*comm {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -129,6 +130,9 @@ func main() {
 			fail(err)
 		}
 		fmt.Fprintln(out)
+		if _, err := bench.CommVolume(o, out); err != nil {
+			fail(err)
+		}
 		runScaling()
 		return
 	}
@@ -160,6 +164,11 @@ func main() {
 	}
 	if *chaos {
 		if _, err := bench.Chaos(o, out); err != nil {
+			fail(err)
+		}
+	}
+	if *comm {
+		if _, err := bench.CommVolume(o, out); err != nil {
 			fail(err)
 		}
 	}

@@ -12,19 +12,24 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
+	"hypertensor/internal/dist"
 	"hypertensor/internal/hypergraph"
 	"hypertensor/internal/tensor"
 )
 
 func main() {
 	var (
-		input   = flag.String("input", "", "input tensor in .tns format (required)")
-		parts   = flag.Int("parts", 16, "number of parts K")
-		grain   = flag.String("grain", "fine", "hypergraph model: fine | coarse")
-		mode    = flag.Int("mode", 0, "tensor mode for the coarse model")
-		seed    = flag.Int64("seed", 1, "partitioner seed")
-		compare = flag.Bool("compare", false, "also report random/block baselines")
+		input    = flag.String("input", "", "input tensor in .tns format (required)")
+		parts    = flag.Int("parts", 16, "number of parts K")
+		grain    = flag.String("grain", "fine", "hypergraph model: fine | coarse")
+		mode     = flag.Int("mode", 0, "tensor mode for the coarse model")
+		seed     = flag.Int64("seed", 1, "partitioner seed")
+		compare  = flag.Bool("compare", false, "also report random/block baselines")
+		realized = flag.Bool("realized", false, "also report the cut model's byte prediction for the distributed sparse exchange (expand+fold per sweep) per placement method")
+		ranksIn  = flag.String("ranks", "", "comma-separated Tucker ranks for -realized (default: min(8, dim) per mode)")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -61,6 +66,60 @@ func main() {
 		report("random", hypergraph.PartitionRandom(h.NumV, *parts, *seed))
 		report("block", hypergraph.PartitionBlock(h.VWeights, *parts))
 	}
+
+	if *realized {
+		ranks, err := realizedRanks(*ranksIn, x.Dims)
+		if err != nil {
+			fail(err)
+		}
+		g := dist.Fine
+		if *grain == "coarse" {
+			g = dist.Coarse
+		}
+		fmt.Printf("sparse-exchange volume per sweep (%s grain, ranks %v, expand+fold cut model):\n", *grain, ranks)
+		for _, m := range []struct {
+			name   string
+			method dist.Method
+		}{
+			{"hp", dist.MethodHypergraph},
+			{"rd", dist.MethodRandom},
+			{"bl", dist.MethodBlock},
+		} {
+			part, err := dist.MakePartition(x, *parts, g, m.method, *seed)
+			if err != nil {
+				fail(err)
+			}
+			expand, fold := dist.ModeledCommVolume(x, part, ranks)
+			fmt.Printf("  %-12s expand=%-12d fold=%-12d total=%d B\n", m.name, expand, fold, expand+fold)
+		}
+	}
+}
+
+// realizedRanks parses -ranks, defaulting each mode to min(8, dim).
+func realizedRanks(s string, dims []int) ([]int, error) {
+	if s == "" {
+		ranks := make([]int, len(dims))
+		for n, d := range dims {
+			ranks[n] = 8
+			if d < 8 {
+				ranks[n] = d
+			}
+		}
+		return ranks, nil
+	}
+	fields := strings.Split(s, ",")
+	if len(fields) != len(dims) {
+		return nil, fmt.Errorf("-ranks wants %d values, got %d", len(dims), len(fields))
+	}
+	ranks := make([]int, len(fields))
+	for i, f := range fields {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad rank %q", f)
+		}
+		ranks[i] = v
+	}
+	return ranks, nil
 }
 
 func fail(err error) {

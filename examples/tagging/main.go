@@ -55,9 +55,9 @@ func main() {
 		var maxComm, totComm, maxW, totW int64
 		for n := range res.Stats.Mode {
 			for _, ms := range res.Stats.Mode[n] {
-				totComm += ms.CommBytes
-				if ms.CommBytes > maxComm {
-					maxComm = ms.CommBytes
+				totComm += ms.CommBytes()
+				if c := ms.CommBytes(); c > maxComm {
+					maxComm = c
 				}
 			}
 		}

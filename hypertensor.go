@@ -110,6 +110,10 @@ type (
 	PartitionMethod = dist.Method
 	// DistConfig configures DecomposeDistributed.
 	DistConfig = dist.Config
+	// ExchangeKind selects the factor-exchange strategy for distributed
+	// HOOI (ExchangeSparse point-to-point plans, ExchangeDense
+	// collectives). Both produce bitwise-identical trajectories.
+	ExchangeKind = dist.ExchangeKind
 	// DistDecomposition is the distributed result with per-rank Stats.
 	DistDecomposition = dist.Result
 	// DistStats carries per-rank work and communication measurements.
@@ -179,6 +183,9 @@ const (
 	PartitionHypergraph = dist.MethodHypergraph
 	PartitionRandom     = dist.MethodRandom
 	PartitionBlock      = dist.MethodBlock
+
+	ExchangeSparse = dist.ExchangeSparse
+	ExchangeDense  = dist.ExchangeDense
 )
 
 // NewSparseTensor returns an empty sparse tensor with the given mode

@@ -48,6 +48,12 @@ func TestScalingReport(t *testing.T) {
 			if dc.NP != distNPs[i] || dc.NetBytesPerSweep <= 0 || dc.SweepSec <= 0 {
 				t.Fatalf("%s np=%d: malformed multi-process cell %+v", row.Dataset, distNPs[i], dc)
 			}
+			if dc.ExpandBytesPerSweep <= 0 || dc.TRSVDBytesPerSweep <= 0 || dc.BlockExpandFoldBytes <= 0 {
+				t.Fatalf("%s np=%d: per-phase breakdown not measured %+v", row.Dataset, distNPs[i], dc)
+			}
+			if sum := dc.ExpandBytesPerSweep + dc.FoldBytesPerSweep + dc.TRSVDBytesPerSweep; sum > dc.NetBytesPerSweep {
+				t.Fatalf("%s np=%d: phase bytes %d exceed total %d", row.Dataset, distNPs[i], sum, dc.NetBytesPerSweep)
+			}
 		}
 		if row.Checkpoint == nil || row.Checkpoint.Bytes <= 0 ||
 			row.Checkpoint.WriteSec <= 0 || row.Checkpoint.RestoreSec <= 0 {
@@ -101,8 +107,10 @@ func scalingFixture() *ScalingReport {
 				{Threads: 8, SweepSec: 0.25, TTMcSec: 0.12, TRSVDSec: 0.1, Speedup: 4},
 			},
 			Dist: []DistCell{
-				{NP: 2, NetBytesPerSweep: 50000, SweepSec: 0.8},
-				{NP: 4, NetBytesPerSweep: 90000, SweepSec: 0.6},
+				{NP: 2, NetBytesPerSweep: 50000, ExpandBytesPerSweep: 10000, FoldBytesPerSweep: 15000,
+					TRSVDBytesPerSweep: 20000, BlockExpandFoldBytes: 60000, SweepSec: 0.8},
+				{NP: 4, NetBytesPerSweep: 90000, ExpandBytesPerSweep: 20000, FoldBytesPerSweep: 25000,
+					TRSVDBytesPerSweep: 40000, BlockExpandFoldBytes: 110000, SweepSec: 0.6},
 			},
 			Checkpoint: &CheckpointCell{Bytes: 40000, WriteSec: 0.2, RestoreSec: 0.3},
 		}},
@@ -224,6 +232,22 @@ func TestCompareScalingGates(t *testing.T) {
 	if err := CompareScaling(base, distGone, 0.10, 0.10, &buf); err == nil ||
 		!strings.Contains(err.Error(), "np=4 multi-process cell") {
 		t.Fatalf("missing multi-process cell not caught: %v", err)
+	}
+
+	// The HP-beats-block gate: the hypergraph partition's realized
+	// expand+fold payload must stay strictly below the block placement's
+	// cut volume at np=4.
+	hpLoses := scalingFixture()
+	hpLoses.Rows[0].Dist[1].ExpandBytesPerSweep = 90000 // 90k+25k >= 110k block
+	if err := CompareScaling(base, hpLoses, 0.10, 0.10, &buf); err == nil ||
+		!strings.Contains(err.Error(), "not below block") {
+		t.Fatalf("HP-beats-block violation not caught: %v", err)
+	}
+	noBlock := scalingFixture()
+	noBlock.Rows[0].Dist[1].BlockExpandFoldBytes = 0 // pre-schema-8 report
+	if err := CompareScaling(base, noBlock, 0.10, 0.10, &buf); err == nil ||
+		!strings.Contains(err.Error(), "block-placement comm volume") {
+		t.Fatalf("missing block comm volume not caught: %v", err)
 	}
 
 	ckptUp := scalingFixture()

@@ -55,8 +55,8 @@ func modelSeconds(st *dist.Stats, ranks []int) float64 {
 			if ms.WTRSVD > maxS {
 				maxS = ms.WTRSVD
 			}
-			if ms.CommBytes > maxC {
-				maxC = ms.CommBytes
+			if c := ms.CommBytes(); c > maxC {
+				maxC = c
 			}
 		}
 		total += float64(maxT)*cFlop + 3*float64(ranks[n])*float64(maxS)*cFlop + float64(maxC)*cByte

@@ -57,15 +57,15 @@ func TableIII(o Options, w io.Writer) (map[string][]Table3Row, error) {
 			for _, ms := range st.Mode[n] {
 				sumT += ms.WTTMc
 				sumS += ms.WTRSVD
-				sumC += ms.CommBytes
+				sumC += ms.CommBytes()
 				if ms.WTTMc > row.WTTMcMax {
 					row.WTTMcMax = ms.WTTMc
 				}
 				if ms.WTRSVD > row.WTRSVDMax {
 					row.WTRSVDMax = ms.WTRSVD
 				}
-				if ms.CommBytes > row.CommMax {
-					row.CommMax = ms.CommBytes
+				if c := ms.CommBytes(); c > row.CommMax {
+					row.CommMax = c
 				}
 			}
 			p := float64(st.P)

@@ -171,19 +171,26 @@ func TestDistributedStatsPopulated(t *testing.T) {
 		t.Fatal("stats missing or mis-shaped")
 	}
 	for n := range st.Mode {
-		var sumW, sumComm int64
+		var sumW, sumComm, sumTRSVD int64
 		for _, ms := range st.Mode[n] {
 			if ms.WTTMc < 0 || ms.WTRSVD < 0 {
 				t.Fatalf("mode %d: negative work", n)
 			}
+			if ms.ExpandBytes < 0 || ms.FoldBytes < 0 || ms.TRSVDBytes < 0 {
+				t.Fatalf("mode %d: negative comm phase bytes", n)
+			}
 			sumW += ms.WTTMc
-			sumComm += ms.CommBytes
+			sumComm += ms.CommBytes()
+			sumTRSVD += ms.TRSVDBytes
 		}
 		if sumW == 0 {
 			t.Fatalf("mode %d: zero total TTMc work", n)
 		}
 		if sumComm == 0 {
 			t.Fatalf("mode %d: no communication recorded on 3 ranks", n)
+		}
+		if sumTRSVD == 0 {
+			t.Fatalf("mode %d: TRSVD collective bytes not attributed", n)
 		}
 	}
 	if MaxDuration(st.TTMcTime) <= 0 {

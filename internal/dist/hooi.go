@@ -57,6 +57,48 @@ type Config struct {
 	// so recovery paths can be tested deterministically. Production runs
 	// leave it nil.
 	Fault func(rank, sweep int)
+	// Exchange selects how factor rows and fold partials move between
+	// ranks. The zero value ExchangeSparse uses precomputed
+	// point-to-point communication plans: each rank sends exactly the
+	// rows its peers' nonzeros reference, to exactly those peers
+	// (Algorithm 4's expand/fold realized sparsely). ExchangeDense uses
+	// the dense AllGatherV/AllToAllV collectives instead — every rank
+	// receives every factor row. Both paths produce bitwise-identical
+	// fits, factors, and cores; the dense path survives as the
+	// equivalence oracle the tests and the CI comparison run against.
+	Exchange ExchangeKind
+}
+
+// ExchangeKind selects the communication strategy of the distributed
+// sweep's expand and fold phases.
+type ExchangeKind int
+
+const (
+	// ExchangeSparse (the default) moves rows point-to-point along the
+	// precomputed per-mode communication plans.
+	ExchangeSparse ExchangeKind = iota
+	// ExchangeDense replicates every factor via dense collectives, the
+	// pre-plan behavior.
+	ExchangeDense
+)
+
+// String renders the flag spelling ("sparse" or "dense").
+func (e ExchangeKind) String() string {
+	if e == ExchangeDense {
+		return "dense"
+	}
+	return "sparse"
+}
+
+// ParseExchange maps the -exchange flag spelling to an ExchangeKind.
+func ParseExchange(s string) (ExchangeKind, error) {
+	switch s {
+	case "sparse", "":
+		return ExchangeSparse, nil
+	case "dense":
+		return ExchangeDense, nil
+	}
+	return ExchangeSparse, fmt.Errorf("dist: unknown exchange %q (want sparse or dense)", s)
 }
 
 // ModeStats carries one rank's per-mode work and communication counts
@@ -71,9 +113,21 @@ type ModeStats struct {
 	// WTRSVD is the per-operator-pass TRSVD work: owned rows times the
 	// row size.
 	WTRSVD int64
-	// CommBytes is the bytes this rank sent during the mode's fold,
-	// TRSVD, and factor-exchange phases, averaged over iterations.
-	CommBytes int64
+	// ExpandBytes, FoldBytes, and TRSVDBytes break the mode's sent
+	// payload down by communication phase, averaged over iterations:
+	// the factor-row expand (Algorithm 4's distribution of updated
+	// rows), the Y-row partial fold (fine grain only; coarse rows are
+	// complete locally), and the TRSVD solver's collectives (the
+	// AllReduces of the row-distributed Lanczos/randomized passes).
+	ExpandBytes int64
+	FoldBytes   int64
+	TRSVDBytes  int64
+}
+
+// CommBytes is the mode's total sent payload across all three phases —
+// the single figure the paper's Table III reports.
+func (m ModeStats) CommBytes() int64 {
+	return m.ExpandBytes + m.FoldBytes + m.TRSVDBytes
 }
 
 // Stats aggregates per-rank measurements of a distributed run. All
@@ -231,6 +285,7 @@ func DecomposeWorld(ctx context.Context, world mpi.Runner, x *tensor.COO, part *
 		setupStart := time.Now()
 		rk := newRankState(c, x, part, gsym, allOwned, cfg.Ranks, initial, cfg.Seed)
 		rk.svd = cfg.SVD
+		rk.exchange = cfg.Exchange
 		symTime := time.Since(setupStart)
 
 		c.Barrier()
@@ -266,15 +321,12 @@ func DecomposeWorld(ctx context.Context, world mpi.Runner, x *tensor.COO, part *
 			ckptEvery = 1
 		}
 		var ttmcTime, trsvdTime, coreTime time.Duration
-		modeComm := make([]int64, order)
 		iters := resumedSweeps
 		for iter := startIter; iter < maxIters; iter++ {
 			if cfg.Fault != nil {
 				cfg.Fault(me, iter+1)
 			}
 			for n := 0; n < order; n++ {
-				bytesBefore := c.BytesSent()
-
 				t0 := time.Now()
 				rk.ttmc(n)
 				ttmcTime += time.Since(t0)
@@ -282,8 +334,6 @@ func DecomposeWorld(ctx context.Context, world mpi.Runner, x *tensor.COO, part *
 				t0 = time.Now()
 				rk.trsvd(n)
 				trsvdTime += time.Since(t0)
-
-				modeComm[n] += c.BytesSent() - bytesBefore
 			}
 			t0 := time.Now()
 			g := rk.core()
@@ -297,11 +347,15 @@ func DecomposeWorld(ctx context.Context, world mpi.Runner, x *tensor.COO, part *
 
 			if cfg.CheckpointDir != "" && (iter+1)%ckptEvery == 0 {
 				// The core allreduce above is the sweep's closing
-				// barrier: once it returns, factors, core, and fit are
-				// replicated bitwise on every rank, so rank 0's view is
-				// the world's view. The trailing barrier keeps ranks
-				// from running into the next sweep (and its injected
-				// faults) before the checkpoint is durable.
+				// barrier: once it returns, core and fit are replicated
+				// bitwise on every rank, and the assembly below (a
+				// collective every rank enters; a no-op on the dense
+				// path, which keeps factors replicated throughout)
+				// completes rank 0's factors, so its view is the
+				// world's view. The trailing barrier keeps ranks from
+				// running into the next sweep (and its injected faults)
+				// before the checkpoint is durable.
+				rk.assembleFactors()
 				if me == 0 {
 					st := &checkpoint.State{
 						Sweep:       iter + 1,
@@ -324,6 +378,12 @@ func DecomposeWorld(ctx context.Context, world mpi.Runner, x *tensor.COO, part *
 			}
 		}
 
+		// The Result contract replicates the complete factors on every
+		// rank; under the sparse exchange each rank holds only the rows
+		// its plans reference, so one final assembly (per run, not per
+		// sweep) completes them. It happens before the wall/bytes
+		// snapshot, so its cost is accounted, not hidden.
+		rk.assembleFactors()
 		c.Barrier()
 		wall := time.Since(wallStart)
 		res.Iters = iters
@@ -339,7 +399,7 @@ func DecomposeWorld(ctx context.Context, world mpi.Runner, x *tensor.COO, part *
 		if divIters < 1 {
 			divIters = 1
 		}
-		local := make([]float64, statsFixedFields+3*order)
+		local := make([]float64, statsFixedFields+statsModeFields*order)
 		local[0] = symTime.Seconds()
 		local[1] = ttmcTime.Seconds()
 		local[2] = trsvdTime.Seconds()
@@ -347,9 +407,13 @@ func DecomposeWorld(ctx context.Context, world mpi.Runner, x *tensor.COO, part *
 		local[4] = wall.Seconds()
 		local[5] = float64(c.BytesSent())
 		for n := 0; n < order; n++ {
-			local[statsFixedFields+3*n+0] = float64(rk.modes[n].wTTMc)
-			local[statsFixedFields+3*n+1] = float64(rk.modes[n].wTRSVD)
-			local[statsFixedFields+3*n+2] = float64(modeComm[n] / divIters)
+			m := &rk.modes[n]
+			f := local[statsFixedFields+statsModeFields*n:]
+			f[0] = float64(m.wTTMc)
+			f[1] = float64(m.wTRSVD)
+			f[2] = float64(m.expandBytes / divIters)
+			f[3] = float64(m.foldBytes / divIters)
+			f[4] = float64(m.trsvdBytes / divIters)
 		}
 		res.Stats = decodeStats(c.AllGatherV(local), p, order, iters-resumedSweeps)
 		results[me] = res
@@ -415,8 +479,12 @@ func validateDistResume(st *checkpoint.State, cfg Config, dims []int, normX floa
 }
 
 // statsFixedFields is the number of scalar fields preceding the
-// per-mode triples in the gathered stats payload.
-const statsFixedFields = 6
+// per-mode groups in the gathered stats payload; statsModeFields is the
+// size of each per-mode group.
+const (
+	statsFixedFields = 6
+	statsModeFields  = 5
+)
 
 // decodeStats unpacks the allgathered per-rank measurement payloads.
 func decodeStats(all [][]float64, p, order, iters int) *Stats {
@@ -443,9 +511,12 @@ func decodeStats(all [][]float64, p, order, iters int) *Stats {
 		st.SentBytes[r] = int64(v[5])
 		for n := 0; n < order; n++ {
 			ms := &st.Mode[n][r]
-			ms.WTTMc = int64(v[statsFixedFields+3*n+0])
-			ms.WTRSVD = int64(v[statsFixedFields+3*n+1])
-			ms.CommBytes = int64(v[statsFixedFields+3*n+2])
+			f := v[statsFixedFields+statsModeFields*n:]
+			ms.WTTMc = int64(f[0])
+			ms.WTRSVD = int64(f[1])
+			ms.ExpandBytes = int64(f[2])
+			ms.FoldBytes = int64(f[3])
+			ms.TRSVDBytes = int64(f[4])
 		}
 	}
 	if iters > 0 {
@@ -464,17 +535,18 @@ func secDuration(s float64) time.Duration {
 // holds (each rank is its own goroutine, so per-rank state is required,
 // not shared); factors aliases state.Factors.
 type rankState struct {
-	c       *mpi.Comm
-	me, p   int
-	dims    []int
-	ranks   []int
-	svd     core.SVDMethod
-	part    *Partition
-	xloc    *tensor.COO
-	lsym    *symbolic.Structure
-	state   *core.SweepState
-	factors []*dense.Matrix
-	modes   []rankMode
+	c        *mpi.Comm
+	me, p    int
+	dims     []int
+	ranks    []int
+	svd      core.SVDMethod
+	exchange ExchangeKind
+	part     *Partition
+	xloc     *tensor.COO
+	lsym     *symbolic.Structure
+	state    *core.SweepState
+	factors  []*dense.Matrix
+	modes    []rankMode
 }
 
 // rankMode is one mode's precomputed plans and buffers.
@@ -489,10 +561,24 @@ type rankMode struct {
 	// sender and receiver agree on buffer order with no index traffic.
 	sendDst [][]int32
 	recvSrc [][]int32
+	// foldSrc lists the ranks with a non-empty recvSrc — the fold's
+	// actual sharers, which is all the sparse exchange talks to.
+	foldSrc []int
+	// Expand plan (see expandPlan): expSend[d] lists indices into owned
+	// whose updated factor rows rank d's nonzeros reference; expRecv[s]
+	// lists the global row ids arriving from owner s. expSrc lists the
+	// ranks with a non-empty expRecv.
+	expSend [][]int32
+	expRecv [][]int32
+	expSrc  []int
 	yloc    *dense.Matrix // fine: local partial rows
 	yOwn    *dense.Matrix // fully folded owned rows
 	wTTMc   int64
 	wTRSVD  int64
+	// Per-phase sent-payload counters, accumulated across sweeps.
+	expandBytes int64
+	foldBytes   int64
+	trsvdBytes  int64
 }
 
 func newRankState(c *mpi.Comm, x *tensor.COO, part *Partition, gsym *symbolic.Structure, allOwned [][][]int32, ranks []int, initial []*dense.Matrix, seed int64) *rankState {
@@ -572,6 +658,7 @@ func newRankState(c *mpi.Comm, x *tensor.COO, part *Partition, gsym *symbolic.St
 					}
 				}
 			}
+			m.foldSrc = nonEmptySources(m.recvSrc)
 		} else {
 			// Coarse: the rank stores every nonzero of its owned slices,
 			// so the owned rows are complete locally; count their work.
@@ -579,6 +666,8 @@ func newRankState(c *mpi.Comm, x *tensor.COO, part *Partition, gsym *symbolic.St
 				m.wTTMc += int64(len(lsm.RowNZ(int(pos)))) * int64(rowSize)
 			}
 		}
+		m.expSend, m.expRecv = expandPlan(n, me, x, part, gsym, rk.lsym, m.owned)
+		m.expSrc = nonEmptySources(m.expRecv)
 	}
 	return rk
 }
@@ -592,7 +681,10 @@ func (rk *rankState) ttmc(n int) {
 		return
 	}
 	// Fine grain: local partials for every touched slice, then fold to
-	// the slice owners (Algorithm 4 lines 5-8).
+	// the slice owners (Algorithm 4 lines 5-8). The partials were
+	// already pruned to actual sharers by the plans; the sparse exchange
+	// additionally skips the empty frames the dense skeleton would send
+	// to non-sharers, coalescing one packed buffer per peer.
 	ttm.TTMc(m.yloc, rk.xloc, lsm, rk.factors, 1)
 	k := m.yloc.Cols
 	bufs := make([][]float64, rk.p)
@@ -606,7 +698,14 @@ func (rk *rankState) ttmc(n int) {
 		}
 		bufs[d] = buf
 	}
-	recv := rk.c.AllToAllV(bufs)
+	b0 := rk.c.BytesSent()
+	var recv [][]float64
+	if rk.exchange == ExchangeDense {
+		recv = rk.c.AllToAllV(bufs)
+	} else {
+		recv = rk.c.SparseAllToAllV(bufs, m.foldSrc)
+	}
+	m.foldBytes += rk.c.BytesSent() - b0
 	// Own partial first, then contributions in ascending source-rank
 	// order: the accumulation order is fixed, so the fold is
 	// deterministic.
@@ -635,23 +734,101 @@ func (rk *rankState) ttmc(n int) {
 func (rk *rankState) trsvd(n int) {
 	m := &rk.modes[n]
 	op := &rowDistOperator{a: m.yOwn, c: rk.c, gids: m.gids, tmp: make([]float64, m.yOwn.Cols)}
+	b0 := rk.c.BytesSent()
 	sres, err := rk.state.SolveOperator(op, n, rk.ranks[n], rk.svd, nil)
 	if err != nil {
 		panic(fmt.Sprintf("dist: TRSVD failed in mode %d: %v", n, err))
 	}
+	m.trsvdBytes += rk.c.BytesSent() - b0
 	r := rk.ranks[n]
-	gathered := rk.c.AllGatherV(sres.U.Data)
-	full := dense.NewMatrix(rk.dims[n], r)
-	for src := 0; src < rk.p; src++ {
-		rows := m.allOwned[src]
-		if len(gathered[src]) != len(rows)*r {
-			panic(fmt.Sprintf("dist: factor exchange mismatch from rank %d", src))
+	if rk.exchange == ExchangeDense {
+		b1 := rk.c.BytesSent()
+		gathered := rk.c.AllGatherV(sres.U.Data)
+		m.expandBytes += rk.c.BytesSent() - b1
+		full := dense.NewMatrix(rk.dims[n], r)
+		for src := 0; src < rk.p; src++ {
+			rows := m.allOwned[src]
+			if len(gathered[src]) != len(rows)*r {
+				panic(fmt.Sprintf("dist: factor exchange mismatch from rank %d", src))
+			}
+			for k, row := range rows {
+				copy(full.Row(int(row)), gathered[src][k*r:(k+1)*r])
+			}
 		}
-		for k, row := range rows {
-			copy(full.Row(int(row)), gathered[src][k*r:(k+1)*r])
+		rk.factors[n] = full
+		return
+	}
+	// Sparse expand: owned rows come straight from the local solve, and
+	// only rows some peer's nonzeros reference travel, each to exactly
+	// the referencing ranks. Rows no local nonzero references stay zero
+	// — the TTMc kernels and the core contraction only ever read
+	// referenced rows, so the iterates match the dense path bitwise.
+	full := dense.NewMatrix(rk.dims[n], r)
+	for k, row := range m.owned {
+		copy(full.Row(int(row)), sres.U.Row(k))
+	}
+	bufs := make([][]float64, rk.p)
+	for d, ks := range m.expSend {
+		if len(ks) == 0 {
+			continue
+		}
+		buf := make([]float64, len(ks)*r)
+		for j, k := range ks {
+			copy(buf[j*r:(j+1)*r], sres.U.Row(int(k)))
+		}
+		bufs[d] = buf
+	}
+	b1 := rk.c.BytesSent()
+	recv := rk.c.SparseAllToAllV(bufs, m.expSrc)
+	m.expandBytes += rk.c.BytesSent() - b1
+	for s, rows := range m.expRecv {
+		if len(rows) == 0 {
+			continue
+		}
+		buf := recv[s]
+		if len(buf) != len(rows)*r {
+			panic(fmt.Sprintf("dist: expand buffer mismatch from rank %d: %d values for %d rows", s, len(buf), len(rows)))
+		}
+		for j, row := range rows {
+			copy(full.Row(int(row)), buf[j*r:(j+1)*r])
 		}
 	}
 	rk.factors[n] = full
+}
+
+// assembleFactors replicates the complete factor matrices on every rank
+// with one dense allgather of the owned row blocks per mode. The sparse
+// sweep loop never needs rows outside its plans, so full replication
+// happens only where a complete factor is genuinely required: the final
+// Result (factors identical on every rank is part of its contract) and
+// coordinated checkpoints (rank 0 writes the whole state). Under the
+// dense exchange the factors are already replicated and this is a
+// no-op.
+func (rk *rankState) assembleFactors() {
+	if rk.exchange == ExchangeDense {
+		return
+	}
+	for n := range rk.factors {
+		m := &rk.modes[n]
+		r := rk.ranks[n]
+		u := rk.factors[n]
+		local := make([]float64, len(m.owned)*r)
+		for k, row := range m.owned {
+			copy(local[k*r:(k+1)*r], u.Row(int(row)))
+		}
+		gathered := rk.c.AllGatherV(local)
+		full := dense.NewMatrix(rk.dims[n], r)
+		for src := 0; src < rk.p; src++ {
+			rows := m.allOwned[src]
+			if len(gathered[src]) != len(rows)*r {
+				panic(fmt.Sprintf("dist: factor assembly mismatch from rank %d", src))
+			}
+			for k, row := range rows {
+				copy(full.Row(int(row)), gathered[src][k*r:(k+1)*r])
+			}
+		}
+		rk.factors[n] = full
+	}
 }
 
 // core forms the core tensor from the last mode's folded rows: the

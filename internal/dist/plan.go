@@ -1,0 +1,136 @@
+package dist
+
+import (
+	"hypertensor/internal/symbolic"
+	"hypertensor/internal/tensor"
+)
+
+// expandPlan computes one mode's factor-row communication plan for rank
+// me: after the mode-n TRSVD, which updated rows must travel, and
+// between whom. It realizes Algorithm 4's expand with point-to-point
+// messages in place of the dense allgather — the owner of factor row i
+// sends U_n(i,:) only to the ranks whose local nonzeros reference row
+// i, and receives only the non-owned rows its own nonzeros reference.
+//
+// send[d] lists indices k into owned (this rank's owned mode-n slices,
+// ascending) whose rows rank d references; recv[s] lists the global row
+// ids arriving from owner s. Every rank derives both sides from the
+// same replicated inputs — the partition and the global symbolic
+// structure — so the plans agree pairwise (me's send[d], mapped to
+// global ids, is exactly d's recv[me]) without any index traffic, and
+// both sides ascend in global row id, so packed buffers agree on order.
+//
+// The rank set referencing a row is the set of ranks storing any of the
+// row's nonzeros: under the fine grain a nonzero lives with NZOwner;
+// under the coarse grain it is replicated onto every rank owning one of
+// its slices in any mode.
+func expandPlan(n, me int, x *tensor.COO, part *Partition, gsym, lsym *symbolic.Structure, owned []int32) (send, recv [][]int32) {
+	p := part.P
+	send = make([][]int32, p)
+	recv = make([][]int32, p)
+	// Receive side: every mode-n row the local tensor references and
+	// this rank does not own arrives from its owner. lsym's row list
+	// ascends, so the per-source lists ascend in global row id.
+	for _, row := range lsym.Modes[n].Rows {
+		if o := int(part.RowOwner[n][row]); o != me {
+			recv[o] = append(recv[o], row)
+		}
+	}
+	// Send side: for each owned row, collect the referencing ranks from
+	// the row's global nonzero list. The stamp array dedups per row
+	// without clearing between rows.
+	gsm := &gsym.Modes[n]
+	stamp := make([]int, p)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	mark := func(k, t int) {
+		if t != me && t >= 0 && stamp[t] != k {
+			stamp[t] = k
+			send[t] = append(send[t], int32(k))
+		}
+	}
+	for k, row := range owned {
+		gpos := int(gsm.Pos[row])
+		for _, id := range gsm.RowNZ(gpos) {
+			if part.Grain == Fine {
+				mark(k, int(part.NZOwner[id]))
+			} else {
+				for m := range part.RowOwner {
+					mark(k, int(part.RowOwner[m][x.Idx[m][id]]))
+				}
+			}
+		}
+	}
+	return send, recv
+}
+
+// ModeledCommVolume evaluates the hypergraph cut model's communication
+// prediction for one sweep under the sparse exchange: for every net —
+// a (mode n, nonempty row i) pair — with connectivity λ (the number of
+// distinct ranks storing one of the row's nonzeros), the expand moves
+// the updated row U_n(i,:) from its owner to the λ-1 other sharers
+// (8·R_n bytes each) and, under the fine grain, the fold moves λ-1
+// partial Y rows (8·∏_{m≠n}R_m bytes each) to the owner. The owner is
+// always a sharer — fine-grain row owners are chosen by majority among
+// nonzero owners, and a coarse owner stores every nonzero of its slice
+// — so λ-1 counts the actual senders exactly, and the realized
+// expand/fold payload of a sparse-exchange sweep equals this model to
+// the byte (asserted by TestSparsePayloadMatchesCutModel). Coarse-grain
+// rows are complete locally: fold is 0.
+func ModeledCommVolume(x *tensor.COO, part *Partition, ranks []int) (expand, fold int64) {
+	gsym := symbolic.Build(x, 0)
+	p := part.P
+	stamp := make([]int, p)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	tick := 0
+	for n := range gsym.Modes {
+		rowSize := int64(1)
+		for m, r := range ranks {
+			if m != n {
+				rowSize *= int64(r)
+			}
+		}
+		sm := &gsym.Modes[n]
+		for gpos := 0; gpos < sm.NumRows(); gpos++ {
+			tick++
+			lambda := int64(0)
+			mark := func(t int) {
+				if t >= 0 && stamp[t] != tick {
+					stamp[t] = tick
+					lambda++
+				}
+			}
+			for _, id := range sm.RowNZ(gpos) {
+				if part.Grain == Fine {
+					mark(int(part.NZOwner[id]))
+				} else {
+					for m := range part.RowOwner {
+						mark(int(part.RowOwner[m][x.Idx[m][id]]))
+					}
+				}
+			}
+			if lambda > 1 {
+				expand += (lambda - 1) * int64(ranks[n]) * 8
+				if part.Grain == Fine {
+					fold += (lambda - 1) * rowSize * 8
+				}
+			}
+		}
+	}
+	return expand, fold
+}
+
+// nonEmptySources lists the ranks with a non-empty plan entry — the
+// peers a sparse exchange actually hears from.
+func nonEmptySources(plan [][]int32) []int {
+	var src []int
+	for s, rows := range plan {
+		if len(rows) > 0 {
+			src = append(src, s)
+		}
+	}
+	return src
+}

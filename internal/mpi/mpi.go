@@ -348,6 +348,7 @@ const (
 	tagReduce   = 3
 	tagGather   = 4
 	tagExchange = 5
+	tagSparse   = 6
 )
 
 // Send transfers a copy of data to dst with the given tag (use tags >= 0;
@@ -542,6 +543,66 @@ func (c *Comm) AllToAllV(bufs [][]float64) [][]float64 {
 		src := (me - off + p) % p
 		m := c.recvMsg(src, tagExchange)
 		out[m.meta] = m.f
+	}
+	return out
+}
+
+// SparseAllToAllV is the neighborhood exchange of a precomputed sparse
+// communication plan: it sends bufs[d] to exactly the ranks d with a
+// non-empty buffer and receives exactly one message from each rank in
+// recvFrom, returning the per-source slices (indexed by rank, nil for
+// ranks not in recvFrom). Unlike AllToAllV no empty messages travel, so
+// a rank talks only to its actual sharers — the volume and the message
+// count realize the plan, nothing more.
+//
+// The send and receive plans must agree globally (rank s lists d as a
+// destination iff rank d lists s in recvFrom); both sides derive them
+// from the same replicated partition, so no index traffic is needed to
+// reconcile. Sends go out in ascending (me+off)%p offset order and
+// receives complete in ascending (me-off+p)%p order — the same
+// deterministic schedule as the dense collectives, so the primitive is
+// bitwise reproducible on both transports. bufs[me], when non-empty, is
+// delivered locally without counting traffic. On the TCP transport the
+// per-peer writer goroutines coalesce queued frames into single socket
+// writes, so the posted sends overlap with the caller's pack/unpack
+// loops.
+func (c *Comm) SparseAllToAllV(bufs [][]float64, recvFrom []int) [][]float64 {
+	p := c.Size()
+	me := c.Rank()
+	if len(bufs) != p {
+		panic("mpi: SparseAllToAllV needs one buffer slot per rank")
+	}
+	out := make([][]float64, p)
+	if len(bufs[me]) > 0 {
+		out[me] = append([]float64(nil), bufs[me]...)
+	}
+	want := make([]bool, p)
+	for _, src := range recvFrom {
+		if src < 0 || src >= p || src == me {
+			panic(fmt.Sprintf("mpi: rank %d: SparseAllToAllV source %d out of range", me, src))
+		}
+		if want[src] {
+			panic(fmt.Sprintf("mpi: rank %d: SparseAllToAllV source %d listed twice", me, src))
+		}
+		want[src] = true
+	}
+	for off := 1; off < p; off++ {
+		dst := (me + off) % p
+		if len(bufs[dst]) == 0 {
+			continue
+		}
+		c.sendMsg(dst, message{tag: tagSparse, f: append([]float64(nil), bufs[dst]...), meta: me})
+	}
+	for off := 1; off < p; off++ {
+		src := (me - off + p) % p
+		if !want[src] {
+			continue
+		}
+		m := c.recvMsg(src, tagSparse)
+		if m.meta != src {
+			panic(fmt.Sprintf("mpi: rank %d: SparseAllToAllV expected a message from %d, got one stamped %d", me, src, m.meta))
+		}
+		out[src] = m.f
 	}
 	return out
 }

@@ -1,0 +1,238 @@
+package mpi
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sparsePlan is the deterministic sharing pattern the exchange tests
+// use: rank s sends to rank d iff sparseSends(s, d). Every rank can
+// evaluate it for any pair, so senders and receivers derive matching
+// plans independently — exactly how internal/dist builds its plans from
+// the replicated partition.
+func sparseSends(s, d, p int) bool {
+	if s == d {
+		return false
+	}
+	if d == (s+1)%p {
+		return true
+	}
+	return p > 4 && d == (s+3)%p
+}
+
+func sparsePayload(s, d int) []float64 {
+	return []float64{float64(100*s + d), float64(s), float64(d)}
+}
+
+func sparseBody(t *testing.T, p int) func(c *Comm) {
+	return func(c *Comm) {
+		me := c.Rank()
+		bufs := make([][]float64, p)
+		for d := 0; d < p; d++ {
+			if sparseSends(me, d, p) {
+				bufs[d] = sparsePayload(me, d)
+			}
+		}
+		var recvFrom []int
+		for s := 0; s < p; s++ {
+			if sparseSends(s, me, p) {
+				recvFrom = append(recvFrom, s)
+			}
+		}
+		got := c.SparseAllToAllV(bufs, recvFrom)
+		for s := 0; s < p; s++ {
+			if !sparseSends(s, me, p) {
+				if got[s] != nil {
+					panic("received from a non-sharer")
+				}
+				continue
+			}
+			want := sparsePayload(s, me)
+			if len(got[s]) != len(want) {
+				panic("sparse exchange payload length wrong")
+			}
+			for i := range want {
+				if got[s][i] != want[i] {
+					panic("sparse exchange payload content wrong")
+				}
+			}
+		}
+	}
+}
+
+func TestSparseAllToAllV(t *testing.T) {
+	for _, p := range rankCounts {
+		w := NewWorld(p)
+		if err := w.Run(sparseBody(t, p)); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		// Payload accounting: each rank pays exactly for its non-empty
+		// sends, nothing for the peers it skips.
+		for r := 0; r < p; r++ {
+			var want int64
+			for d := 0; d < p; d++ {
+				if sparseSends(r, d, p) {
+					want += 8 * int64(len(sparsePayload(r, d)))
+				}
+			}
+			if got := w.BytesSent(r); got != want {
+				t.Fatalf("p=%d rank %d sent %d B, want %d", p, r, got, want)
+			}
+		}
+	}
+}
+
+func TestSparseAllToAllVSelfDelivery(t *testing.T) {
+	w := NewWorld(1)
+	err := w.Run(func(c *Comm) {
+		bufs := [][]float64{{4, 2}}
+		got := c.SparseAllToAllV(bufs, nil)
+		if len(got[0]) != 2 || got[0][0] != 4 {
+			panic("self buffer not delivered")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.BytesSent(0) != 0 {
+		t.Fatal("self delivery must not count bytes")
+	}
+}
+
+func TestSparseAllToAllVValidation(t *testing.T) {
+	w := NewWorld(2)
+	if err := w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.SparseAllToAllV(make([][]float64, 3), nil) // wrong arity
+		}
+	}); err == nil {
+		t.Fatal("wrong buffer arity not rejected")
+	}
+	w = NewWorld(2)
+	if err := w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.SparseAllToAllV(make([][]float64, 2), []int{1, 1}) // duplicate source
+		}
+	}); err == nil {
+		t.Fatal("duplicate source not rejected")
+	}
+}
+
+// TestSparseAllToAllVTCP runs the same plan over a real loopback mesh:
+// results and payload accounting must match the simulated transport
+// exactly, and the wire must carry strictly fewer frame-overhead bytes
+// than the dense AllToAllV, which ships an empty frame to every
+// non-sharer.
+func TestSparseAllToAllVTCP(t *testing.T) {
+	const p = 4
+	sim := NewWorld(p)
+	if err := sim.Run(sparseBody(t, p)); err != nil {
+		t.Fatal(err)
+	}
+	worlds := connectLoopback(t, p, TCPOptions{Timeout: 10 * time.Second})
+	for _, w := range worlds {
+		defer w.Close()
+	}
+	errs := runAll(worlds, sparseBody(t, p))
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	for r, w := range worlds {
+		if w.BytesSent() != sim.BytesSent(r) {
+			t.Fatalf("rank %d payload bytes differ: tcp %d vs sim %d", r, w.BytesSent(), sim.BytesSent(r))
+		}
+	}
+
+	// Same payloads through the dense exchange: payload bytes identical
+	// (empty messages are free), wire bytes strictly larger (every
+	// skipped peer still gets a framed empty message).
+	dense := connectLoopback(t, p, TCPOptions{Timeout: 10 * time.Second})
+	for _, w := range dense {
+		defer w.Close()
+	}
+	errs = runAll(dense, func(c *Comm) {
+		me := c.Rank()
+		bufs := make([][]float64, p)
+		for d := 0; d < p; d++ {
+			if sparseSends(me, d, p) {
+				bufs[d] = sparsePayload(me, d)
+			}
+		}
+		c.AllToAllV(bufs)
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("dense rank %d: %v", r, err)
+		}
+	}
+	for r := range worlds {
+		if worlds[r].BytesSent() != dense[r].BytesSent() {
+			t.Fatalf("rank %d payload bytes differ sparse %d vs dense %d",
+				r, worlds[r].BytesSent(), dense[r].BytesSent())
+		}
+		if worlds[r].WireBytes() >= dense[r].WireBytes() {
+			t.Fatalf("rank %d sparse wire bytes %d not below dense %d — empty frames still travel",
+				r, worlds[r].WireBytes(), dense[r].WireBytes())
+		}
+	}
+}
+
+// TestSparseExchangeLeakKillMidExchange: fault injection covers the new
+// primitive — a rank killed in the middle of a sparse exchange fails
+// the whole world with a typed error and leaves no goroutines behind,
+// on both transports.
+func TestSparseExchangeLeakKillMidExchange(t *testing.T) {
+	const p = 3
+	body := func(c *Comm) {
+		for i := 0; i < 50; i++ {
+			sparseBody(t, p)(c)
+		}
+	}
+	before := runtime.NumGoroutine()
+	w := NewWorld(p)
+	w.InjectFaults(FaultConfig{Seed: 2, KillRank: 1, KillAtOp: 9})
+	err := w.Run(body)
+	if !errors.Is(err, ErrPeerDied) || !strings.Contains(err.Error(), "injected") {
+		t.Fatalf("simulated: want injected ErrPeerDied, got %v", err)
+	}
+	checkGoroutineBaseline(t, before)
+
+	before = runtime.NumGoroutine()
+	worlds := connectLoopback(t, p, TCPOptions{
+		Timeout: 10 * time.Second,
+		Faults:  &FaultConfig{Seed: 2, KillRank: 1, KillAtOp: 9},
+	})
+	errs := runAll(worlds, body)
+	if !errors.Is(errs[1], ErrPeerDied) {
+		t.Fatalf("tcp: killed rank error: %v", errs[1])
+	}
+	for _, r := range []int{0, 2} {
+		if errs[r] == nil {
+			t.Fatalf("tcp: rank %d did not observe the kill", r)
+		}
+	}
+	checkGoroutineBaseline(t, before)
+}
+
+// TestSparseExchangeLeakCorruptFrame: an injected corrupt frame inside
+// the sparse exchange surfaces as ErrBadFrame without leaks.
+func TestSparseExchangeLeakCorruptFrame(t *testing.T) {
+	const p = 3
+	before := runtime.NumGoroutine()
+	w := NewWorld(p)
+	w.InjectFaults(FaultConfig{Seed: 7, CorruptProb: 0.05})
+	err := w.Run(func(c *Comm) {
+		for i := 0; i < 200; i++ {
+			sparseBody(t, p)(c)
+		}
+	})
+	if !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("want injected ErrBadFrame, got %v", err)
+	}
+	checkGoroutineBaseline(t, before)
+}
